@@ -1,0 +1,33 @@
+# Convenience targets for the reproduction workflow.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-full examples artefacts clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-full:
+	REPRO_BENCH_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/overload_surge.py
+	$(PYTHON) examples/zipf_federation.py
+	$(PYTHON) examples/sqlite_federation.py
+	$(PYTHON) examples/failure_recovery.py
+
+# Regenerate every paper artefact via the CLI (scaled-down).
+artefacts:
+	$(PYTHON) -m repro run all
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache \
+	       benchmarks/results .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

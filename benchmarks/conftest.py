@@ -1,0 +1,40 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerates one paper artefact (table or figure), prints
+the rows/series the paper reports, and archives the rendered text under
+``benchmarks/results/``.  Benchmarks default to a scaled-down federation
+so the whole harness finishes in minutes; set ``REPRO_BENCH_FULL=1`` for
+the paper's full scale (100 nodes, 10,000 queries).
+"""
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def full_scale():
+    """True when the harness should run at the paper's full scale."""
+    return os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def bench_nodes(full_scale):
+    """Federation size for simulator benchmarks."""
+    return 100 if full_scale else 30
+
+
+@pytest.fixture()
+def save_result(request):
+    """Print a rendered artefact and archive it under results/."""
+
+    def _save(name, text):
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / ("%s.txt" % name)
+        path.write_text(text + "\n")
+        print("\n=== %s ===\n%s" % (name, text))
+
+    return _save

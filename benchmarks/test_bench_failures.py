@@ -1,0 +1,35 @@
+"""Bench F1 — node-failure extension (the Section 1 motivating scenario).
+
+A third of the federation fails mid-run under a steady load sized against
+the healthy capacity; response times before, during, and after the outage
+are reported for QA-NT and Greedy.
+"""
+
+from repro.experiments.failures import run_failures
+
+
+def test_bench_failures(benchmark, save_result, bench_nodes):
+    result = benchmark.pedantic(
+        run_failures,
+        kwargs=dict(
+            num_nodes=bench_nodes,
+            failed_fraction=0.3,
+            load_fraction=0.8,
+            seed=0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("failures", result.render())
+    for mechanism in ("qa-nt", "greedy"):
+        # Losing 30% of nodes at 80% load must visibly degrade service...
+        assert result.degradation(mechanism) > 1.0
+        phases = result.phases[mechanism]
+        # ...and the system must recover after the nodes return.
+        assert phases["after"] < phases["during"]
+    # The paper's Section 1 claim — a good allocator minimises how long
+    # the unavailability lingers: QA-NT's admission control returns it to
+    # near-baseline service once the nodes are back, while Greedy is
+    # still draining the queues it built up.
+    qant = result.phases["qa-nt"]
+    assert qant["after"] <= 1.5 * qant["before"]

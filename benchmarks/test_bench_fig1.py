@@ -1,0 +1,18 @@
+"""Bench E1 — regenerate Figure 1 (the introduction's worked example).
+
+Paper numbers: LB averages 662 ms per query and keeps the nodes busy
+until 900/950 ms; the QA allocation averages 431 ms and frees N1 at
+600 ms; LB is 54 % slower.
+"""
+
+import pytest
+
+from repro.experiments.fig1 import run_fig1
+
+
+def test_bench_fig1(benchmark, save_result):
+    result = benchmark.pedantic(run_fig1, rounds=3, iterations=1)
+    save_result("fig1", result.render())
+    assert result.lb_mean_response_ms == pytest.approx(662.5)
+    assert result.qa_mean_response_ms == pytest.approx(431.25)
+    assert result.qa_dominates_lb and result.qa_is_pareto_optimal

@@ -1,0 +1,16 @@
+"""Bench E2 — regenerate Figure 2 (aggregate demand/supply/consumption).
+
+Paper: aggregate demand (2, 6) lies outside the aggregate supply set; the
+LB strategy consumes 3 queries in the first period, QA consumes 6.
+"""
+
+from repro.experiments.fig2 import run_fig2
+
+
+def test_bench_fig2(benchmark, save_result):
+    result = benchmark.pedantic(run_fig2, rounds=3, iterations=1)
+    save_result("fig2", result.render())
+    assert result.aggregate_demand.components == (2.0, 6.0)
+    assert result.demand_is_infeasible
+    assert result.qa_aggregate_consumption.total() == 6.0
+    assert result.lb_aggregate_consumption.total() == 3.0

@@ -1,0 +1,23 @@
+"""Bench E3 — regenerate Figure 3 (the example sinusoid workload).
+
+Paper: Q1 and Q2 arrival rates follow 0.05 Hz sinusoids with a phase
+difference, Q1 peaking at twice Q2's rate.
+"""
+
+import pytest
+
+from repro.experiments.fig3 import run_fig3
+
+
+def test_bench_fig3(benchmark, save_result):
+    result = benchmark.pedantic(
+        run_fig3,
+        kwargs=dict(horizon_ms=40_000.0, q1_peak_rate_per_ms=0.05, seed=1),
+        rounds=3,
+        iterations=1,
+    )
+    save_result("fig3", result.render())
+    q1, q2 = sum(result.q1_per_bucket), sum(result.q2_per_bucket)
+    assert q1 == pytest.approx(2 * q2, rel=0.3)
+    # The sinusoid actually swings: some buckets near zero, some heavy.
+    assert min(result.q1_per_bucket) < max(result.q1_per_bucket)

@@ -1,0 +1,28 @@
+"""Bench E4 — regenerate Figure 4 (all mechanisms, sinusoid workload).
+
+Paper shape: QA-NT and Greedy substantially better than the load
+balancers; random and round-robin worst; two-random-probes and BNQRD in
+between; QA-NT needs the most network messages.
+"""
+
+from repro.experiments.fig4 import run_fig4
+
+
+def test_bench_fig4(benchmark, save_result, bench_nodes, full_scale):
+    horizon = 120_000.0 if full_scale else 60_000.0
+    result = benchmark.pedantic(
+        run_fig4,
+        kwargs=dict(num_nodes=bench_nodes, horizon_ms=horizon, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("fig4", result.render())
+    normalised = result.normalised
+    assert normalised["qa-nt"] == 1.0
+    # Market mechanisms beat every load balancer.
+    for fast in ("qa-nt", "greedy"):
+        for slow in ("bnqrd", "two-probes", "random", "round-robin"):
+            assert normalised[fast] < normalised[slow]
+    # Random/round-robin are the two worst performers.
+    worst = sorted(normalised, key=normalised.get)[-2:]
+    assert set(worst) == {"random", "round-robin"}

@@ -1,0 +1,30 @@
+"""Bench E5 — regenerate Figure 5a (QA-NT vs Greedy across load levels).
+
+Paper shape: below ~75 % of capacity Greedy is about 5 % better
+(normalised ratio slightly below 1); above it QA-NT wins by 15–32 %
+(ratio above 1).
+"""
+
+from repro.experiments.fig5 import run_fig5a
+
+
+def test_bench_fig5a(benchmark, save_result, bench_nodes, full_scale):
+    loads = (
+        (0.1, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0)
+        if full_scale
+        else (0.25, 0.5, 1.5, 3.0)
+    )
+    result = benchmark.pedantic(
+        run_fig5a,
+        kwargs=dict(
+            loads=loads, num_nodes=bench_nodes, horizon_ms=20_000.0, seed=0
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("fig5a", result.render())
+    by_load = dict(zip(result.loads, result.greedy_normalised))
+    # Light load: close to parity (Greedy may be slightly ahead).
+    assert by_load[0.5] < 1.15
+    # Overload: QA-NT ahead.
+    assert by_load[3.0] > 1.0

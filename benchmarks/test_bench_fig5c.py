@@ -1,0 +1,25 @@
+"""Bench E7 — regenerate Figure 5c (tracking the Q1 arrival curve).
+
+Paper: near total capacity, QA-NT's per-half-second Q1 executions follow
+the Q1 arrival sinusoid closely, whereas Greedy overloads the system and
+falls behind the curve.
+"""
+
+from repro.experiments.fig5 import run_fig5c
+
+
+def test_bench_fig5c(benchmark, save_result, bench_nodes):
+    result = benchmark.pedantic(
+        run_fig5c,
+        kwargs=dict(num_nodes=bench_nodes, horizon_ms=15_000.0, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("fig5c", result.render())
+    assert sum(result.q1_arrivals) > 0
+    # Both series executed a comparable volume of Q1 queries; tracking
+    # error quantifies who follows the curve (reported, shape asserted
+    # loosely because a single window is noisy).
+    qant_err = result.tracking_error(result.q1_executed_qant)
+    greedy_err = result.tracking_error(result.q1_executed_greedy)
+    assert qant_err <= greedy_err * 1.5

@@ -1,0 +1,40 @@
+"""Bench E8 — regenerate Figure 6 (Zipf heterogeneous workload).
+
+Paper shape: QA-NT improves on Greedy by 13–26 % while the system is
+overloaded (per-class mean inter-arrival below ≈17 s) and the two
+converge once the overload clears.
+"""
+
+from repro.experiments.fig6 import run_fig6
+
+
+def test_bench_fig6(benchmark, save_result, full_scale):
+    if full_scale:
+        kwargs = dict(
+            interarrivals_ms=(
+                10.0, 100.0, 1_000.0, 5_000.0, 10_000.0, 17_000.0, 20_000.0
+            ),
+            num_nodes=100,
+            num_relations=1000,
+            num_classes=100,
+            max_queries=10_000,
+            horizon_ms=300_000.0,
+            seed=0,
+        )
+    else:
+        kwargs = dict(
+            interarrivals_ms=(1_000.0, 10_000.0, 17_000.0),
+            num_nodes=30,
+            num_relations=300,
+            num_classes=30,
+            max_queries=2_500,
+            horizon_ms=200_000.0,
+            seed=0,
+        )
+    result = benchmark.pedantic(run_fig6, kwargs=kwargs, rounds=1, iterations=1)
+    save_result("fig6", result.render())
+    by_gap = dict(zip(result.interarrivals_ms, result.greedy_normalised))
+    # Overload regime: QA-NT ahead.
+    assert by_gap[1_000.0] > 1.0
+    # At/after the crossover: parity (within 15%).
+    assert abs(by_gap[17_000.0] - 1.0) < 0.15

@@ -1,0 +1,55 @@
+"""Bench E9 — regenerate Figure 7 (the real-deployment comparison).
+
+Paper: 300 queries on five real DBMS nodes at two uniform inter-arrival
+settings; QA-NT's total time beats Greedy's in both runs, and a large
+fraction of the time goes to assignment (waiting for estimate replies
+from every node).  Times here are ~10x scaled down (see DESIGN.md).
+
+The decisive regime is sustained overload (the paper's ~1 s queries at
+300 ms inter-arrival mean the testbed queued constantly).  That regime
+needs multi-second SQLite runs, so it is reserved for
+``REPRO_BENCH_FULL=1``; the default configuration finishes in ~25 s and
+asserts the noise-tolerant invariants only (everything completes,
+assignment cost is visible, QA-NT stays competitive) — wall-clock
+threaded runs at light load are jitter-dominated (see EXPERIMENTS.md).
+"""
+
+from repro.experiments.fig7 import run_fig7
+
+
+def test_bench_fig7(benchmark, save_result, full_scale):
+    if full_scale:
+        kwargs = dict(
+            num_queries=120,
+            interarrivals_ms=(30.0, 40.0),
+            table_size_mb=(2.0, 5.0),
+            seed=0,
+        )
+    else:
+        kwargs = dict(
+            num_queries=100,
+            interarrivals_ms=(30.0, 40.0),
+            table_size_mb=(0.8, 2.0),
+            seed=0,
+        )
+    result = benchmark.pedantic(run_fig7, kwargs=kwargs, rounds=1, iterations=1)
+    save_result("fig7", result.render())
+    gaps = kwargs["interarrivals_ms"]
+    for (mechanism, gap), run in result.runs.items():
+        assert len(run.outcomes) == kwargs["num_queries"]
+        assert run.mean_total_ms >= run.mean_assign_ms > 0
+    ratios = [
+        result.runs[("qa-nt", gap)].mean_total_ms
+        / result.runs[("greedy", gap)].mean_total_ms
+        for gap in gaps
+    ]
+    if full_scale:
+        # Sustained overload: the paper's result — QA-NT clearly ahead
+        # overall (measured 0.52x-0.99x of Greedy's total time across
+        # runs) and never meaningfully behind.
+        assert sum(ratios) / len(ratios) < 0.9
+        assert max(ratios) < 1.1
+    else:
+        # Light load on a shared machine: assert competitiveness, not a
+        # winner — the signal is smaller than the OS jitter here.
+        assert sum(ratios) / len(ratios) < 1.6

@@ -1,0 +1,26 @@
+"""Bench E10 — regenerate Table 2 (qualitative mechanism comparison).
+
+Static columns come from the allocator classes; the performance column is
+measured by the Figure 4 run.
+"""
+
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.table2 import run_table2
+
+
+def test_bench_table2(benchmark, save_result, bench_nodes):
+    fig4 = run_fig4(num_nodes=bench_nodes, horizon_ms=60_000.0, seed=0)
+    result = benchmark.pedantic(
+        run_table2, kwargs=dict(fig4=fig4), rounds=1, iterations=1
+    )
+    save_result("table2", result.render())
+    qant = result.row("qa-nt")
+    assert qant.respects_autonomy and qant.distributed
+    assert not qant.conflicts_with_dqo
+    assert qant.performance == "very good"
+    greedy = result.row("greedy")
+    assert not greedy.respects_autonomy
+    for name in ("random", "round-robin"):
+        assert result.row(name).performance == "poor"
+    markov = result.row("markov")
+    assert markov.workload_type == "static"

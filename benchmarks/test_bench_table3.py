@@ -1,0 +1,30 @@
+"""Bench E11 — regenerate Table 3 (simulation parameters, measured).
+
+The generated world must reproduce the paper's dataset statistics:
+relation sizes averaging ≈10.5 MB, ≈5 mirrors per relation, ≈50 relations
+per node, and the calibrated ≈2,000 ms average best execution time.
+"""
+
+import pytest
+
+from repro.experiments.setups import zipf_world
+from repro.experiments.table3 import run_table3
+
+
+def test_bench_table3(benchmark, save_result, full_scale):
+    if full_scale:
+        world = zipf_world(seed=0)
+    else:
+        world = zipf_world(
+            num_nodes=30, num_relations=300, num_classes=30, seed=0
+        )
+    result = benchmark.pedantic(
+        run_table3, kwargs=dict(world=world), rounds=1, iterations=1
+    )
+    save_result("table3", result.render())
+    assert result.avg_relation_size_mb == pytest.approx(10.5, rel=0.1)
+    assert result.avg_mirrors == pytest.approx(5.0, rel=0.1)
+    assert result.avg_relations_per_node == pytest.approx(50.0, rel=0.1)
+    assert result.avg_best_execution_ms == pytest.approx(2000.0, rel=0.05)
+    assert result.cpu_range_ghz[0] >= 1.0
+    assert result.cpu_range_ghz[1] <= 3.5

@@ -1,0 +1,81 @@
+"""Quickstart: query markets in five minutes.
+
+Walks through the paper's core ideas on its own worked example (Section 1
+/ Figure 1):
+
+1. the load balancer vs the throughput-optimal allocation (662 ms vs
+   431 ms average response);
+2. Pareto optimality of the QA allocation, checked by enumeration;
+3. a market of QA-NT pricing agents *discovering* that allocation on its
+   own: constant demand drives excess demand to zero (Proposition 3.1).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import (
+    CapacitySupplySet,
+    QantParameters,
+    QueryMarketEconomy,
+    QueryVector,
+)
+from repro.experiments.fig1 import EXECUTION_TIMES_MS, run_fig1
+
+
+def main() -> None:
+    # --- 1 + 2: the worked example, recomputed and verified ------------------
+    fig1 = run_fig1()
+    print("Figure 1 — load balancing vs throughput-optimal allocation")
+    print(fig1.render())
+    print()
+    print("QA Pareto-dominates LB:", fig1.qa_dominates_lb)
+    print("QA is Pareto optimal:  ", fig1.qa_is_pareto_optimal)
+    print()
+
+    # --- 3: let the market find it -------------------------------------------
+    # One QA-NT agent per node; capacities are one 500 ms period.
+    supply_sets = [
+        CapacitySupplySet(EXECUTION_TIMES_MS[0], 500.0),  # N1: q1 400, q2 100
+        CapacitySupplySet(EXECUTION_TIMES_MS[1], 500.0),  # N2: q1 450, q2 500
+    ]
+    # Corner ("greedy") supply shows the specialisation crisply: at the
+    # market's fixed point N1 sells only q2 and N2 only q1 — exactly the
+    # QA allocation of Figure 1.
+    economy = QueryMarketEconomy(
+        supply_sets,
+        parameters=QantParameters(adjustment=0.1, supply_method="greedy"),
+        seed=7,
+    )
+    # Per-period demand at system capacity: one q1 (N2's whole period)
+    # and five q2 (N1's whole period).
+    demand = QueryVector((1, 5))
+    print("Market discovery — consumption under constant at-capacity load:")
+    for period in range(30):
+        record = economy.run_period(demand)
+        if period % 5 == 4 or period == 0:
+            print(
+                "  period %2d: consumed=%s planned supply: N1=%s N2=%s"
+                % (
+                    record.period,
+                    tuple(int(x) for x in record.consumed),
+                    tuple(int(x) for x in economy.agents[0].planned_supply),
+                    tuple(int(x) for x in economy.agents[1].planned_supply),
+                )
+            )
+    last = economy.history[-1]
+    specialised = (
+        tuple(int(x) for x in economy.agents[0].planned_supply),
+        tuple(int(x) for x in economy.agents[1].planned_supply),
+    )
+    print()
+    print("Final per-period consumption:", tuple(int(x) for x in last.consumed))
+    print("Node specialisation: N1=%s N2=%s" % specialised)
+    print(
+        "The invisible hand found Figure 1's QA allocation:"
+        if specialised == ((0, 5), (1, 0))
+        else "Specialisation still drifting (non-tatonnement is stochastic):"
+    )
+    print("  N1 sells only the cheap q2 queries, N2 only q1.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""A real mini-federation: SQLite nodes, EXPLAIN-based estimates, QA-NT.
+
+Reproduces the paper's Section 5.2 deployment at example scale: several
+SQLite-backed server nodes of different speeds, a mirrored dataset of
+tables and select-project views, history-calibrated cost estimation on
+top of ``EXPLAIN QUERY PLAN``, and a client coordinator that allocates a
+paced stream of star queries with Greedy and then with QA-NT.
+
+Run:  python examples/sqlite_federation.py
+"""
+
+from repro.dbms import DbmsFederation
+from repro.experiments.reporting import format_table
+
+
+def main() -> None:
+    rows = []
+    for mechanism in ("greedy", "qa-nt"):
+        federation, classes = DbmsFederation.build(
+            num_nodes=4,
+            num_tables=12,
+            num_views=20,
+            num_classes=10,
+            table_size_mb=(0.2, 0.8),
+            seed=3,
+        )
+        try:
+            print(
+                "[%s] built %d nodes / %d classes; node slowdowns: %s"
+                % (
+                    mechanism,
+                    len(federation.nodes),
+                    len(classes),
+                    ["%.1fx" % n.slowdown for n in federation.nodes.values()],
+                )
+            )
+            federation.warm_up()
+            result = federation.run_workload(
+                mechanism,
+                num_queries=100,
+                mean_interarrival_ms=15.0,
+                period_ms=150.0,
+                seed=4,
+            )
+            rows.append(
+                (
+                    mechanism,
+                    len(result.outcomes),
+                    result.mean_assign_ms,
+                    result.mean_total_ms,
+                )
+            )
+        finally:
+            federation.close()
+    print()
+    print(
+        format_table(
+            ("mechanism", "queries", "assign (ms)", "total (ms)"), rows
+        )
+    )
+    print()
+    print(
+        "Both mechanisms pay the same assignment cost (they wait for"
+        " estimate replies from every node); the difference is where the"
+        " queries run."
+    )
+
+
+if __name__ == "__main__":
+    main()

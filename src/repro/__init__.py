@@ -1,0 +1,33 @@
+"""repro — reproduction of "Autonomic Query Allocation based on
+Microeconomics Principles" (Pentaris & Ioannidis, ICDE 2007).
+
+The package implements the paper's query-market mechanism (QA-NT) and
+every substrate its evaluation depends on:
+
+* :mod:`repro.core` — query markets: vectors, Pareto optimality, supply
+  optimisation, tatonnement, and the QA-NT pricing agent;
+* :mod:`repro.sim` — a discrete-event simulator of a federation of
+  heterogeneous autonomous RDBMSs;
+* :mod:`repro.catalog` — the synthetic mirrored catalog (Table 3);
+* :mod:`repro.query` — SJPS query classes, SQL rendering, cost model,
+  and history-calibrated estimators;
+* :mod:`repro.workload` — sinusoid, Zipf and uniform workload generators;
+* :mod:`repro.allocation` — QA-NT plus every baseline of Section 4;
+* :mod:`repro.dbms` — a real substrate: SQLite server nodes driven by a
+  threaded coordinator (the paper's Section 5.2 deployment);
+* :mod:`repro.experiments` — one driver per paper table and figure.
+"""
+
+__version__ = "1.0.0"
+
+from . import allocation, catalog, core, query, sim, workload
+
+__all__ = [
+    "__version__",
+    "allocation",
+    "catalog",
+    "core",
+    "query",
+    "sim",
+    "workload",
+]

@@ -1,0 +1,144 @@
+"""Allocator interface shared by QA-NT and all baseline mechanisms.
+
+An allocator decides, for each arriving query, which server node will
+evaluate it.  The federation simulator hands the allocator an
+:class:`AllocationContext` (nodes, candidate sets, network, clock) at bind
+time and then drives three hooks:
+
+* :meth:`Allocator.on_period_start` — fired every ``period_ms`` (QA-NT
+  recomputes supply vectors here; most baselines ignore it);
+* :meth:`Allocator.assign` — the allocation decision for one query; a
+  ``node_id`` of ``None`` means every server refused and the client must
+  resubmit next period (paper Section 3.3);
+* :meth:`Allocator.on_completion` — feedback with the actual runtime, used
+  by history-calibrated estimators.
+
+Each decision also carries the negotiation *cost*: how many network
+messages were exchanged and how long the client waited before the query
+could be enqueued.  This is how the paper's observation that QA-NT "requires
+more network messages" and that both real implementations "waited for a
+reply from all nodes" becomes measurable.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Optional, Sequence, Tuple
+
+from ..query.model import Query, QueryClass
+
+if TYPE_CHECKING:  # imported lazily to avoid a package-level cycle
+    from ..sim.engine import Simulator
+    from ..sim.network import Network
+    from ..sim.node import SimulatedNode
+
+__all__ = [
+    "AllocationContext",
+    "AssignmentDecision",
+    "Allocator",
+]
+
+
+@dataclass
+class AllocationContext:
+    """Everything an allocator may consult when deciding."""
+
+    simulator: "Simulator"
+    network: "Network"
+    nodes: Dict[int, "SimulatedNode"]
+    classes: Sequence[QueryClass]
+    #: ``candidates_by_class[k]`` lists the ids of nodes able to evaluate
+    #: class *k* (they hold all its relations), in ascending id order.
+    candidates_by_class: Dict[int, Tuple[int, ...]]
+    period_ms: float
+    rng: random.Random
+
+    def candidates(self, class_index: int) -> Tuple[int, ...]:
+        """Candidate server ids for ``class_index`` (may be empty)."""
+        return self.candidates_by_class.get(class_index, ())
+
+    def available_candidates(self, class_index: int) -> Tuple[int, ...]:
+        """Candidates currently accepting work (outages filtered out).
+
+        Every mechanism routes through this so node failures (Section 1's
+        motivating scenario) affect all of them identically: a failed node
+        is simply unreachable and the query negotiates with the rest.
+        """
+        return tuple(
+            nid
+            for nid in self.candidates(class_index)
+            if self.nodes[nid].is_available()
+        )
+
+
+@dataclass(frozen=True)
+class AssignmentDecision:
+    """Outcome of one allocation attempt."""
+
+    #: Chosen server node, or ``None`` when every candidate refused (the
+    #: query re-enters the next period's demand).
+    node_id: Optional[int]
+    #: Negotiation latency the client experienced before enqueueing.
+    delay_ms: float = 0.0
+    #: Network messages spent on this decision.
+    messages: int = 0
+
+
+class Allocator(abc.ABC):
+    """Base class of all allocation mechanisms."""
+
+    #: Short mechanism name used in reports (e.g. "qa-nt", "greedy").
+    name: str = "abstract"
+    #: Whether the mechanism respects server administrative autonomy
+    #: (Table 2 column): True when servers decide what they accept.
+    respects_autonomy: bool = False
+    #: Whether the mechanism needs a central coordinator (Table 2).
+    distributed: bool = True
+
+    def __init__(self) -> None:
+        self._context: Optional[AllocationContext] = None
+
+    @property
+    def context(self) -> AllocationContext:
+        """The bound context (raises until :meth:`bind` is called)."""
+        if self._context is None:
+            raise RuntimeError("allocator %r is not bound yet" % self.name)
+        return self._context
+
+    def bind(self, context: AllocationContext) -> None:
+        """Attach the allocator to a federation.  Idempotent re-binding is
+        rejected to catch accidental reuse across simulations."""
+        if self._context is not None:
+            raise RuntimeError(
+                "allocator %r is already bound; create a fresh instance "
+                "per simulation" % self.name
+            )
+        self._context = context
+        self._after_bind()
+
+    def _after_bind(self) -> None:
+        """Hook for subclasses needing per-federation setup."""
+
+    def on_period_start(self) -> None:
+        """Called at every period boundary; default does nothing."""
+
+    @abc.abstractmethod
+    def assign(self, query: Query) -> AssignmentDecision:
+        """Decide which node evaluates ``query`` (or refuse)."""
+
+    def on_completion(self, query: Query, node_id: int, actual_ms: float) -> None:
+        """Feedback after execution; default does nothing."""
+
+    # -- shared helpers -----------------------------------------------------------
+
+    def _probe_all(self, candidates: Sequence[int]) -> Tuple[float, int]:
+        """Charge a request/reply exchange with every candidate.
+
+        Returns ``(delay_ms, messages)`` — the slowest round trip (both the
+        paper's implementations wait for all replies) and the message
+        count.
+        """
+        delay = self.context.network.round_trip_ms(len(candidates))
+        return delay, 2 * len(candidates)

@@ -1,0 +1,59 @@
+"""Greedy allocation: least estimated completion time (paper Section 4).
+
+The client probes every candidate server for the estimated completion time
+of its query (queue backlog plus execution time on that node) and
+unilaterally assigns the query to the fastest one — which is why the paper
+flags Greedy as violating server administrative autonomy.  An optional dash
+of randomisation among near-best candidates is supported, as the paper
+notes "a small amount of randomization may also be used".
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..query.model import Query
+from .base import Allocator, AssignmentDecision
+
+__all__ = [
+    "GreedyAllocator",
+]
+
+
+class GreedyAllocator(Allocator):
+    """Assign each query to the candidate that finishes it soonest."""
+
+    name = "greedy"
+    respects_autonomy = False
+    distributed = True
+
+    def __init__(self, randomisation: float = 0.0):
+        """``randomisation`` widens the pool of acceptable candidates: any
+        node within ``(1 + randomisation)`` of the best estimated
+        completion may be picked uniformly.  Zero keeps classic Greedy."""
+        super().__init__()
+        if randomisation < 0:
+            raise ValueError("randomisation must be non-negative")
+        self._randomisation = randomisation
+
+    def assign(self, query: Query) -> AssignmentDecision:
+        candidates = self.context.available_candidates(query.class_index)
+        if not candidates:
+            return AssignmentDecision(node_id=None)
+        delay, messages = self._probe_all(candidates)
+        nodes = self.context.nodes
+        completions = [
+            (nodes[nid].estimated_completion_ms(query.class_index), nid)
+            for nid in candidates
+        ]
+        best_time = min(completions)[0]
+        if self._randomisation == 0.0:
+            chosen = min(completions)[1]
+        else:
+            pool: List[int] = [
+                nid
+                for time_ms, nid in completions
+                if time_ms <= best_time * (1.0 + self._randomisation)
+            ]
+            chosen = self.context.rng.choice(pool)
+        return AssignmentDecision(chosen, delay_ms=delay, messages=messages)

@@ -1,0 +1,240 @@
+"""QA-NT as a federation allocation mechanism.
+
+Wires one :class:`repro.core.qant.QantPricingAgent` into every (adopting)
+server node and drives the paper's negotiation: the client asks the
+candidate servers, each offers iff its remaining supply vector covers the
+query's class, and the client accepts the best offer (earliest estimated
+completion).  If every server refuses, the query re-enters next period's
+demand — exactly step 4 and the resubmission rule of Section 3.3.
+
+Two paper-motivated options are exposed:
+
+* ``adopters`` — run QA-NT on only a subset of nodes (Section 4 claims the
+  mechanism still helps when partially deployed; ablation A3).  Non-adopting
+  nodes behave greedily: they always offer.
+* ``activation_threshold`` — Section 5.1 suggests that a deployment
+  "properly track query prices but only use them to calculate the nodes'
+  query supply vectors if they are above a specific threshold".  Each node
+  therefore runs the full price dynamics at all times, but *enforces* its
+  supply vector (i.e. actually refuses requests) only while one of its
+  prices exceeds the threshold — high prices are the decentralised
+  overload signal.  Below the threshold a node accepts any feasible
+  request, eliminating the integer-rounding penalty at light load the
+  paper discusses.  Pass ``None`` to always enforce (the raw Section 3.3
+  algorithm, used by the rounding ablation).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Optional, Set
+
+from ..core.classification import (
+    PrivatelyClassifiedAgent,
+    cost_band_classification,
+)
+from ..core.qant import QantParameters, QantPricingAgent
+from ..core.supply import CapacitySupplySet
+from ..query.model import Query
+from .base import Allocator, AssignmentDecision
+
+__all__ = [
+    "QantAllocator",
+]
+
+
+class QantAllocator(Allocator):
+    """The paper's decentralised query-market mechanism."""
+
+    name = "qa-nt"
+    respects_autonomy = True
+    distributed = True
+
+    #: Default per-node price level above which supply vectors are
+    #: enforced: with the default lambda of 0.1, a class reaches it after
+    #: roughly seven net refusals — a sustained-overload signal.
+    DEFAULT_ACTIVATION_THRESHOLD = 2.0
+
+    #: Default backlog allowance: the period length plus twice the node's
+    #: largest class cost.  One max-cost of headroom guarantees an idle
+    #: node can always admit its biggest query (otherwise integer supply
+    #: rounds long queries to zero — the Section 5.1 rounding issue); the
+    #: second softens retry quantisation under bursty loads.  Measured in
+    #: the allowance ablation.
+    DEFAULT_ALLOWANCE_FACTOR = 2.0
+
+    def __init__(
+        self,
+        parameters: Optional[QantParameters] = None,
+        adopters: Optional[Iterable[int]] = None,
+        activation_threshold: Optional[float] = DEFAULT_ACTIVATION_THRESHOLD,
+        queue_allowance_ms: Optional[float] = None,
+        allowance_factor: float = DEFAULT_ALLOWANCE_FACTOR,
+        max_offer_premium: Optional[float] = None,
+        private_buckets: Optional[int] = None,
+    ):
+        """``queue_allowance_ms`` bounds each node's committed backlog: a
+        node sells supply only up to ``allowance - current_backlog`` per
+        period.  The default allowance is the period length plus the
+        node's largest class cost, which guarantees an idle node can
+        always admit at least one query of any class it holds data for —
+        otherwise per-period integer supply rounds long queries to zero
+        (the paper's Section 5.1 rounding discussion)."""
+        super().__init__()
+        self._params = parameters or QantParameters()
+        self._adopters: Optional[Set[int]] = (
+            set(adopters) if adopters is not None else None
+        )
+        if allowance_factor <= 0:
+            raise ValueError("allowance factor must be positive")
+        self._activation_threshold = activation_threshold
+        self._queue_allowance_ms = queue_allowance_ms
+        self._allowance_factor = allowance_factor
+        self._max_offer_premium = max_offer_premium
+        if private_buckets is not None and private_buckets <= 0:
+            raise ValueError("private_buckets must be positive")
+        #: When set, every node prices its *own* coarse classification of
+        #: the query classes (Section 3.3's autonomy-preserving option)
+        #: with this many cost bands, instead of the global class set.
+        self._private_buckets = private_buckets
+        self._agents: Dict[int, object] = {}
+        self._allowances: Dict[int, float] = {}
+
+    @property
+    def agents(self) -> Dict[int, QantPricingAgent]:
+        """The per-node pricing agents (adopting nodes only)."""
+        return self._agents
+
+    def _is_adopter(self, node_id: int) -> bool:
+        return self._adopters is None or node_id in self._adopters
+
+    def _after_bind(self) -> None:
+        for node_id, node in self.context.nodes.items():
+            if not self._is_adopter(node_id):
+                continue
+            if self._queue_allowance_ms is not None:
+                allowance = self._queue_allowance_ms
+            else:
+                max_cost = max(
+                    (c for c in node.class_costs_ms if not math.isinf(c)),
+                    default=0.0,
+                )
+                allowance = (
+                    self.context.period_ms + self._allowance_factor * max_cost
+                )
+            self._allowances[node_id] = allowance
+            if self._private_buckets is None:
+                self._agents[node_id] = QantPricingAgent(
+                    node.make_supply_set(self.context.period_ms),
+                    parameters=self._params,
+                )
+            else:
+                scheme = cost_band_classification(
+                    node.class_costs_ms, self._private_buckets
+                )
+                self._agents[node_id] = PrivatelyClassifiedAgent(
+                    scheme,
+                    node.class_costs_ms,
+                    self.context.period_ms,
+                    parameters=self._params,
+                )
+        self.on_period_start()
+
+    def on_period_start(self) -> None:
+        """Step 2 of QA-NT at every node: re-solve eq. 4.
+
+        The supply set is rebuilt each period with the node's *free*
+        backlog allowance (allowance minus outstanding queued work), so a
+        node with a committed queue does not sell time it no longer has,
+        while an idle node can always admit its largest query.
+        """
+        for node_id, agent in self._agents.items():
+            node = self.context.nodes[node_id]
+            if agent.in_period:
+                # Steps 12-14: unsold supply lowers prices before the new
+                # period's supply vector is computed.
+                agent.end_period()
+            free_ms = max(
+                0.0, self._allowances[node_id] - node.current_load_ms()
+            )
+            if isinstance(agent, PrivatelyClassifiedAgent):
+                agent.rebind_capacity(free_ms)
+            else:
+                agent.rebind_supply_set(
+                    CapacitySupplySet(node.class_costs_ms, free_ms)
+                )
+            agent.begin_period()
+
+    def assign(self, query: Query) -> AssignmentDecision:
+        candidates = self.context.available_candidates(query.class_index)
+        if not candidates:
+            return AssignmentDecision(node_id=None)
+        delay, messages = self._probe_all(candidates)
+
+        offers = []
+        for node_id in candidates:
+            agent = self._agents.get(node_id)
+            if agent is None:
+                # Non-adopting node: always offers (greedy behaviour).
+                offers.append(node_id)
+                continue
+            # The price dynamics run unconditionally (refusals must keep
+            # adjusting prices so the overload signal can form)...
+            offering = agent.would_offer(query.class_index)
+            # ...but the supply vector is only *enforced* while the node's
+            # prices signal overload (Section 5.1 threshold rule).
+            if offering or not self._node_enforcing(agent):
+                offers.append(node_id)
+        offers = self._filter_premium(offers, candidates, query.class_index)
+        if not offers:
+            return AssignmentDecision(
+                node_id=None, delay_ms=delay, messages=messages
+            )
+        chosen = self._best_offer(offers, query.class_index)
+        agent = self._agents.get(chosen)
+        if agent is not None and agent.remaining_supply[query.class_index] >= 1:
+            agent.accept(query.class_index)
+        return AssignmentDecision(chosen, delay_ms=delay, messages=messages)
+
+    # -- internals ------------------------------------------------------------------
+
+    def _best_offer(self, offers, class_index: int) -> int:
+        """Pick the offering node with the earliest estimated completion."""
+        nodes = self.context.nodes
+        return min(
+            offers,
+            key=lambda nid: (
+                nodes[nid].estimated_completion_ms(class_index),
+                nid,
+            ),
+        )
+
+    def _filter_premium(self, offers, candidates, class_index: int):
+        """Drop offers whose execution time is beyond the premium cap.
+
+        The client already holds every candidate's execution-time estimate
+        from the probe round; declining an offer more than
+        ``max_offer_premium`` times the class's best estimate and retrying
+        next period is preferable to committing to a far-inferior mirror.
+        """
+        if self._max_offer_premium is None or not offers:
+            return offers
+        nodes = self.context.nodes
+        best_exec = min(
+            nodes[nid].execution_time_ms(class_index) for nid in candidates
+        )
+        cap = best_exec * self._max_offer_premium
+        return [
+            nid
+            for nid in offers
+            if nodes[nid].execution_time_ms(class_index) <= cap
+        ]
+
+    def _node_enforcing(self, agent: QantPricingAgent) -> bool:
+        """Whether this node currently enforces its supply vector.
+
+        Decentralised: the decision uses only the node's own prices.
+        """
+        if self._activation_threshold is None:
+            return True
+        return max(agent.prices.values) >= self._activation_threshold

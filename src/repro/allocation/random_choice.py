@@ -1,0 +1,33 @@
+"""Random allocation: the commercial cluster client-level baseline.
+
+Clients pick a uniformly random candidate server per query.  Works
+acceptably in homogeneous clusters; in heterogeneous federations it
+"assigned equal amounts of queries to all nodes" and performed worst in
+the paper's Figure 4 (together with round-robin).
+"""
+
+from __future__ import annotations
+
+from ..query.model import Query
+from .base import Allocator, AssignmentDecision
+
+__all__ = [
+    "RandomAllocator",
+]
+
+
+class RandomAllocator(Allocator):
+    """Uniformly random candidate choice."""
+
+    name = "random"
+    respects_autonomy = True
+    distributed = True
+
+    def assign(self, query: Query) -> AssignmentDecision:
+        candidates = self.context.available_candidates(query.class_index)
+        if not candidates:
+            return AssignmentDecision(node_id=None)
+        chosen = self.context.rng.choice(list(candidates))
+        # One request/ack exchange with the chosen server only.
+        delay = self.context.network.round_trip_ms(1)
+        return AssignmentDecision(chosen, delay_ms=delay, messages=2)

@@ -1,0 +1,47 @@
+"""Round-robin allocation: the other commercial client-level baseline.
+
+Each client cycles through the candidate servers of a class in id order.
+Like :class:`repro.allocation.random_choice.RandomAllocator`, it spreads
+queries evenly and therefore mis-serves heterogeneous federations (paper
+Figure 4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..query.model import Query
+from .base import Allocator, AssignmentDecision
+
+__all__ = [
+    "RoundRobinAllocator",
+]
+
+
+class RoundRobinAllocator(Allocator):
+    """Cycle through candidates, independently per (client, class)."""
+
+    name = "round-robin"
+    respects_autonomy = True
+    distributed = True
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._cursors: Dict[Tuple[int, int], int] = {}
+
+    def assign(self, query: Query) -> AssignmentDecision:
+        candidates = self.context.available_candidates(query.class_index)
+        if not candidates:
+            return AssignmentDecision(node_id=None)
+        key = (query.origin_node, query.class_index)
+        cursor = self._cursors.get(key)
+        if cursor is None:
+            # Independent clients start their cycles at random offsets;
+            # without this every client hammers the same low-id server
+            # first, which is a synchronisation artefact rather than the
+            # behaviour of the commercial client-level mechanism.
+            cursor = self.context.rng.randrange(len(candidates))
+        chosen = candidates[cursor % len(candidates)]
+        self._cursors[key] = cursor + 1
+        delay = self.context.network.round_trip_ms(1)
+        return AssignmentDecision(chosen, delay_ms=delay, messages=2)

@@ -1,0 +1,44 @@
+"""Two-random-probes allocation (Mitzenmacher, cited as [10]).
+
+Probe two candidate servers chosen uniformly at random and send the query
+to the one with the lower current load.  Needs very few messages and beats
+round-robin by exploiting a little randomness, but (as the paper's Figure 4
+shows) still fails to fully balance a heterogeneous federation, ending up
+between round-robin and BNQRD.
+"""
+
+from __future__ import annotations
+
+from ..query.model import Query
+from .base import Allocator, AssignmentDecision
+
+__all__ = [
+    "TwoRandomProbesAllocator",
+]
+
+
+class TwoRandomProbesAllocator(Allocator):
+    """Probe two random candidates; pick the less loaded one."""
+
+    name = "two-probes"
+    respects_autonomy = True
+    distributed = True
+
+    def assign(self, query: Query) -> AssignmentDecision:
+        candidates = self.context.available_candidates(query.class_index)
+        if not candidates:
+            return AssignmentDecision(node_id=None)
+        rng = self.context.rng
+        pool = list(candidates)
+        if len(pool) == 1:
+            probes = pool
+        else:
+            probes = rng.sample(pool, 2)
+        delay, messages = self._probe_all(probes)
+        nodes = self.context.nodes
+        # Probes return a queue-length count — cheap to serve, but blind
+        # to how expensive the queued work (or this query) is on the
+        # probed machine, which is what caps this mechanism's performance
+        # in heterogeneous federations (Figure 4).
+        chosen = min(probes, key=lambda nid: (nodes[nid].queued_queries(), nid))
+        return AssignmentDecision(chosen, delay_ms=delay, messages=messages)

@@ -1,0 +1,20 @@
+"""Synthetic federated catalog: relations, mirrors, and node placement."""
+
+from .generator import (
+    CatalogParameters,
+    generate_catalog,
+    generate_catalog_and_placement,
+    generate_placement,
+)
+from .placement import Placement
+from .schema import Catalog, Relation
+
+__all__ = [
+    "Catalog",
+    "CatalogParameters",
+    "Placement",
+    "Relation",
+    "generate_catalog",
+    "generate_catalog_and_placement",
+    "generate_placement",
+]

@@ -1,0 +1,119 @@
+"""Synthetic catalog and placement generation (Table 3 parameters).
+
+Defaults reproduce the paper's simulated dataset: 1,000 relations of
+1–20 MB with 10 attributes, bundled and mirrored so each relation has ≈5
+copies and each of the 100 nodes holds ≈50 relations.  See
+:mod:`repro.catalog.placement` for why placement is bundle-based.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from .placement import Placement
+from .schema import Catalog, Relation
+
+__all__ = [
+    "CatalogParameters",
+    "generate_catalog",
+    "generate_placement",
+    "generate_catalog_and_placement",
+]
+
+
+@dataclass(frozen=True)
+class CatalogParameters:
+    """Knobs of the synthetic dataset (defaults = paper Table 3)."""
+
+    num_relations: int = 1000
+    min_size_mb: float = 1.0
+    max_size_mb: float = 20.0
+    num_attributes: int = 10
+    num_nodes: int = 100
+    #: Relations per bundle; bundles are the unit of mirroring.
+    bundle_size: int = 10
+    #: Copies of each bundle (hence of each relation); paper average is 5.
+    mirrors: int = 5
+    #: Nodes are partitioned into this many groups; a bundle's mirrors all
+    #: land inside one group, creating overlapping eligibility sets.
+    num_groups: int = 10
+
+    def __post_init__(self) -> None:
+        if self.num_relations <= 0 or self.num_nodes <= 0:
+            raise ValueError("need at least one relation and one node")
+        if not 0 < self.min_size_mb <= self.max_size_mb:
+            raise ValueError("invalid relation size range")
+        if self.bundle_size <= 0:
+            raise ValueError("bundle size must be positive")
+        if self.mirrors <= 0:
+            raise ValueError("mirrors must be positive")
+        if self.num_groups <= 0 or self.num_groups > self.num_nodes:
+            raise ValueError("num_groups must be in [1, num_nodes]")
+
+
+def generate_catalog(
+    params: CatalogParameters, seed: int = 0
+) -> Catalog:
+    """Generate ``params.num_relations`` relations with uniform sizes."""
+    rng = random.Random(seed)
+    relations = [
+        Relation(
+            rid=rid,
+            name="rel_%04d" % rid,
+            size_mb=rng.uniform(params.min_size_mb, params.max_size_mb),
+            num_attributes=params.num_attributes,
+        )
+        for rid in range(params.num_relations)
+    ]
+    return Catalog(relations)
+
+
+def generate_placement(
+    catalog: Catalog, params: CatalogParameters, seed: int = 0
+) -> Placement:
+    """Place bundles of relations onto node groups (see module docstring)."""
+    rng = random.Random(seed + 1)
+    node_groups = _partition_nodes(params, rng)
+    bundles = _partition_relations(catalog, params)
+
+    holdings: Dict[int, Set[int]] = {n: set() for n in range(params.num_nodes)}
+    for bundle_index, bundle in enumerate(bundles):
+        group = node_groups[bundle_index % len(node_groups)]
+        copies = min(params.mirrors, len(group))
+        for node in rng.sample(group, copies):
+            holdings[node].update(bundle)
+    return Placement(holdings)
+
+
+def generate_catalog_and_placement(
+    params: CatalogParameters, seed: int = 0
+) -> Tuple[Catalog, Placement]:
+    """Generate a catalog and its placement with one call."""
+    catalog = generate_catalog(params, seed)
+    placement = generate_placement(catalog, params, seed)
+    return catalog, placement
+
+
+def _partition_nodes(
+    params: CatalogParameters, rng: random.Random
+) -> List[List[int]]:
+    """Randomly partition node ids into ``num_groups`` near-equal groups."""
+    nodes = list(range(params.num_nodes))
+    rng.shuffle(nodes)
+    groups: List[List[int]] = [[] for __ in range(params.num_groups)]
+    for index, node in enumerate(nodes):
+        groups[index % params.num_groups].append(node)
+    return groups
+
+
+def _partition_relations(
+    catalog: Catalog, params: CatalogParameters
+) -> List[List[int]]:
+    """Chop relation ids into consecutive bundles of ``bundle_size``."""
+    rids = catalog.relation_ids
+    return [
+        rids[start : start + params.bundle_size]
+        for start in range(0, len(rids), params.bundle_size)
+    ]

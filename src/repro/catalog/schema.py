@@ -1,0 +1,87 @@
+"""Relational catalog: relations, their sizes, and lookup.
+
+The paper's simulated dataset (Table 3) consists of 1,000 relations of
+1–20 MB (average 10.5 MB) with 10 attributes each, mirrored ~5x across the
+100 nodes.  This module holds the static schema objects; random generation
+lives in :mod:`repro.catalog.generator` and node placement in
+:mod:`repro.catalog.placement`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List
+
+__all__ = [
+    "Relation",
+    "Catalog",
+]
+
+#: Assumed width of one attribute in bytes, used to derive tuple counts
+#: from relation sizes for the CPU component of the cost model.
+BYTES_PER_ATTRIBUTE = 20
+
+
+@dataclass(frozen=True)
+class Relation:
+    """One base relation of the common federated schema."""
+
+    rid: int
+    name: str
+    size_mb: float
+    num_attributes: int = 10
+
+    def __post_init__(self) -> None:
+        if self.size_mb <= 0:
+            raise ValueError("relation size must be positive")
+        if self.num_attributes <= 0:
+            raise ValueError("relation must have at least one attribute")
+
+    @property
+    def tuple_bytes(self) -> int:
+        """Width of one tuple in bytes."""
+        return self.num_attributes * BYTES_PER_ATTRIBUTE
+
+    @property
+    def num_tuples(self) -> int:
+        """Cardinality derived from size and tuple width."""
+        return max(1, int(self.size_mb * 1_000_000 / self.tuple_bytes))
+
+
+class Catalog:
+    """An immutable collection of relations keyed by relation id."""
+
+    def __init__(self, relations: Iterable[Relation]):
+        self._relations: Dict[int, Relation] = {}
+        for relation in relations:
+            if relation.rid in self._relations:
+                raise ValueError("duplicate relation id %d" % relation.rid)
+            self._relations[relation.rid] = relation
+        if not self._relations:
+            raise ValueError("a catalog needs at least one relation")
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def __iter__(self) -> Iterator[Relation]:
+        return iter(self._relations.values())
+
+    def __contains__(self, rid: int) -> bool:
+        return rid in self._relations
+
+    def get(self, rid: int) -> Relation:
+        """The relation with id ``rid`` (KeyError if absent)."""
+        return self._relations[rid]
+
+    @property
+    def relation_ids(self) -> List[int]:
+        """All relation ids, ascending."""
+        return sorted(self._relations)
+
+    def total_size_mb(self) -> float:
+        """Sum of all relation sizes."""
+        return sum(r.size_mb for r in self._relations.values())
+
+    def average_size_mb(self) -> float:
+        """Mean relation size (paper reports 10.5 MB)."""
+        return self.total_size_mb() / len(self._relations)

@@ -1,0 +1,195 @@
+"""Command-line interface: regenerate any paper artefact from a shell.
+
+Usage::
+
+    python -m repro list
+    python -m repro run fig1
+    python -m repro run fig4 --scale paper --seed 3
+    python -m repro run all --scale small
+
+``--scale small`` (default) runs each experiment on a reduced federation
+that finishes in seconds-to-minutes; ``--scale paper`` uses the paper's
+full dimensions (100 nodes, 10,000 queries) and can take much longer.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, Optional, Sequence
+
+from .experiments import (
+    run_fig1,
+    run_fig2,
+    run_fig3,
+    run_fig4,
+    run_fig5a,
+    run_fig5b,
+    run_fig5c,
+    run_fig6,
+    run_fig7,
+    run_lambda_sweep,
+    run_partial_adoption,
+    run_period_sweep,
+    run_rounding_ablation,
+    run_static_markov,
+    run_table2,
+    run_table3,
+)
+from .experiments.failures import run_failures
+from .experiments.setups import zipf_world
+
+__all__ = ["main", "EXPERIMENTS"]
+
+
+def _fig3(scale: str, seed: int):
+    return run_fig3(horizon_ms=40_000.0, q1_peak_rate_per_ms=0.05, seed=seed)
+
+
+def _fig4(scale: str, seed: int):
+    nodes = 100 if scale == "paper" else 30
+    horizon = 120_000.0 if scale == "paper" else 60_000.0
+    return run_fig4(num_nodes=nodes, horizon_ms=horizon, seed=seed)
+
+
+def _fig5a(scale: str, seed: int):
+    loads = (
+        (0.1, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0)
+        if scale == "paper"
+        else (0.25, 0.75, 1.5, 3.0)
+    )
+    nodes = 100 if scale == "paper" else 30
+    return run_fig5a(loads=loads, num_nodes=nodes, seed=seed)
+
+
+def _fig5b(scale: str, seed: int):
+    freqs = (
+        (0.05, 0.1, 0.25, 0.5, 1.0, 2.0)
+        if scale == "paper"
+        else (0.05, 0.5, 2.0)
+    )
+    nodes = 100 if scale == "paper" else 30
+    return run_fig5b(frequencies_hz=freqs, num_nodes=nodes, seed=seed)
+
+
+def _fig5c(scale: str, seed: int):
+    nodes = 100 if scale == "paper" else 30
+    return run_fig5c(num_nodes=nodes, seed=seed)
+
+
+def _fig6(scale: str, seed: int):
+    if scale == "paper":
+        return run_fig6(seed=seed)
+    return run_fig6(
+        interarrivals_ms=(1_000.0, 10_000.0, 17_000.0),
+        num_nodes=30,
+        num_relations=300,
+        num_classes=30,
+        max_queries=2_500,
+        horizon_ms=200_000.0,
+        seed=seed,
+    )
+
+
+def _fig7(scale: str, seed: int):
+    queries = 300 if scale == "paper" else 100
+    return run_fig7(num_queries=queries, seed=seed)
+
+
+def _table2(scale: str, seed: int):
+    nodes = 100 if scale == "paper" else 30
+    return run_table2(num_nodes=nodes, horizon_ms=60_000.0, seed=seed)
+
+
+def _table3(scale: str, seed: int):
+    if scale == "paper":
+        return run_table3(seed=seed)
+    world = zipf_world(
+        num_nodes=30, num_relations=300, num_classes=30, seed=seed
+    )
+    return run_table3(world=world)
+
+
+def _failures(scale: str, seed: int):
+    nodes = 100 if scale == "paper" else 30
+    return run_failures(num_nodes=nodes, seed=seed)
+
+
+#: Registry: experiment name -> callable(scale, seed) returning an object
+#: with a ``render()`` method.
+EXPERIMENTS: Dict[str, Callable[[str, int], object]] = {
+    "fig1": lambda scale, seed: run_fig1(),
+    "fig2": lambda scale, seed: run_fig2(),
+    "fig3": _fig3,
+    "fig4": _fig4,
+    "fig5a": _fig5a,
+    "fig5b": _fig5b,
+    "fig5c": _fig5c,
+    "fig6": _fig6,
+    "fig7": _fig7,
+    "table2": _table2,
+    "table3": _table3,
+    "ablation-lambda": lambda scale, seed: run_lambda_sweep(
+        num_nodes=20, seed=seed
+    ),
+    "ablation-period": lambda scale, seed: run_period_sweep(
+        num_nodes=20, seed=seed
+    ),
+    "ablation-partial": lambda scale, seed: run_partial_adoption(
+        num_nodes=20, seed=seed
+    ),
+    "ablation-markov": lambda scale, seed: run_static_markov(
+        num_nodes=20, seed=seed
+    ),
+    "ablation-rounding": lambda scale, seed: run_rounding_ablation(
+        num_nodes=20, seed=seed
+    ),
+    "failures": _failures,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the paper's tables and figures.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+    commands.add_parser("list", help="list available experiments")
+    run = commands.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="experiment id (see 'list')",
+    )
+    run.add_argument(
+        "--scale",
+        choices=("small", "paper"),
+        default="small",
+        help="federation/workload size (default: small)",
+    )
+    run.add_argument("--seed", type=int, default=0, help="random seed")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        for name in sorted(EXPERIMENTS):
+            print(name)
+        return 0
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        started = time.time()
+        result = EXPERIMENTS[name](args.scale, args.seed)
+        elapsed = time.time() - started
+        print("=== %s (%.1fs) ===" % (name, elapsed))
+        print(result.render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,71 @@
+"""The paper's primary contribution: query markets and the QA-NT mechanism.
+
+Layered as:
+
+* :mod:`repro.core.vectors` — demand/consumption/supply vector algebra;
+* :mod:`repro.core.preferences` — node preference relations;
+* :mod:`repro.core.pareto` — Pareto dominance/optimality of allocations;
+* :mod:`repro.core.supply` — supply sets and the seller's problem (eq. 4);
+* :mod:`repro.core.market` — prices, excess demand, equilibrium;
+* :mod:`repro.core.tatonnement` — the centralised umpire baseline;
+* :mod:`repro.core.qant` — the decentralised QA-NT pricing agent;
+* :mod:`repro.core.welfare` — FTWE checks and a synchronous economy.
+"""
+
+from .classification import (
+    ClassificationScheme,
+    PrivatelyClassifiedAgent,
+    cost_band_classification,
+)
+from .equity import (
+    equitable_allocation,
+    equitable_consumptions,
+    jain_fairness_index,
+    utility_spread,
+)
+from .market import PriceVector, excess_demand, is_equilibrium
+from .pareto import Allocation, is_pareto_optimal, pareto_dominates, pareto_front
+from .preferences import (
+    PreferenceRelation,
+    ThroughputPreference,
+    WeightedThroughputPreference,
+)
+from .qant import QantParameters, QantPeriodStats, QantPricingAgent
+from .supply import CapacitySupplySet, ExplicitSupplySet, SupplySet, solve_supply
+from .tatonnement import TatonnementResult, TatonnementUmpire
+from .vectors import QueryVector, aggregate
+from .welfare import QueryMarketEconomy, ftwe_allocation, verify_ftwe
+
+__all__ = [
+    "Allocation",
+    "CapacitySupplySet",
+    "ClassificationScheme",
+    "PrivatelyClassifiedAgent",
+    "cost_band_classification",
+    "ExplicitSupplySet",
+    "PreferenceRelation",
+    "PriceVector",
+    "QantParameters",
+    "QantPeriodStats",
+    "QantPricingAgent",
+    "QueryMarketEconomy",
+    "QueryVector",
+    "SupplySet",
+    "TatonnementResult",
+    "TatonnementUmpire",
+    "ThroughputPreference",
+    "WeightedThroughputPreference",
+    "aggregate",
+    "equitable_allocation",
+    "equitable_consumptions",
+    "excess_demand",
+    "jain_fairness_index",
+    "utility_spread",
+    "ftwe_allocation",
+    "is_equilibrium",
+    "is_pareto_optimal",
+    "pareto_dominates",
+    "pareto_front",
+    "solve_supply",
+    "verify_ftwe",
+]

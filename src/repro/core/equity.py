@@ -1,0 +1,168 @@
+"""Equitable allocation — the paper's first future-work item (Section 6).
+
+The paper's conclusion proposes extending QA-NT with "the constraint of
+equitable allocation, in which the utility (satisfaction) of all nodes is
+equalized".  This module implements that extension for the consumption
+side of the market: given the aggregate supply the sellers produced,
+distribute it to consuming nodes by *progressive filling* (max-min
+fairness) instead of first-come-first-served.
+
+Progressive filling repeatedly grants one more query to a node with the
+currently lowest utility that still has unmet demand, so at termination
+no node's utility can be raised without lowering that of a node that is
+already weakly worse off — the classic max-min fair point.  Because every
+unit of supply that some node demands is eventually handed out, the
+result remains Pareto optimal under throughput preferences; fairness only
+picks *which* Pareto-optimal allocation the market settles on (this is
+the Second Welfare Theorem remark of Section 3.3 in action).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from .pareto import Allocation
+from .preferences import PreferenceRelation, ThroughputPreference
+from .vectors import QueryVector, aggregate
+
+__all__ = [
+    "equitable_consumptions",
+    "equitable_allocation",
+    "utility_spread",
+    "jain_fairness_index",
+]
+
+
+def equitable_consumptions(
+    supply: QueryVector,
+    demands: Sequence[QueryVector],
+    preferences: Optional[Sequence[PreferenceRelation]] = None,
+) -> List[QueryVector]:
+    """Distribute ``supply`` to consumers by progressive filling.
+
+    Each round, the node with the lowest current utility (among nodes
+    with unmet demand that the remaining supply can serve) receives one
+    query of its scarcest demanded class.  Ties break towards the lower
+    node index, making the result deterministic.
+    """
+    num_nodes = len(demands)
+    if num_nodes == 0:
+        raise ValueError("need at least one consuming node")
+    num_classes = supply.num_classes
+    if any(d.num_classes != num_classes for d in demands):
+        raise ValueError("demand vectors cover a different number of classes")
+    if preferences is None:
+        shared = ThroughputPreference()
+        prefs: Sequence[PreferenceRelation] = [shared] * num_nodes
+    elif len(preferences) != num_nodes:
+        raise ValueError("need exactly one preference per node")
+    else:
+        prefs = preferences
+
+    remaining_supply = list(supply.components)
+    consumed = [[0.0] * num_classes for __ in range(num_nodes)]
+    unmet = [list(d.components) for d in demands]
+
+    while True:
+        grant = _next_grant(remaining_supply, unmet, consumed, prefs)
+        if grant is None:
+            break
+        node, class_index = grant
+        consumed[node][class_index] += 1.0
+        unmet[node][class_index] -= 1.0
+        remaining_supply[class_index] -= 1.0
+    return [QueryVector(c) for c in consumed]
+
+
+def _next_grant(
+    remaining_supply: List[float],
+    unmet: List[List[float]],
+    consumed: List[List[float]],
+    prefs: Sequence[PreferenceRelation],
+) -> Optional[Tuple[int, int]]:
+    """The (node, class) receiving the next unit, or None when done."""
+    best: Optional[Tuple[float, int, int]] = None
+    for node, node_unmet in enumerate(unmet):
+        servable = [
+            k
+            for k, want in enumerate(node_unmet)
+            if want >= 1.0 and remaining_supply[k] >= 1.0
+        ]
+        if not servable:
+            continue
+        utility = prefs[node].utility(QueryVector(consumed[node]))
+        # Scarcest class first: least remaining aggregate supply.
+        class_index = min(servable, key=lambda k: (remaining_supply[k], k))
+        key = (utility, node, class_index)
+        if best is None or key < best:
+            best = key
+    if best is None:
+        return None
+    return best[1], best[2]
+
+
+def equitable_allocation(
+    supplies: Sequence[QueryVector],
+    demands: Sequence[QueryVector],
+    preferences: Optional[Sequence[PreferenceRelation]] = None,
+) -> Allocation:
+    """An :class:`Allocation` whose consumptions are max-min fair.
+
+    Suppliers and consumers need not be the same nodes: the shorter of
+    the two lists is padded with zero vectors so the allocation covers
+    every participating node (a pure client supplies nothing; a pure
+    server consumes nothing).
+    """
+    consumptions = equitable_consumptions(
+        aggregate(supplies), demands, preferences
+    )
+    num_classes = consumptions[0].num_classes
+    padded_supplies = list(supplies)
+    padded_consumptions = list(consumptions)
+    while len(padded_supplies) < len(padded_consumptions):
+        padded_supplies.append(QueryVector.zeros(num_classes))
+    while len(padded_consumptions) < len(padded_supplies):
+        padded_consumptions.append(QueryVector.zeros(num_classes))
+    return Allocation(
+        supplies=tuple(padded_supplies),
+        consumptions=tuple(padded_consumptions),
+    )
+
+
+def utility_spread(
+    allocation: Allocation,
+    preferences: Optional[Sequence[PreferenceRelation]] = None,
+) -> float:
+    """Max minus min node utility — zero means perfectly equalised."""
+    if preferences is None:
+        shared = ThroughputPreference()
+        preferences = [shared] * allocation.num_nodes
+    utilities = [
+        pref.utility(consumption)
+        for pref, consumption in zip(preferences, allocation.consumptions)
+    ]
+    return max(utilities) - min(utilities)
+
+
+def jain_fairness_index(
+    allocation: Allocation,
+    preferences: Optional[Sequence[PreferenceRelation]] = None,
+) -> float:
+    """Jain's fairness index over node utilities (1.0 = perfectly fair).
+
+    ``J = (sum u_i)^2 / (n * sum u_i^2)``; ranges from ``1/n`` (one node
+    gets everything) to 1 (all equal).  An all-zero allocation is vacuously
+    fair.
+    """
+    if preferences is None:
+        shared = ThroughputPreference()
+        preferences = [shared] * allocation.num_nodes
+    utilities = [
+        pref.utility(consumption)
+        for pref, consumption in zip(preferences, allocation.consumptions)
+    ]
+    total = sum(utilities)
+    squares = sum(u * u for u in utilities)
+    if squares == 0:
+        return 1.0
+    return (total * total) / (len(utilities) * squares)

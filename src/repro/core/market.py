@@ -1,0 +1,161 @@
+"""Virtual query markets: prices, excess demand, equilibrium (Defs. 2–3).
+
+Queries are the traded commodities and each class *k* carries a virtual
+price ``p_k`` in an internal monetary unit.  The *excess demand* for class
+*k* at prices ``p`` is ``z_k(p) = sum_i d_ik - s_ik`` (Definition 2), and the
+market is in *competitive equilibrium* when ``z(p*) = 0`` (Definition 3) —
+at which point, by the First Theorem of Welfare Economics, the induced
+allocation is Pareto optimal.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Iterator, Sequence, Tuple
+
+from .supply import SupplySet
+from .vectors import QueryVector, aggregate
+
+__all__ = [
+    "PriceVector",
+    "excess_demand",
+    "market_excess_demand",
+    "is_equilibrium",
+]
+
+#: Default tolerance when judging whether excess demand has vanished.
+EQUILIBRIUM_TOLERANCE = 1e-6
+
+
+class PriceVector:
+    """An immutable vector of non-negative virtual prices, one per class.
+
+    Prices are virtual: they are private to the pricing mechanism and never
+    leave a node (paper Section 3.3), so this class makes no attempt to
+    model currency transfer — only valuation and adjustment.
+    """
+
+    __slots__ = ("_prices",)
+
+    def __init__(self, prices: Iterable[float]):
+        values = tuple(float(p) for p in prices)
+        for price in values:
+            if not math.isfinite(price):
+                raise ValueError("prices must be finite")
+            if price < 0:
+                raise ValueError("prices must be non-negative")
+        if not values:
+            raise ValueError("a price vector must cover at least one class")
+        self._prices = values
+
+    @classmethod
+    def uniform(cls, num_classes: int, price: float = 1.0) -> "PriceVector":
+        """All classes priced at ``price`` — the usual starting point."""
+        return cls((price,) * num_classes)
+
+    @property
+    def num_classes(self) -> int:
+        """Number of query classes ``K``."""
+        return len(self._prices)
+
+    def __len__(self) -> int:
+        return len(self._prices)
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self._prices)
+
+    def __getitem__(self, index: int) -> float:
+        return self._prices[index]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, PriceVector):
+            return self._prices == other._prices
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._prices)
+
+    def __repr__(self) -> str:
+        return "PriceVector(%s)" % (self._prices,)
+
+    @property
+    def values(self) -> Tuple[float, ...]:
+        """The underlying tuple of prices."""
+        return self._prices
+
+    def value_of(self, vector: QueryVector) -> float:
+        """Virtual value ``p . v`` of a demand/supply/consumption vector."""
+        return vector.dot(self._prices)
+
+    def adjusted(
+        self, excess: Sequence[float], step: float, floor: float = 0.0
+    ) -> "PriceVector":
+        """Tatonnement step (paper eq. 6): ``p' = p + step * z(p)``.
+
+        Prices are clamped at ``floor`` (non-negative) because a negative
+        virtual price would invite infinite supply of a worthless class.
+        """
+        if len(excess) != len(self):
+            raise ValueError("excess-demand length does not match price vector")
+        if step <= 0:
+            raise ValueError("adjustment step must be positive")
+        return PriceVector(
+            max(floor, p + step * z) for p, z in zip(self._prices, excess)
+        )
+
+    def scaled_class(self, index: int, factor: float, floor: float = 0.0) -> "PriceVector":
+        """Return a copy with class ``index`` multiplied by ``factor``.
+
+        This is the multiplicative update QA-NT applies on trading failures
+        (``p_k += lambda*p_k`` on rejection, ``p_k -= s_ik*lambda*p_k`` on
+        unsold supply).
+        """
+        if not 0 <= index < len(self):
+            raise IndexError("class index %d out of range" % index)
+        values = list(self._prices)
+        values[index] = max(floor, values[index] * factor)
+        return PriceVector(values)
+
+
+def excess_demand(
+    demand: QueryVector, supply: QueryVector
+) -> Tuple[float, ...]:
+    """Aggregate excess demand ``z(p) = d - s`` (Definition 2).
+
+    Positive components mark under-supplied classes, negative components
+    over-supplied ones; the result is a plain signed tuple.
+    """
+    return demand.signed_difference(supply)
+
+
+def market_excess_demand(
+    demands: Sequence[QueryVector],
+    supply_sets: Sequence[SupplySet],
+    prices: PriceVector,
+    method: str = "greedy",
+) -> Tuple[float, ...]:
+    """Excess demand of a whole market at ``prices``.
+
+    Each node's optimal supply at ``prices`` is computed via eq. 4 and
+    aggregated; demand is taken as given (the paper's buyers want all their
+    queries answered regardless of virtual prices).
+    """
+    if len(demands) != len(supply_sets):
+        raise ValueError("need exactly one supply set per demanding node")
+    from .supply import solve_supply
+
+    supplies = [solve_supply(s, prices.values, method=method) for s in supply_sets]
+    return excess_demand(aggregate(demands), aggregate(supplies))
+
+
+def is_equilibrium(
+    excess: Sequence[float], tolerance: float = EQUILIBRIUM_TOLERANCE
+) -> bool:
+    """Definition 3: is the market (approximately) cleared?
+
+    Oversupply (negative excess) also violates exact equilibrium, but in the
+    query market oversupply is harmless — it is spare capacity — so the test
+    treats ``z_k <= tolerance`` as cleared, matching the paper's usage where
+    equilibrium means all demanded queries are being evaluated.
+    """
+    return all(z <= tolerance for z in excess)

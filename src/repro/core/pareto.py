@@ -1,0 +1,205 @@
+"""Pareto dominance and Pareto optimality of allocations (paper Def. 1).
+
+An *allocation* (called a *solution* in the paper) assigns each node a
+consumption vector and a supply vector, written ``<[s_i], [c_i]>``.  One
+allocation Pareto-dominates another iff every node weakly prefers its
+consumption in the first and at least one node strictly prefers it.  An
+allocation is Pareto optimal when no feasible allocation dominates it.
+
+The enumeration helpers here are exponential in the problem size and exist
+for verifying small instances (the paper's two-node example, unit tests,
+property-based tests) — the whole point of QA-NT is to reach Pareto optimal
+allocations *without* such enumeration.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from .preferences import PreferenceRelation, ThroughputPreference
+from .vectors import QueryVector, aggregate
+
+__all__ = [
+    "Allocation",
+    "pareto_dominates",
+    "is_pareto_optimal",
+    "pareto_front",
+    "enumerate_allocations",
+]
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """A solution ``<[s_i], [c_i]>`` of the QA problem.
+
+    ``supplies[i]`` and ``consumptions[i]`` are the supply and consumption
+    vectors of node *i*.  The class only stores the solution; feasibility
+    with respect to supply sets is checked by the caller (see
+    :func:`enumerate_allocations`).
+    """
+
+    supplies: Tuple[QueryVector, ...]
+    consumptions: Tuple[QueryVector, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.supplies) != len(self.consumptions):
+            raise ValueError(
+                "allocation must have one supply and one consumption vector "
+                "per node (%d supplies vs %d consumptions)"
+                % (len(self.supplies), len(self.consumptions))
+            )
+        if not self.supplies:
+            raise ValueError("allocation must cover at least one node")
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes ``I`` covered by the allocation."""
+        return len(self.supplies)
+
+    def aggregate_supply(self) -> QueryVector:
+        """System-wide supply ``s = sum_i s_i`` (paper eq. 1)."""
+        return aggregate(self.supplies)
+
+    def aggregate_consumption(self) -> QueryVector:
+        """System-wide consumption ``c = sum_i c_i`` (paper eq. 1)."""
+        return aggregate(self.consumptions)
+
+    def is_market_clearing(self) -> bool:
+        """True iff aggregate supply equals aggregate consumption (eq. 3)."""
+        return self.aggregate_supply() == self.aggregate_consumption()
+
+    def respects_demand(self, demands: Sequence[QueryVector]) -> bool:
+        """True iff every node consumes at most what it demanded."""
+        if len(demands) != self.num_nodes:
+            raise ValueError("demand list length does not match allocation")
+        return all(
+            c.componentwise_le(d) for c, d in zip(self.consumptions, demands)
+        )
+
+    def total_consumed(self) -> float:
+        """Total number of queries consumed across all nodes."""
+        return self.aggregate_consumption().total()
+
+
+def _preferences_for(
+    num_nodes: int,
+    preferences: Optional[Sequence[PreferenceRelation]],
+) -> Sequence[PreferenceRelation]:
+    if preferences is None:
+        shared = ThroughputPreference()
+        return [shared] * num_nodes
+    if len(preferences) != num_nodes:
+        raise ValueError(
+            "expected %d preference relations, got %d"
+            % (num_nodes, len(preferences))
+        )
+    return preferences
+
+
+def pareto_dominates(
+    first: Allocation,
+    second: Allocation,
+    preferences: Optional[Sequence[PreferenceRelation]] = None,
+) -> bool:
+    """Paper Definition 1: does ``first`` Pareto-dominate ``second``?
+
+    Every node must weakly prefer its consumption under ``first`` and at
+    least one node must strictly prefer it.  When ``preferences`` is omitted
+    the paper's throughput preference is used for every node.
+    """
+    if first.num_nodes != second.num_nodes:
+        raise ValueError("allocations cover different numbers of nodes")
+    prefs = _preferences_for(first.num_nodes, preferences)
+    weakly_better_everywhere = all(
+        pref.prefers(c1, c2)
+        for pref, c1, c2 in zip(prefs, first.consumptions, second.consumptions)
+    )
+    strictly_better_somewhere = any(
+        pref.strictly_prefers(c1, c2)
+        for pref, c1, c2 in zip(prefs, first.consumptions, second.consumptions)
+    )
+    return weakly_better_everywhere and strictly_better_somewhere
+
+
+def is_pareto_optimal(
+    candidate: Allocation,
+    alternatives: Iterable[Allocation],
+    preferences: Optional[Sequence[PreferenceRelation]] = None,
+) -> bool:
+    """True iff no allocation in ``alternatives`` dominates ``candidate``.
+
+    ``alternatives`` should enumerate the feasible solution space (it may
+    include ``candidate`` itself — an allocation never dominates itself).
+    """
+    prefs = _preferences_for(candidate.num_nodes, preferences)
+    return not any(
+        pareto_dominates(other, candidate, prefs) for other in alternatives
+    )
+
+
+def pareto_front(
+    allocations: Sequence[Allocation],
+    preferences: Optional[Sequence[PreferenceRelation]] = None,
+) -> List[Allocation]:
+    """All allocations in ``allocations`` not dominated by any other."""
+    if not allocations:
+        return []
+    prefs = _preferences_for(allocations[0].num_nodes, preferences)
+    front = []
+    for candidate in allocations:
+        if not any(
+            pareto_dominates(other, candidate, prefs)
+            for other in allocations
+            if other is not candidate
+        ):
+            front.append(candidate)
+    return front
+
+
+def enumerate_allocations(
+    demands: Sequence[QueryVector],
+    supply_sets: Sequence[Iterable[QueryVector]],
+) -> List[Allocation]:
+    """Enumerate every feasible market-clearing allocation of a tiny instance.
+
+    For each combination of per-node supply vectors (one from each node's
+    supply set) whose aggregate does not exceed aggregate demand, the
+    aggregate supply is distributed to consumers greedily, never exceeding a
+    node's own demand.  Exponential — intended only for verification of
+    instances with a handful of nodes and small supply sets, such as the
+    paper's Figure 1 example.
+    """
+    if len(demands) != len(supply_sets):
+        raise ValueError("need exactly one supply set per node")
+    num_classes = demands[0].num_classes
+    total_demand = aggregate(demands)
+    allocations: List[Allocation] = []
+    for combo in itertools.product(*[list(s) for s in supply_sets]):
+        agg_supply = aggregate(combo)
+        if not agg_supply.componentwise_le(total_demand):
+            continue
+        consumptions = _distribute(agg_supply, demands, num_classes)
+        allocations.append(
+            Allocation(supplies=tuple(combo), consumptions=tuple(consumptions))
+        )
+    return allocations
+
+
+def _distribute(
+    agg_supply: QueryVector,
+    demands: Sequence[QueryVector],
+    num_classes: int,
+) -> List[QueryVector]:
+    """Split aggregate supply into per-node consumptions bounded by demand."""
+    remaining = list(agg_supply.components)
+    consumptions = []
+    for demand in demands:
+        comps = []
+        for k in range(num_classes):
+            take = min(remaining[k], demand[k])
+            comps.append(take)
+            remaining[k] -= take
+        consumptions.append(QueryVector(comps))
+    return consumptions

@@ -1,0 +1,101 @@
+"""Preference relations over consumption vectors (paper Section 2.2).
+
+A preference relation ``>=_i`` of node *i* ranks candidate consumption
+vectors.  The paper assumes throughout that every node simply prefers to
+evaluate as many queries as possible::
+
+    c >=_i c'   iff   sum_k c_k >= sum_k c'_k
+
+but the machinery (Pareto dominance, welfare checks) only needs the abstract
+interface, so other preferences — e.g. weighted by query importance — plug in
+unchanged.  This module defines the abstract interface and the two concrete
+preferences used by the library and its tests.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+from .vectors import QueryVector
+
+__all__ = [
+    "PreferenceRelation",
+    "ThroughputPreference",
+    "WeightedThroughputPreference",
+]
+
+
+class PreferenceRelation(abc.ABC):
+    """Abstract weak preference ``>=_i`` over consumption vectors.
+
+    Implementations must be complete and transitive (a rational preference
+    in the microeconomics sense) for the welfare results to apply.
+    """
+
+    @abc.abstractmethod
+    def utility(self, consumption: QueryVector) -> float:
+        """A numeric utility representing the preference.
+
+        ``prefers`` and ``strictly_prefers`` are derived from this value, so
+        any preference expressible by a utility function is supported —
+        which is exactly the class of continuous rational preferences.
+        """
+
+    def prefers(self, first: QueryVector, second: QueryVector) -> bool:
+        """Weak preference: ``first >=_i second``."""
+        return self.utility(first) >= self.utility(second)
+
+    def strictly_prefers(self, first: QueryVector, second: QueryVector) -> bool:
+        """Strict preference: ``first >_i second``."""
+        return self.utility(first) > self.utility(second)
+
+    def indifferent(self, first: QueryVector, second: QueryVector) -> bool:
+        """Indifference: ``first ~_i second``."""
+        return self.utility(first) == self.utility(second)
+
+
+class ThroughputPreference(PreferenceRelation):
+    """The paper's canonical preference: more queries answered is better.
+
+    ``c >=_i c'  iff  sum_k c_k >= sum_k c'_k`` — node identity does not
+    matter, so a single shared instance can serve every node.
+    """
+
+    def utility(self, consumption: QueryVector) -> float:
+        return consumption.total()
+
+    def __repr__(self) -> str:
+        return "ThroughputPreference()"
+
+
+class WeightedThroughputPreference(PreferenceRelation):
+    """Throughput preference with per-class weights.
+
+    Generalises :class:`ThroughputPreference` (all weights 1).  Useful for
+    modelling nodes that value some query classes more than others, e.g.
+    interactive queries over batch reports.
+    """
+
+    def __init__(self, weights: Sequence[float]):
+        if any(w < 0 for w in weights):
+            raise ValueError("preference weights must be non-negative")
+        if not weights:
+            raise ValueError("weights must be non-empty")
+        self._weights = tuple(float(w) for w in weights)
+
+    @property
+    def weights(self) -> tuple:
+        """The per-class weights."""
+        return self._weights
+
+    def utility(self, consumption: QueryVector) -> float:
+        if len(consumption) != len(self._weights):
+            raise ValueError(
+                "consumption vector has %d classes but preference has %d weights"
+                % (len(consumption), len(self._weights))
+            )
+        return consumption.dot(self._weights)
+
+    def __repr__(self) -> str:
+        return "WeightedThroughputPreference(%r)" % (self._weights,)

@@ -1,0 +1,297 @@
+"""QA-NT: the decentralised non-tatonnement pricing agent (Section 3.3).
+
+One :class:`QantPricingAgent` runs inside every *server* node.  Per time
+period ``tau`` it follows the paper's pseudo-code:
+
+1. solve eq. 4 at the current private prices, obtaining the period's
+   optimal supply vector ``s_i``;
+2. while the period lasts, *immediately* offer to evaluate a requested
+   query of class *k* iff ``s_ik > 0`` (no fairness negotiation) and
+   decrement ``s_ik`` when the offer is accepted;
+3. when a request arrives for a class with no remaining supply, refuse and
+   raise that class's price: ``p_k += lambda * p_k``;
+4. at the period's end, lower the price of every class with unsold supply:
+   ``p_k -= s_ik * lambda * p_k``.
+
+Prices are strictly private — they are never exchanged between nodes — so
+each node may even use its own query classification (paper Section 3.3).
+Trading failures are the *only* price signals, which is what makes the
+process non-tatonnement: trade happens continuously at disequilibrium
+prices rather than waiting for an umpire to clear the market.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from .market import PriceVector
+from .supply import SupplySet, solve_supply
+from .vectors import QueryVector
+
+__all__ = [
+    "QantParameters",
+    "QantPeriodStats",
+    "QantPricingAgent",
+]
+
+#: Prices are clamped to this floor so a class can always recover: a price
+#: that reached exactly zero could never be raised again by the
+#: multiplicative update.
+DEFAULT_PRICE_FLOOR = 1e-6
+
+#: Symmetric cap guarding against runaway prices during long overloads.
+DEFAULT_PRICE_CAP = 1e9
+
+
+@dataclass(frozen=True)
+class QantParameters:
+    """Tunables of the QA-NT price dynamics.
+
+    ``adjustment`` is the paper's ``lambda``: the relative step applied on
+    every trading failure.  The paper observes larger values react faster
+    but estimate the equilibrium less accurately (ablation A1).
+    """
+
+    adjustment: float = 0.1
+    #: How a seller splits its capacity across classes at given prices.
+    #: ``"proportional"`` (default) responds smoothly to prices, which
+    #: stabilises the market (see
+    #: :meth:`repro.core.supply.CapacitySupplySet._solve_proportional`);
+    #: ``"greedy"``/``"fractional"``/``"exact"`` give the corner solution
+    #: of the pure linear seller problem and are kept for ablations.
+    supply_method: str = "proportional"
+    #: Accumulate fractional supply across periods.  When the supply
+    #: budget is shorter than a query's execution time, the per-period
+    #: equilibrium supply is a small real number (the paper's Section 5.1
+    #: rounding discussion); carrying the fraction forward lets a node
+    #: offer one such query every few periods instead of never.
+    carry_over: bool = True
+    price_floor: float = DEFAULT_PRICE_FLOOR
+    price_cap: float = DEFAULT_PRICE_CAP
+
+    def __post_init__(self) -> None:
+        if self.adjustment <= 0:
+            raise ValueError("lambda (adjustment) must be positive")
+        if self.price_floor <= 0:
+            raise ValueError("price floor must be positive")
+        if self.price_cap <= self.price_floor:
+            raise ValueError("price cap must exceed the price floor")
+
+
+@dataclass
+class QantPeriodStats:
+    """Bookkeeping for one elapsed period of one agent (for tests/metrics)."""
+
+    planned_supply: QueryVector
+    accepted: List[int]
+    refused: List[int]
+
+    @property
+    def total_accepted(self) -> int:
+        """Queries this node agreed to evaluate during the period."""
+        return sum(self.accepted)
+
+    @property
+    def total_refused(self) -> int:
+        """Requests turned away (each one raised a price)."""
+        return sum(self.refused)
+
+
+class QantPricingAgent:
+    """The per-node QA-NT agent: private prices + period supply budget.
+
+    The agent is deliberately framework-agnostic: the discrete-event
+    simulator (:mod:`repro.sim`) and the threaded SQLite federation
+    (:mod:`repro.dbms`) both drive it through the same four calls —
+    :meth:`begin_period`, :meth:`would_offer`, :meth:`accept`,
+    :meth:`end_period`.
+    """
+
+    def __init__(
+        self,
+        supply_set: SupplySet,
+        parameters: Optional[QantParameters] = None,
+        initial_prices: Optional[PriceVector] = None,
+    ):
+        self._supply_set = supply_set
+        self._params = parameters or QantParameters()
+        num_classes = supply_set.num_classes
+        self._prices = initial_prices or PriceVector.uniform(num_classes)
+        if self._prices.num_classes != num_classes:
+            raise ValueError("initial prices cover the wrong number of classes")
+        self._remaining: List[float] = [0.0] * num_classes
+        self._credit: List[float] = [0.0] * num_classes
+        self._planned = QueryVector.zeros(num_classes)
+        self._accepted = [0] * num_classes
+        self._refused = [0] * num_classes
+        self._in_period = False
+
+    # -- read-only state ----------------------------------------------------
+
+    @property
+    def num_classes(self) -> int:
+        """Number of query classes this agent prices."""
+        return self._supply_set.num_classes
+
+    @property
+    def prices(self) -> PriceVector:
+        """The node's *private* price vector (never shared on the wire)."""
+        return self._prices
+
+    @property
+    def supply_set(self) -> SupplySet:
+        """The node's supply set ``S_i``."""
+        return self._supply_set
+
+    @property
+    def remaining_supply(self) -> Tuple[float, ...]:
+        """Unsold portion of the period's planned supply vector."""
+        return tuple(self._remaining)
+
+    @property
+    def planned_supply(self) -> QueryVector:
+        """The supply vector chosen at :meth:`begin_period` (eq. 4)."""
+        return self._planned
+
+    @property
+    def in_period(self) -> bool:
+        """True between :meth:`begin_period` and :meth:`end_period`."""
+        return self._in_period
+
+    def rebind_supply_set(self, supply_set: SupplySet) -> None:
+        """Replace the agent's supply set (prices are kept).
+
+        Supply sets change between periods when a node's free capacity
+        changes — e.g. outstanding queued work reduces what it can sell
+        next period.  Only allowed between periods.
+        """
+        if self._in_period:
+            raise RuntimeError("cannot swap the supply set mid-period")
+        if supply_set.num_classes != self.num_classes:
+            raise ValueError("new supply set covers a different class count")
+        self._supply_set = supply_set
+
+    # -- the QA-NT pseudo-code ------------------------------------------------
+
+    def begin_period(self) -> QueryVector:
+        """Step 2: solve eq. 4 at current prices; reset the period budget.
+
+        The optimal supply is generally fractional when query execution
+        times exceed the period length.  With ``carry_over`` enabled
+        (default), the fractional parts accumulate as per-class credit and
+        convert into whole offered queries once they reach 1 — otherwise
+        they are simply floored away (the paper's rounding error, worth
+        ablating).  Returns the planned (integer) supply vector.
+        """
+        optimal = solve_supply(
+            self._supply_set,
+            self._prices.values,
+            method=self._params.supply_method,
+        )
+        if self._params.carry_over:
+            planned_counts = []
+            for k, amount in enumerate(optimal):
+                self._credit[k] += amount
+                whole = float(int(self._credit[k] + 1e-9))
+                self._credit[k] -= whole
+                planned_counts.append(whole)
+            self._planned = QueryVector(planned_counts)
+        else:
+            self._planned = optimal.rounded()
+        self._remaining = list(self._planned.components)
+        self._accepted = [0] * self.num_classes
+        self._refused = [0] * self.num_classes
+        self._in_period = True
+        return self._planned
+
+    def would_offer(self, class_index: int) -> bool:
+        """Steps 4–10: react to a client's request for a class-*k* query.
+
+        Returns True when the node offers to evaluate the query
+        (``s_ik > 0``).  When it refuses, the class price is raised
+        immediately (step 9) — a refusal is a trading failure and therefore
+        a price signal.
+        """
+        self._require_period()
+        self._check_class(class_index)
+        if self._remaining[class_index] >= 1.0:
+            return True
+        self._refused[class_index] += 1
+        self._raise_price(class_index)
+        return False
+
+    def accept(self, class_index: int) -> None:
+        """Step 6: a previously made offer was accepted; consume supply."""
+        self._require_period()
+        self._check_class(class_index)
+        if self._remaining[class_index] < 1.0:
+            raise RuntimeError(
+                "node accepted a class-%d query without remaining supply"
+                % class_index
+            )
+        self._remaining[class_index] -= 1.0
+        self._accepted[class_index] += 1
+
+    def end_period(self) -> QantPeriodStats:
+        """Steps 12–14: unsold supply lowers prices; close the period."""
+        self._require_period()
+        for k, leftover in enumerate(self._remaining):
+            if leftover > 0:
+                self._lower_price(k, leftover)
+        self._in_period = False
+        return QantPeriodStats(
+            planned_supply=self._planned,
+            accepted=list(self._accepted),
+            refused=list(self._refused),
+        )
+
+    def run_period(self, requests: Sequence[int]) -> QantPeriodStats:
+        """Convenience driver: one whole period over a request stream.
+
+        ``requests`` is the ordered sequence of class indices asked of this
+        node during the period; every offer is assumed accepted (the
+        paper's servers offer immediately and clients in a single-server
+        negotiation always accept).  Mainly for tests and the synchronous
+        market runner.
+        """
+        self.begin_period()
+        for class_index in requests:
+            if self.would_offer(class_index):
+                self.accept(class_index)
+        return self.end_period()
+
+    # -- price updates --------------------------------------------------------
+
+    def _raise_price(self, class_index: int) -> None:
+        factor = 1.0 + self._params.adjustment
+        self._prices = self._prices.scaled_class(
+            class_index, factor, floor=self._params.price_floor
+        )
+        self._clamp_cap(class_index)
+
+    def _lower_price(self, class_index: int, leftover: float) -> None:
+        # p_k -= s_ik * lambda * p_k, clamped so the price stays positive
+        # even when s_ik * lambda >= 1 (large unsold surpluses).
+        factor = max(0.0, 1.0 - leftover * self._params.adjustment)
+        self._prices = self._prices.scaled_class(
+            class_index, factor, floor=self._params.price_floor
+        )
+
+    def _clamp_cap(self, class_index: int) -> None:
+        if self._prices[class_index] > self._params.price_cap:
+            values = list(self._prices.values)
+            values[class_index] = self._params.price_cap
+            self._prices = PriceVector(values)
+
+    # -- guards ----------------------------------------------------------------
+
+    def _require_period(self) -> None:
+        if not self._in_period:
+            raise RuntimeError(
+                "agent is outside a period; call begin_period() first"
+            )
+
+    def _check_class(self, class_index: int) -> None:
+        if not 0 <= class_index < self.num_classes:
+            raise IndexError("class index %d out of range" % class_index)

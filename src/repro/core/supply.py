@@ -1,0 +1,359 @@
+"""Supply sets and the seller's problem ``max p.s  s.t.  s in S_i`` (eq. 4).
+
+A node's *supply set* ``S_i`` contains every supply vector the node could
+feasibly produce in one time period given its hardware.  Each period, a
+selfish seller picks the feasible vector with the largest virtual value at
+current prices — the "first order conditions" step of the QA-NT pseudo-code.
+
+Two supply-set families are provided:
+
+* :class:`ExplicitSupplySet` — a finite enumeration, for small worked
+  examples (the paper's Figure 1 instance) and for tests;
+* :class:`CapacitySupplySet` — the production model: a node has a capacity
+  budget of ``capacity_ms`` milliseconds of processing per period and each
+  query of class *k* costs ``cost_ms[k]`` milliseconds on this node
+  (``inf`` marks classes the node cannot evaluate at all, e.g. missing
+  relations).  Feasibility is ``sum_k s_k * cost_ms[k] <= capacity_ms``.
+
+For :class:`CapacitySupplySet` the seller's problem is an unbounded knapsack.
+Three solvers are exposed because the paper's discussion of rounding error
+(Fig. 5a) makes the integer/fractional distinction experimentally relevant:
+
+* ``fractional`` — continuous relaxation: all capacity goes to the class
+  with the best price density ``p_k / cost_ms[k]`` (the true market
+  equilibrium behaviour);
+* ``greedy`` — integer counts filled in decreasing density order; fast and
+  within one query of optimal per class;
+* ``exact`` — dynamic-programming unbounded knapsack on a discretised
+  capacity grid; exponential-free but O(capacity/granularity * K).
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .vectors import QueryVector
+
+__all__ = [
+    "SupplySet",
+    "ExplicitSupplySet",
+    "CapacitySupplySet",
+    "solve_supply",
+]
+
+
+class SupplySet(abc.ABC):
+    """Abstract supply set ``S_i`` of one node."""
+
+    @property
+    @abc.abstractmethod
+    def num_classes(self) -> int:
+        """Number of query classes ``K``."""
+
+    @abc.abstractmethod
+    def contains(self, vector: QueryVector) -> bool:
+        """True iff ``vector`` is a feasible supply vector for this node."""
+
+    @abc.abstractmethod
+    def optimal_supply(self, prices: Sequence[float]) -> QueryVector:
+        """Solve eq. 4: the feasible vector maximising ``p . s``."""
+
+    def can_supply(self, class_index: int) -> bool:
+        """True iff the node can evaluate queries of ``class_index`` at all.
+
+        Default: a single query of the class must be feasible on an
+        otherwise idle node.
+        """
+        return self.contains(QueryVector.unit(self.num_classes, class_index))
+
+
+class ExplicitSupplySet(SupplySet):
+    """A finite, explicitly enumerated supply set.
+
+    Suitable for small instances where the feasible vectors are known, such
+    as the paper's two-node introduction example.  The zero vector is always
+    implicitly a member (a node may decline to supply anything).
+    """
+
+    def __init__(self, vectors: Iterable[QueryVector]):
+        vecs = list(vectors)
+        if not vecs:
+            raise ValueError("an explicit supply set needs at least one vector")
+        lengths = {v.num_classes for v in vecs}
+        if len(lengths) != 1:
+            raise ValueError("all supply vectors must cover the same K classes")
+        self._num_classes = lengths.pop()
+        zero = QueryVector.zeros(self._num_classes)
+        members = set(vecs)
+        members.add(zero)
+        self._vectors = frozenset(members)
+
+    @property
+    def num_classes(self) -> int:
+        return self._num_classes
+
+    def __iter__(self) -> Iterator[QueryVector]:
+        return iter(self._vectors)
+
+    def __len__(self) -> int:
+        return len(self._vectors)
+
+    def contains(self, vector: QueryVector) -> bool:
+        return vector in self._vectors
+
+    def optimal_supply(self, prices: Sequence[float]) -> QueryVector:
+        _check_prices(prices, self._num_classes)
+        return max(self._vectors, key=lambda v: (v.dot(prices), v.total()))
+
+
+class CapacitySupplySet(SupplySet):
+    """Supply set of a node with a per-period processing-time budget.
+
+    A supply vector ``s`` is feasible iff
+
+    * ``s_k == 0`` for every class the node cannot evaluate
+      (``cost_ms[k] == inf``), and
+    * ``sum_k s_k * cost_ms[k] <= capacity_ms``.
+
+    ``capacity_ms`` is normally the period length ``T`` scaled by the number
+    of execution slots of the node (1 for the paper's serial nodes).
+    """
+
+    def __init__(self, cost_ms: Sequence[float], capacity_ms: float):
+        if capacity_ms < 0:
+            raise ValueError("capacity must be non-negative")
+        if not cost_ms:
+            raise ValueError("need a per-class cost for at least one class")
+        costs = tuple(float(c) for c in cost_ms)
+        for cost in costs:
+            if cost <= 0:
+                raise ValueError(
+                    "per-query costs must be positive (use inf for "
+                    "classes the node cannot evaluate)"
+                )
+        self._costs = costs
+        self._capacity = float(capacity_ms)
+
+    @property
+    def num_classes(self) -> int:
+        return len(self._costs)
+
+    @property
+    def capacity_ms(self) -> float:
+        """The per-period processing budget in milliseconds."""
+        return self._capacity
+
+    @property
+    def cost_ms(self) -> Tuple[float, ...]:
+        """Per-class execution cost on this node, ``inf`` = cannot evaluate."""
+        return self._costs
+
+    def contains(self, vector: QueryVector) -> bool:
+        if vector.num_classes != self.num_classes:
+            return False
+        used = 0.0
+        for count, cost in zip(vector, self._costs):
+            if count > 0 and math.isinf(cost):
+                return False
+            if count > 0:
+                used += count * cost
+        return used <= self._capacity + 1e-9
+
+    def utilisation(self, vector: QueryVector) -> float:
+        """Fraction of the capacity budget consumed by ``vector``."""
+        if self._capacity == 0:
+            return 0.0 if vector.is_zero() else math.inf
+        used = sum(
+            count * cost
+            for count, cost in zip(vector, self._costs)
+            if count > 0
+        )
+        return used / self._capacity
+
+    # -- solvers -------------------------------------------------------------
+
+    def optimal_supply(
+        self, prices: Sequence[float], method: str = "greedy"
+    ) -> QueryVector:
+        """Solve eq. 4 with the requested ``method``.
+
+        ``method`` is one of ``"fractional"``, ``"greedy"``,
+        ``"greedy-fractional"`` or ``"exact"``; see the module docstring
+        for the trade-offs.  ``"greedy-fractional"`` is the greedy integer
+        fill with the residual capacity assigned fractionally to the best
+        remaining class — the natural input for QA-NT's carry-over
+        accounting (see :class:`repro.core.qant.QantPricingAgent`).
+        """
+        _check_prices(prices, self.num_classes)
+        if method == "fractional":
+            return self._solve_fractional(prices)
+        if method == "greedy":
+            return self._solve_greedy(prices)
+        if method == "greedy-fractional":
+            return self._solve_greedy(prices, fractional_tail=True)
+        if method == "proportional":
+            return self._solve_proportional(prices)
+        if method == "exact":
+            return self._solve_exact(prices)
+        raise ValueError("unknown supply solver %r" % (method,))
+
+    def _densities(self, prices: Sequence[float]) -> List[Tuple[float, int]]:
+        """(density, class) pairs for evaluable classes with positive price,
+        sorted by decreasing price density ``p_k / cost_k``."""
+        pairs = [
+            (prices[k] / self._costs[k], k)
+            for k in range(self.num_classes)
+            if not math.isinf(self._costs[k]) and prices[k] > 0
+        ]
+        pairs.sort(key=lambda pair: (-pair[0], pair[1]))
+        return pairs
+
+    def _solve_fractional(self, prices: Sequence[float]) -> QueryVector:
+        pairs = self._densities(prices)
+        if not pairs:
+            return QueryVector.zeros(self.num_classes)
+        __, best_class = pairs[0]
+        amount = self._capacity / self._costs[best_class]
+        return QueryVector.unit(self.num_classes, best_class, amount)
+
+    def _solve_greedy(
+        self, prices: Sequence[float], fractional_tail: bool = False
+    ) -> QueryVector:
+        remaining = self._capacity
+        counts = [0.0] * self.num_classes
+        densities = self._densities(prices)
+        for __, k in densities:
+            if remaining < self._costs[k]:
+                continue
+            fit = math.floor(remaining / self._costs[k] + 1e-9)
+            counts[k] = float(fit)
+            remaining -= fit * self._costs[k]
+        if fractional_tail and remaining > 0 and densities:
+            # Sell the leftover capacity as a fraction of the best class
+            # not yet saturated — QA-NT's carry-over accounting converts
+            # these fractions into whole queries across periods.
+            __, best = densities[0]
+            counts[best] += remaining / self._costs[best]
+        return QueryVector(counts)
+
+    def _solve_proportional(
+        self, prices: Sequence[float], sharpness: float = 2.0
+    ) -> QueryVector:
+        """Capacity split across classes in proportion to price density.
+
+        The exact maximiser of the linear seller problem is a corner (all
+        capacity to the single best class), which makes the market's
+        aggregate supply a step function of prices and invites cobweb
+        oscillation when many sellers flip together.  The proportional
+        solver is the standard smoothing: class *k* receives a capacity
+        share proportional to ``density_k ** sharpness``, so supply
+        responds continuously to prices while still concentrating on the
+        most valuable classes.  As ``sharpness`` grows this converges to
+        the corner solution; the returned vector is fractional.
+        """
+        pairs = self._densities(prices)
+        if not pairs:
+            return QueryVector.zeros(self.num_classes)
+        top = pairs[0][0]
+        if top <= 0.0:
+            # Densities can underflow to zero for subnormal prices; with
+            # no measurable value anywhere, supply nothing.
+            return QueryVector.zeros(self.num_classes)
+        weights = [
+            ((density / top) ** sharpness, k) for density, k in pairs
+        ]
+        total = sum(w for w, __ in weights)
+        counts = [0.0] * self.num_classes
+        for weight, k in weights:
+            share_ms = self._capacity * weight / total
+            counts[k] = share_ms / self._costs[k]
+        return QueryVector(counts)
+
+    def _solve_exact(
+        self, prices: Sequence[float], granularity_ms: Optional[float] = None
+    ) -> QueryVector:
+        """Unbounded-knapsack DP on a discretised capacity grid.
+
+        Costs are rounded *up* to grid cells so the returned vector is
+        always feasible on the true (un-discretised) capacity.  The grid
+        adapts to the cheapest class so sub-10ms instances still resolve,
+        while the cell count stays bounded for huge capacities.  Because
+        rounding can cost the DP an exactly-fitting item, the result is
+        compared against the true-cost greedy solution and the more
+        valuable of the two is returned — so "exact" never underperforms
+        "greedy".
+        """
+        if granularity_ms is None:
+            finite_costs = [c for c in self._costs if not math.isinf(c)]
+            if not finite_costs:
+                return QueryVector.zeros(self.num_classes)
+            # A tenth of the cheapest class keeps the rounding loss below
+            # ~10% of one query per item; the floor on cell count keeps
+            # the DP bounded for huge capacities.
+            granularity_ms = max(
+                min(10.0, min(finite_costs) / 10.0),
+                self._capacity / 50_000.0,
+            )
+        greedy = self._solve_greedy(prices)
+        cells = int(self._capacity / granularity_ms + 1e-9)
+        if cells <= 0:
+            return greedy
+        items = [
+            (
+                prices[k],
+                max(1, math.ceil(self._costs[k] / granularity_ms - 1e-9)),
+                k,
+            )
+            for k in range(self.num_classes)
+            if not math.isinf(self._costs[k]) and prices[k] > 0
+        ]
+        if not items:
+            return QueryVector.zeros(self.num_classes)
+        best_value = [0.0] * (cells + 1)
+        choice: List[Optional[int]] = [None] * (cells + 1)
+        for budget in range(1, cells + 1):
+            best_value[budget] = best_value[budget - 1]
+            choice[budget] = None
+            for value, weight, k in items:
+                if weight <= budget:
+                    candidate = best_value[budget - weight] + value
+                    if candidate > best_value[budget] + 1e-12:
+                        best_value[budget] = candidate
+                        choice[budget] = k
+        counts = [0.0] * self.num_classes
+        budget = cells
+        while budget > 0:
+            k = choice[budget]
+            if k is None:
+                budget -= 1
+                continue
+            counts[k] += 1
+            budget -= max(1, math.ceil(self._costs[k] / granularity_ms - 1e-9))
+        dp_result = QueryVector(counts)
+        if dp_result.dot(prices) >= greedy.dot(prices):
+            return dp_result
+        return greedy
+
+
+def solve_supply(
+    supply_set: SupplySet, prices: Sequence[float], method: str = "greedy"
+) -> QueryVector:
+    """Convenience dispatcher for eq. 4 over any supply-set type.
+
+    Explicit sets ignore ``method`` (enumeration is already exact).
+    """
+    if isinstance(supply_set, CapacitySupplySet):
+        return supply_set.optimal_supply(prices, method=method)
+    return supply_set.optimal_supply(prices)
+
+
+def _check_prices(prices: Sequence[float], num_classes: int) -> None:
+    if len(prices) != num_classes:
+        raise ValueError(
+            "price vector length %d does not match %d classes"
+            % (len(prices), num_classes)
+        )
+    if any(p < 0 for p in prices):
+        raise ValueError("prices must be non-negative")

@@ -1,0 +1,143 @@
+"""Centralised tatonnement price discovery (paper Section 3.3, eq. 6).
+
+The classical process assumes an *umpire* that repeatedly announces a price
+vector, collects every node's optimal supply at those prices, and adjusts
+prices proportionally to excess demand::
+
+    p(t+1) = p(t) + lambda * z(p(t))
+
+until the market clears.  QA-NT (see :mod:`repro.core.qant`) replaces the
+umpire with per-node multiplicative updates; this module implements the
+centralised baseline both as a correctness oracle for the decentralised
+algorithm and for the lambda-sweep ablation (larger ``lambda`` converges in
+fewer iterations but with less accuracy, as the paper notes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from .market import PriceVector, excess_demand, is_equilibrium
+from .supply import SupplySet, solve_supply
+from .vectors import QueryVector, aggregate
+
+__all__ = [
+    "TatonnementResult",
+    "TatonnementUmpire",
+]
+
+
+@dataclass
+class TatonnementResult:
+    """Outcome of a tatonnement run.
+
+    ``converged`` is True when the final excess demand is cleared within
+    tolerance; ``trajectory`` holds the price vector announced at each
+    iteration (including the initial one) so convergence behaviour can be
+    plotted and asserted on.
+    """
+
+    prices: PriceVector
+    supplies: Tuple[QueryVector, ...]
+    excess: Tuple[float, ...]
+    iterations: int
+    converged: bool
+    trajectory: List[PriceVector] = field(default_factory=list)
+
+    def aggregate_supply(self) -> QueryVector:
+        """System-wide supply at the final prices."""
+        return aggregate(self.supplies)
+
+
+class TatonnementUmpire:
+    """The market coordinator of the classical tatonnement process.
+
+    Parameters
+    ----------
+    step:
+        The adjustment coefficient ``lambda`` of eq. 6.  Higher values need
+        fewer iterations but overshoot more (ablation A1 in DESIGN.md).
+    tolerance:
+        Residual excess demand below which the market counts as cleared.
+    max_iterations:
+        Hard stop; tatonnement is not guaranteed to converge for arbitrary
+        economies (Mukherji 2003, cited in the paper), so callers always get
+        a result with ``converged`` set accordingly.
+    supply_method:
+        Solver for the per-node eq. 4 problem (see
+        :class:`repro.core.supply.CapacitySupplySet`).
+    """
+
+    def __init__(
+        self,
+        step: float = 0.05,
+        tolerance: float = 0.5,
+        max_iterations: int = 1000,
+        supply_method: str = "greedy",
+    ):
+        if step <= 0:
+            raise ValueError("step (lambda) must be positive")
+        if max_iterations <= 0:
+            raise ValueError("max_iterations must be positive")
+        self._step = step
+        self._tolerance = tolerance
+        self._max_iterations = max_iterations
+        self._supply_method = supply_method
+
+    @property
+    def step(self) -> float:
+        """The adjustment coefficient ``lambda``."""
+        return self._step
+
+    def find_equilibrium(
+        self,
+        demands: Sequence[QueryVector],
+        supply_sets: Sequence[SupplySet],
+        initial_prices: Optional[PriceVector] = None,
+        record_trajectory: bool = False,
+    ) -> TatonnementResult:
+        """Iterate eq. 6 until the market clears or iterations run out.
+
+        Demand is treated as fixed within the period (the paper's buyers
+        have no budget constraint), so only supply responds to prices.
+        """
+        if len(demands) != len(supply_sets):
+            raise ValueError("need exactly one supply set per node")
+        if not demands:
+            raise ValueError("the market needs at least one node")
+        num_classes = demands[0].num_classes
+        prices = initial_prices or PriceVector.uniform(num_classes)
+        if prices.num_classes != num_classes:
+            raise ValueError("initial prices cover the wrong number of classes")
+
+        total_demand = aggregate(demands)
+        trajectory: List[PriceVector] = [prices] if record_trajectory else []
+        supplies: Tuple[QueryVector, ...] = ()
+        excess: Tuple[float, ...] = ()
+        for iteration in range(1, self._max_iterations + 1):
+            supplies = tuple(
+                solve_supply(s, prices.values, method=self._supply_method)
+                for s in supply_sets
+            )
+            excess = excess_demand(total_demand, aggregate(supplies))
+            if is_equilibrium(excess, self._tolerance):
+                return TatonnementResult(
+                    prices=prices,
+                    supplies=supplies,
+                    excess=excess,
+                    iterations=iteration,
+                    converged=True,
+                    trajectory=trajectory,
+                )
+            prices = prices.adjusted(excess, self._step, floor=1e-9)
+            if record_trajectory:
+                trajectory.append(prices)
+        return TatonnementResult(
+            prices=prices,
+            supplies=supplies,
+            excess=excess,
+            iterations=self._max_iterations,
+            converged=False,
+            trajectory=trajectory,
+        )

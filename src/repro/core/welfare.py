@@ -1,0 +1,239 @@
+"""Welfare economics checks and a synchronous query-market economy.
+
+Two pieces live here:
+
+* verification helpers for the First Theorem of Welfare Economics (FTWE) —
+  given equilibrium prices, the induced allocation must be Pareto optimal —
+  usable on small instances where the feasible allocations can be
+  enumerated;
+* :class:`QueryMarketEconomy`, a synchronous, period-stepped market of
+  QA-NT agents that demonstrates Proposition 3.1 (excess demand vanishes as
+  the non-tatonnement process runs) without the full discrete-event
+  simulator.  The economy is also the reference implementation for the
+  integration tests of :mod:`repro.core.qant`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from .market import PriceVector, excess_demand, is_equilibrium
+from .pareto import (
+    Allocation,
+    enumerate_allocations,
+    is_pareto_optimal,
+)
+from .preferences import PreferenceRelation
+from .qant import QantParameters, QantPricingAgent
+from .supply import ExplicitSupplySet, SupplySet, solve_supply
+from .vectors import QueryVector, aggregate
+
+__all__ = [
+    "ftwe_allocation",
+    "verify_ftwe",
+    "MarketPeriodRecord",
+    "QueryMarketEconomy",
+]
+
+
+def ftwe_allocation(
+    demands: Sequence[QueryVector],
+    supply_sets: Sequence[SupplySet],
+    prices: PriceVector,
+    supply_method: str = "greedy",
+) -> Allocation:
+    """The allocation induced by ``prices``: every seller solves eq. 4.
+
+    Aggregate supply is distributed to consumers greedily up to their
+    demand, mirroring :func:`repro.core.pareto.enumerate_allocations`.
+    Sellers and consumers need not be the same nodes: the shorter list is
+    padded with zero vectors (a pure client supplies nothing, a pure
+    server consumes nothing).
+    """
+    supplies = [
+        solve_supply(s, prices.values, method=supply_method)
+        for s in supply_sets
+    ]
+    agg = aggregate(supplies)
+    remaining = list(agg.components)
+    consumptions = []
+    for demand in demands:
+        comps = []
+        for k in range(demand.num_classes):
+            take = min(remaining[k], demand[k])
+            comps.append(take)
+            remaining[k] -= take
+        consumptions.append(QueryVector(comps))
+    num_classes = agg.num_classes
+    while len(supplies) < len(consumptions):
+        supplies.append(QueryVector.zeros(num_classes))
+    while len(consumptions) < len(supplies):
+        consumptions.append(QueryVector.zeros(num_classes))
+    return Allocation(
+        supplies=tuple(supplies), consumptions=tuple(consumptions)
+    )
+
+
+def verify_ftwe(
+    demands: Sequence[QueryVector],
+    supply_sets: Sequence[ExplicitSupplySet],
+    prices: PriceVector,
+    preferences: Optional[Sequence[PreferenceRelation]] = None,
+) -> bool:
+    """Check FTWE on a small instance with enumerable supply sets.
+
+    Returns True iff (a) the market clears at ``prices`` (no residual
+    excess demand) and (b) the induced allocation is Pareto optimal among
+    all feasible market-clearing allocations.  Exponential — verification
+    only.
+    """
+    allocation = ftwe_allocation(demands, supply_sets, prices)
+    excess = excess_demand(aggregate(demands), allocation.aggregate_supply())
+    if not is_equilibrium(excess, tolerance=0.5):
+        return False
+    alternatives = enumerate_allocations(demands, supply_sets)
+    return is_pareto_optimal(allocation, alternatives, preferences)
+
+
+@dataclass
+class MarketPeriodRecord:
+    """What happened in one period of a :class:`QueryMarketEconomy`."""
+
+    period: int
+    demand: QueryVector
+    consumed: QueryVector
+    backlog: QueryVector
+    excess: Tuple[float, ...]
+    prices_by_node: List[PriceVector] = field(default_factory=list)
+
+    @property
+    def cleared(self) -> bool:
+        """True iff no demanded query went unserved this period."""
+        return is_equilibrium(self.excess, tolerance=1e-9)
+
+
+class QueryMarketEconomy:
+    """A synchronous multi-period economy of QA-NT server agents.
+
+    Each period, all freshly demanded queries plus the backlog of unserved
+    ones are presented (in randomised order) to the server agents; a client
+    asks servers one by one and the first to offer gets the query, exactly
+    matching the paper's "servers do not try to be fair and immediately
+    accept" negotiation.  Queries refused by every server re-enter the next
+    period's demand (paper Section 3.3).
+
+    This models the market layer only — no execution timing — which is what
+    Proposition 3.1 is about: the *counts* supplied converge to the counts
+    demanded.
+    """
+
+    def __init__(
+        self,
+        supply_sets: Sequence[SupplySet],
+        parameters: Optional[QantParameters] = None,
+        seed: int = 0,
+    ):
+        if not supply_sets:
+            raise ValueError("the economy needs at least one server")
+        num_classes = {s.num_classes for s in supply_sets}
+        if len(num_classes) != 1:
+            raise ValueError("all supply sets must cover the same K classes")
+        self._num_classes = num_classes.pop()
+        self._agents = [
+            QantPricingAgent(s, parameters=parameters) for s in supply_sets
+        ]
+        self._rng = random.Random(seed)
+        self._backlog: List[int] = []
+        self._period = 0
+        self._history: List[MarketPeriodRecord] = []
+
+    @property
+    def agents(self) -> List[QantPricingAgent]:
+        """The per-server QA-NT agents (exposed for inspection)."""
+        return self._agents
+
+    @property
+    def history(self) -> List[MarketPeriodRecord]:
+        """Per-period records accumulated so far."""
+        return self._history
+
+    @property
+    def backlog_size(self) -> int:
+        """Number of queries still waiting for a server."""
+        return len(self._backlog)
+
+    def run_period(self, demand: QueryVector) -> MarketPeriodRecord:
+        """Run one period with ``demand`` fresh queries (plus backlog)."""
+        if demand.num_classes != self._num_classes:
+            raise ValueError("demand vector covers the wrong number of classes")
+        if not demand.is_integral():
+            raise ValueError("period demand must be an integer vector")
+        self._period += 1
+
+        requests = list(self._backlog)
+        for k, count in enumerate(demand.as_int_tuple()):
+            requests.extend([k] * count)
+        self._rng.shuffle(requests)
+
+        for agent in self._agents:
+            agent.begin_period()
+
+        consumed = [0] * self._num_classes
+        unserved: List[int] = []
+        order = list(range(len(self._agents)))
+        for class_index in requests:
+            self._rng.shuffle(order)
+            for agent_index in order:
+                agent = self._agents[agent_index]
+                if agent.would_offer(class_index):
+                    agent.accept(class_index)
+                    consumed[class_index] += 1
+                    break
+            else:
+                unserved.append(class_index)
+
+        for agent in self._agents:
+            agent.end_period()
+
+        offered_demand = QueryVector.from_counts(
+            self._num_classes,
+            {k: requests.count(k) for k in set(requests)},
+        )
+        consumed_vec = QueryVector(consumed)
+        backlog_vec = QueryVector.from_counts(
+            self._num_classes,
+            {k: unserved.count(k) for k in set(unserved)},
+        )
+        record = MarketPeriodRecord(
+            period=self._period,
+            demand=offered_demand,
+            consumed=consumed_vec,
+            backlog=backlog_vec,
+            excess=excess_demand(offered_demand, consumed_vec),
+            prices_by_node=[agent.prices for agent in self._agents],
+        )
+        self._backlog = unserved
+        self._history.append(record)
+        return record
+
+    def run(
+        self, demands: Sequence[QueryVector]
+    ) -> List[MarketPeriodRecord]:
+        """Run one period per demand vector and return all records."""
+        return [self.run_period(d) for d in demands]
+
+    def steady_state_excess(
+        self, demand: QueryVector, periods: int
+    ) -> Tuple[float, ...]:
+        """Run ``periods`` constant-demand periods; return final excess.
+
+        With feasible constant demand this converges towards zero
+        (Proposition 3.1); tests assert the trend.
+        """
+        record = None
+        for __ in range(periods):
+            record = self.run_period(demand)
+        assert record is not None
+        return record.excess

@@ -1,0 +1,16 @@
+"""Real-DBMS substrate: SQLite server nodes and a threaded coordinator.
+
+Reproduces the paper's Section 5.2 deployment on one machine; see
+DESIGN.md for the documented substitutions.
+"""
+
+from .federation import DbmsFederation, DbmsQueryOutcome, DbmsRunResult
+from .node import ExecutionResult, SqliteServerNode
+
+__all__ = [
+    "DbmsFederation",
+    "DbmsQueryOutcome",
+    "DbmsRunResult",
+    "ExecutionResult",
+    "SqliteServerNode",
+]

@@ -1,0 +1,466 @@
+"""A small real federation of SQLite nodes with a client coordinator.
+
+This is the reproduction of the paper's Section 5.2 deployment: five
+heterogeneous machines running a commercial RDBMS, a dataset of 20 tables
+(2–4 copies each) plus 80 select-project views, and a client that
+allocates 300 star-query instances with either Greedy or QA-NT.
+
+Substitutions (documented in DESIGN.md): SQLite in-memory databases in
+worker threads replace the Windows PCs; per-node slowdown factors emulate
+the hardware spread; table sizes and inter-arrival times are scaled down
+~10x so the experiment runs in seconds on one machine.  The measured
+quantities are the paper's: *time to assign* a query to a node (both
+mechanisms wait for estimate replies from every node — the dominant cost
+the paper observed) and *total evaluation time* (assign + queue + execute).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..catalog import Relation
+from ..core import CapacitySupplySet, QantParameters, QantPricingAgent
+from ..query import QueryClass
+from .node import ExecutionResult, SqliteServerNode
+
+__all__ = [
+    "DbmsQueryOutcome",
+    "DbmsRunResult",
+    "DbmsFederation",
+]
+
+
+@dataclass(frozen=True)
+class DbmsQueryOutcome:
+    """Life cycle of one query through the real federation (seconds)."""
+
+    qid: int
+    class_index: int
+    node_id: int
+    arrival_s: float
+    assigned_s: float
+    finished_s: float
+    resubmissions: int = 0
+
+    @property
+    def assign_ms(self) -> float:
+        """Time to pick a node (the paper's Fig. 7 'assign' bar)."""
+        return (self.assigned_s - self.arrival_s) * 1000.0
+
+    @property
+    def total_ms(self) -> float:
+        """Assign + queue + execution (the Fig. 7 'total' bar)."""
+        return (self.finished_s - self.arrival_s) * 1000.0
+
+
+@dataclass
+class DbmsRunResult:
+    """All outcomes of one mechanism run plus summary statistics."""
+
+    mechanism: str
+    outcomes: List[DbmsQueryOutcome] = field(default_factory=list)
+    unserved: int = 0
+
+    @property
+    def mean_assign_ms(self) -> float:
+        """Average time to assign a query to a node."""
+        if not self.outcomes:
+            return float("nan")
+        return sum(o.assign_ms for o in self.outcomes) / len(self.outcomes)
+
+    @property
+    def mean_total_ms(self) -> float:
+        """Average total evaluation time."""
+        if not self.outcomes:
+            return float("nan")
+        return sum(o.total_ms for o in self.outcomes) / len(self.outcomes)
+
+
+class DbmsFederation:
+    """Five (by default) SQLite server nodes plus the client coordinator."""
+
+    def __init__(
+        self,
+        nodes: Sequence[SqliteServerNode],
+        classes: Sequence[QueryClass],
+        probe_latency_ms: float = 2.0,
+    ):
+        """``probe_latency_ms`` is the base one-way cost of asking one node
+        for an estimate; it is scaled by the node's slowdown, modelling
+        the paper's observation that the slowest PC took seconds to answer
+        EXPLAIN PLAN."""
+        if not nodes:
+            raise ValueError("the federation needs at least one node")
+        self._nodes = {node.node_id: node for node in nodes}
+        self._classes = list(classes)
+        self._probe_latency_ms = probe_latency_ms
+        self._candidates: Dict[int, Tuple[int, ...]] = {}
+        for qc in self._classes:
+            holders = tuple(
+                sorted(
+                    nid
+                    for nid, node in self._nodes.items()
+                    if node.holds(qc.relation_ids)
+                )
+            )
+            self._candidates[qc.index] = holders
+        #: Outstanding estimated work per node (coordinator-side view).
+        self._backlog_ms: Dict[int, float] = {nid: 0.0 for nid in self._nodes}
+        self._backlog_lock = threading.Lock()
+
+    # -- construction --------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        num_nodes: int = 5,
+        num_tables: int = 20,
+        num_views: int = 80,
+        num_classes: int = 16,
+        copies: Tuple[int, int] = (2, 4),
+        table_size_mb: Tuple[float, float] = (0.5, 2.0),
+        rows_per_mb: float = 2000.0,
+        max_slowdown: float = 3.0,
+        probe_latency_ms: float = 2.0,
+        seed: int = 0,
+    ) -> Tuple["DbmsFederation", List[QueryClass]]:
+        """Create nodes, load the mirrored dataset, derive query classes.
+
+        Defaults mirror the paper's setup scaled down: 5 nodes with a 1–3x
+        speed spread (the paper's 1.3–3.06 GHz PCs), 20 tables with 2–4
+        copies, 80 views, and star-join query classes over co-located
+        tables.
+        """
+        rng = random.Random(seed)
+        slowdowns = [1.0] + [
+            rng.uniform(1.0, max_slowdown) for __ in range(num_nodes - 1)
+        ]
+        nodes = [
+            SqliteServerNode(node_id=i, slowdown=slowdowns[i], rows_per_mb=rows_per_mb)
+            for i in range(num_nodes)
+        ]
+
+        relations = [
+            Relation(
+                rid=rid,
+                name="rel_%04d" % rid,
+                size_mb=rng.uniform(*table_size_mb),
+                num_attributes=10,
+            )
+            for rid in range(num_tables)
+        ]
+        holders_of: Dict[int, List[int]] = {}
+        for relation in relations:
+            count = rng.randint(*copies)
+            chosen = rng.sample(range(num_nodes), min(count, num_nodes))
+            holders_of[relation.rid] = chosen
+            for node_id in chosen:
+                nodes[node_id].load_relation(relation)
+
+        for view_index in range(num_views):
+            rid = rng.randrange(num_tables)
+            max_val = rng.randrange(100, 900)
+            for node_id in holders_of[rid]:
+                nodes[node_id].create_view(
+                    "view_%03d" % view_index, rid, max_val
+                )
+
+        classes: List[QueryClass] = []
+        attempts = 0
+        while len(classes) < num_classes and attempts < num_classes * 50:
+            attempts += 1
+            home = rng.randrange(num_nodes)
+            local = nodes[home].relation_ids
+            if len(local) < 2:
+                continue
+            width = rng.randint(2, min(4, len(local)))
+            rids = tuple(sorted(rng.sample(local, width)))
+            if any(set(c.relation_ids) == set(rids) for c in classes):
+                continue
+            classes.append(
+                QueryClass(
+                    index=len(classes),
+                    relation_ids=rids,
+                    selectivity=rng.uniform(0.1, 0.6),
+                    requires_sort=True,
+                )
+            )
+        federation = cls(nodes, classes, probe_latency_ms=probe_latency_ms)
+        return federation, classes
+
+    # -- accessors ------------------------------------------------------------------
+
+    @property
+    def nodes(self) -> Dict[int, SqliteServerNode]:
+        """The server nodes by id."""
+        return self._nodes
+
+    @property
+    def classes(self) -> List[QueryClass]:
+        """The workload's query classes."""
+        return self._classes
+
+    def candidates(self, class_index: int) -> Tuple[int, ...]:
+        """Node ids able to evaluate ``class_index`` locally."""
+        return self._candidates.get(class_index, ())
+
+    def warm_up(self) -> None:
+        """Seed every node's history estimator with one run per class.
+
+        The paper's implementation "used past execution information
+        concerning queries with the same plan"; warm-up provides that
+        history so the first measured queries are not estimated blind.
+        """
+        done = threading.Event()
+        outstanding = [0]
+        lock = threading.Lock()
+
+        def on_complete(node_id: int, result: ExecutionResult) -> None:
+            with lock:
+                outstanding[0] -= 1
+                if outstanding[0] == 0:
+                    done.set()
+
+        for qc in self._classes:
+            for node_id in self.candidates(qc.index):
+                with lock:
+                    outstanding[0] += 1
+                self._nodes[node_id].submit(-1, qc, 0, on_complete)
+        if outstanding[0]:
+            done.wait(timeout=120.0)
+
+    # -- the two mechanisms ------------------------------------------------------------
+
+    #: Per-node price level above which a node enforces its supply vector
+    #: (the Section 5.1 threshold rule; matches
+    #: :class:`repro.allocation.QantAllocator`).
+    ACTIVATION_THRESHOLD = 2.0
+    #: Backlog allowance: period plus this many times the node's largest
+    #: class cost (matches the simulator allocator's default).
+    ALLOWANCE_FACTOR = 2.0
+
+    def run_workload(
+        self,
+        mechanism: str,
+        num_queries: int = 300,
+        mean_interarrival_ms: float = 30.0,
+        period_ms: float = 250.0,
+        qant_parameters: Optional[QantParameters] = None,
+        seed: int = 0,
+    ) -> DbmsRunResult:
+        """Run a uniform-inter-arrival workload under one mechanism.
+
+        ``mechanism`` is ``"greedy"`` or ``"qa-nt"``.  Inter-arrival times
+        are uniform in ``[0, 2 * mean]`` (the paper's distribution), paced
+        in real time.
+        """
+        if mechanism not in ("greedy", "qa-nt"):
+            raise ValueError("unknown mechanism %r" % mechanism)
+        rng = random.Random(seed)
+        result = DbmsRunResult(mechanism=mechanism)
+        result_lock = threading.Lock()
+        completions = threading.Event()
+        remaining = [num_queries]
+
+        with self._backlog_lock:
+            for nid in self._backlog_ms:
+                self._backlog_ms[nid] = 0.0
+
+        agents: Dict[int, QantPricingAgent] = {}
+        agents_lock = threading.Lock()
+        stop_periods = threading.Event()
+        pending: List[Tuple[int, QueryClass, float, int]] = []
+        pending_lock = threading.Lock()
+
+        if mechanism == "qa-nt":
+            params = qant_parameters or QantParameters()
+            for nid in self._nodes:
+                agents[nid] = QantPricingAgent(
+                    self._node_supply_set(nid, period_ms),
+                    parameters=params,
+                )
+                agents[nid].begin_period()
+            period_thread = threading.Thread(
+                target=self._period_loop,
+                args=(agents, agents_lock, period_ms, stop_periods),
+                daemon=True,
+            )
+            period_thread.start()
+
+        def on_complete(node_id: int, execution: ExecutionResult) -> None:
+            with self._backlog_lock:
+                self._backlog_ms[node_id] = max(
+                    0.0,
+                    self._backlog_ms[node_id]
+                    - execution.execution_s * 1000.0,
+                )
+            with result_lock:
+                meta = inflight.pop(execution.qid)
+                result.outcomes.append(
+                    DbmsQueryOutcome(
+                        qid=execution.qid,
+                        class_index=execution.class_index,
+                        node_id=node_id,
+                        arrival_s=meta[0],
+                        assigned_s=meta[1],
+                        finished_s=execution.finished_s,
+                        resubmissions=meta[2],
+                    )
+                )
+                remaining[0] -= 1
+                if remaining[0] == 0:
+                    completions.set()
+
+        inflight: Dict[int, Tuple[float, float, int]] = {}
+
+        def try_assign(
+            qid: int, qc: QueryClass, arrival_s: float, resubmissions: int
+        ) -> bool:
+            candidates = self.candidates(qc.index)
+            if not candidates:
+                with result_lock:
+                    remaining[0] -= 1
+                    result.unserved += 1
+                    if remaining[0] == 0:
+                        completions.set()
+                return True
+            # Both mechanisms wait for estimate replies from all nodes.
+            probe_s = (
+                max(
+                    self._probe_latency_ms * self._nodes[nid].slowdown
+                    for nid in candidates
+                )
+                / 1000.0
+            )
+            time.sleep(probe_s)
+            estimates = {
+                nid: self._nodes[nid].estimate_ms(qc) for nid in candidates
+            }
+            if mechanism == "qa-nt":
+                with agents_lock:
+                    offers = []
+                    for nid in candidates:
+                        agent = agents[nid]
+                        # Price dynamics always run; the supply vector is
+                        # only enforced while the node's prices signal
+                        # overload (Section 5.1 threshold rule).
+                        offering = agent.would_offer(qc.index)
+                        enforcing = (
+                            max(agent.prices.values)
+                            >= self.ACTIVATION_THRESHOLD
+                        )
+                        if offering or not enforcing:
+                            offers.append(nid)
+                    if not offers:
+                        return False
+                    chosen = min(
+                        offers,
+                        key=lambda nid: estimates[nid]
+                        + self._backlog_snapshot(nid),
+                    )
+                    agent = agents[chosen]
+                    if agent.remaining_supply[qc.index] >= 1:
+                        agent.accept(qc.index)
+            else:
+                chosen = min(
+                    candidates,
+                    key=lambda nid: estimates[nid] + self._backlog_snapshot(nid),
+                )
+            assigned_s = time.monotonic()
+            with self._backlog_lock:
+                self._backlog_ms[chosen] += estimates[chosen]
+            with result_lock:
+                inflight[qid] = (arrival_s, assigned_s, resubmissions)
+            self._nodes[chosen].submit(
+                qid, qc, rng.randrange(1000), on_complete
+            )
+            return True
+
+        def retry_pending() -> None:
+            with pending_lock:
+                retry, pending[:] = list(pending), []
+            for qid, qc, arrival_s, resubs in retry:
+                if not try_assign(qid, qc, arrival_s, resubs + 1):
+                    with pending_lock:
+                        pending.append((qid, qc, arrival_s, resubs + 1))
+
+        next_retry = time.monotonic() + period_ms / 1000.0
+        for qid in range(num_queries):
+            time.sleep(rng.uniform(0.0, 2.0 * mean_interarrival_ms) / 1000.0)
+            if time.monotonic() >= next_retry:
+                retry_pending()
+                next_retry = time.monotonic() + period_ms / 1000.0
+            qc = rng.choice(self._classes)
+            arrival_s = time.monotonic()
+            if not try_assign(qid, qc, arrival_s, 0):
+                with pending_lock:
+                    pending.append((qid, qc, arrival_s, 0))
+
+        # Drain: keep retrying refused queries until everything finished.
+        deadline = time.monotonic() + 120.0
+        while not completions.is_set() and time.monotonic() < deadline:
+            retry_pending()
+            with pending_lock:
+                has_pending = bool(pending)
+            completions.wait(timeout=period_ms / 1000.0)
+            if not has_pending and completions.is_set():
+                break
+        stop_periods.set()
+        with pending_lock:
+            result.unserved += len(pending)
+        return result
+
+    # -- internals ----------------------------------------------------------------------
+
+    def _backlog_snapshot(self, node_id: int) -> float:
+        with self._backlog_lock:
+            return self._backlog_ms[node_id]
+
+    def _node_supply_set(
+        self, node_id: int, period_ms: float
+    ) -> CapacitySupplySet:
+        node = self._nodes[node_id]
+        costs = []
+        for qc in self._classes:
+            if node.holds(qc.relation_ids):
+                costs.append(max(0.1, node.estimate_ms(qc)))
+            else:
+                costs.append(float("inf"))
+        max_cost = max((c for c in costs if c != float("inf")), default=0.0)
+        allowance = period_ms + self.ALLOWANCE_FACTOR * max_cost
+        free = max(0.0, allowance - self._backlog_snapshot(node_id))
+        return CapacitySupplySet(costs, free)
+
+    def _period_loop(
+        self,
+        agents: Dict[int, QantPricingAgent],
+        agents_lock: threading.Lock,
+        period_ms: float,
+        stop: threading.Event,
+    ) -> None:
+        while not stop.wait(timeout=period_ms / 1000.0):
+            with agents_lock:
+                for nid, agent in agents.items():
+                    if agent.in_period:
+                        agent.end_period()
+                    agent.rebind_supply_set(
+                        self._node_supply_set(nid, period_ms)
+                    )
+                    agent.begin_period()
+
+    # -- lifecycle --------------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down every node's worker thread and connection."""
+        for node in self._nodes.values():
+            node.close()
+
+    def __enter__(self) -> "DbmsFederation":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,368 @@
+"""Ablations A1–A4 — the design choices DESIGN.md calls out.
+
+* **A1 (lambda)** — the price-adjustment coefficient trades convergence
+  speed against accuracy (Section 3.3): measured on the centralised
+  tatonnement umpire (iterations to equilibrium, residual excess) and on
+  QA-NT end-to-end response time.
+* **A2 (period length T)** — larger T helps static load, hurts dynamic
+  (Section 5.1): QA-NT response time across T values on slow and fast
+  sinusoids.
+* **A3 (partial adoption)** — Section 4 claims QA-NT still helps when
+  only a subset of nodes adopt it: response time vs adoption fraction.
+* **A4 (Markov vs QA-NT, static load)** — the paper grades the
+  Markov/queueing allocator "excellent" on the static workloads it
+  requires and says QA-NT "comes close": both are measured on a static
+  Poisson workload.
+* **A5 (supply rounding)** — the integer-rounding error the paper blames
+  for Greedy's small-load advantage: QA-NT with corner/integer supply vs
+  the smooth proportional solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..allocation import GreedyAllocator, MarkovAllocator, QantAllocator
+from ..core import (
+    CapacitySupplySet,
+    QantParameters,
+    QueryVector,
+    TatonnementUmpire,
+)
+from ..sim import FederationConfig
+from ..workload import PoissonArrivals, build_trace
+from .reporting import format_series, format_table
+from .setups import (
+    World,
+    run_mechanisms,
+    sinusoid_trace_for_load,
+    two_query_world,
+)
+
+__all__ = [
+    "LambdaSweepResult",
+    "PeriodSweepResult",
+    "PartialAdoptionResult",
+    "StaticWorkloadResult",
+    "RoundingAblationResult",
+    "run_lambda_sweep",
+    "run_period_sweep",
+    "run_partial_adoption",
+    "run_static_markov",
+    "run_rounding_ablation",
+]
+
+
+# --------------------------------------------------------------------------- A1
+
+
+@dataclass
+class LambdaSweepResult:
+    """Tatonnement convergence and QA-NT response per lambda."""
+
+    lambdas: List[float]
+    tatonnement_iterations: List[int]
+    tatonnement_residual: List[float]
+    qant_response_ms: List[float]
+
+    def render(self) -> str:
+        """All three series as a table."""
+        return format_table(
+            ("lambda", "umpire iterations", "residual excess", "qa-nt response (ms)"),
+            zip(
+                self.lambdas,
+                self.tatonnement_iterations,
+                self.tatonnement_residual,
+                self.qant_response_ms,
+            ),
+        )
+
+
+def run_lambda_sweep(
+    lambdas: Sequence[float] = (0.001, 0.005, 0.02, 0.05),
+    num_nodes: int = 30,
+    horizon_ms: float = 40_000.0,
+    load_fraction: float = 1.2,
+    seed: int = 0,
+) -> LambdaSweepResult:
+    """Ablation A1: sweep the price-adjustment coefficient.
+
+    The centralised umpire starts from deliberately skewed prices so the
+    market needs real adjustment; the paper's trade-off shows cleanly:
+    larger lambda clears in fewer iterations, until it overshoots and
+    oscillates forever (the "decreased accuracy" failure mode).
+    """
+    from ..core.market import PriceVector
+
+    # Centralised umpire on a small heterogeneous market.
+    supply_sets = [
+        CapacitySupplySet([800.0, 1600.0], 10_000.0),
+        CapacitySupplySet([1600.0, 800.0], 10_000.0),
+        CapacitySupplySet([1000.0, 1000.0], 10_000.0),
+    ]
+    demands = [
+        QueryVector((6, 2)),
+        QueryVector((4, 4)),
+        QueryVector((2, 6)),
+    ]
+    skewed = PriceVector([1.0, 0.05])
+    iterations, residuals = [], []
+    for lam in lambdas:
+        umpire = TatonnementUmpire(
+            step=lam, max_iterations=5000, supply_method="proportional"
+        )
+        result = umpire.find_equilibrium(
+            demands, supply_sets, initial_prices=skewed
+        )
+        iterations.append(result.iterations)
+        residuals.append(max(0.0, max(result.excess)))
+
+    world = two_query_world(num_nodes=num_nodes, seed=seed)
+    trace = sinusoid_trace_for_load(
+        world, load_fraction=load_fraction, horizon_ms=horizon_ms, seed=seed + 1
+    )
+    responses = []
+    for lam in lambdas:
+        runs = run_mechanisms(
+            world,
+            trace,
+            mechanisms={
+                "qa-nt": lambda lam=lam: QantAllocator(
+                    parameters=QantParameters(adjustment=lam)
+                )
+            },
+            config=FederationConfig(seed=seed + 2),
+        )
+        responses.append(runs["qa-nt"].mean_response_ms)
+    return LambdaSweepResult(
+        lambdas=list(lambdas),
+        tatonnement_iterations=iterations,
+        tatonnement_residual=residuals,
+        qant_response_ms=responses,
+    )
+
+
+# --------------------------------------------------------------------------- A2
+
+
+@dataclass
+class PeriodSweepResult:
+    """QA-NT response per period length, on slow and fast dynamics."""
+
+    periods_ms: List[float]
+    response_slow_dynamics_ms: List[float]
+    response_fast_dynamics_ms: List[float]
+
+    def render(self) -> str:
+        """Both series as a table."""
+        return format_table(
+            ("T (ms)", "response @0.05Hz (ms)", "response @1Hz (ms)"),
+            zip(
+                self.periods_ms,
+                self.response_slow_dynamics_ms,
+                self.response_fast_dynamics_ms,
+            ),
+        )
+
+
+def run_period_sweep(
+    periods_ms: Sequence[float] = (125.0, 250.0, 500.0, 1000.0, 2000.0),
+    num_nodes: int = 30,
+    horizon_ms: float = 40_000.0,
+    load_fraction: float = 1.2,
+    seed: int = 0,
+) -> PeriodSweepResult:
+    """Ablation A2: sweep the market period length T."""
+    world = two_query_world(num_nodes=num_nodes, seed=seed)
+    slow, fast = [], []
+    for frequency_hz, sink in ((0.05, slow), (1.0, fast)):
+        trace = sinusoid_trace_for_load(
+            world,
+            load_fraction=load_fraction,
+            horizon_ms=horizon_ms,
+            frequency_hz=frequency_hz,
+            seed=seed + 1,
+        )
+        for period in periods_ms:
+            runs = run_mechanisms(
+                world,
+                trace,
+                mechanisms={"qa-nt": QantAllocator},
+                config=FederationConfig(period_ms=period, seed=seed + 2),
+            )
+            sink.append(runs["qa-nt"].mean_response_ms)
+    return PeriodSweepResult(
+        periods_ms=list(periods_ms),
+        response_slow_dynamics_ms=slow,
+        response_fast_dynamics_ms=fast,
+    )
+
+
+# --------------------------------------------------------------------------- A3
+
+
+@dataclass
+class PartialAdoptionResult:
+    """Response time as the QA-NT adoption fraction grows."""
+
+    adoption_fractions: List[float]
+    response_ms: List[float]
+
+    def render(self) -> str:
+        """The adoption series as text."""
+        return format_series(
+            "qa-nt response (ms) vs adoption fraction",
+            self.adoption_fractions,
+            self.response_ms,
+        )
+
+    @property
+    def monotone_gain(self) -> bool:
+        """True iff full adoption beats zero adoption."""
+        return self.response_ms[-1] <= self.response_ms[0]
+
+
+def run_partial_adoption(
+    adoption_fractions: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0),
+    num_nodes: int = 40,
+    horizon_ms: float = 40_000.0,
+    load_fraction: float = 1.2,
+    seed: int = 0,
+) -> PartialAdoptionResult:
+    """Ablation A3: only a subset of nodes runs QA-NT.
+
+    Non-adopting nodes always offer (greedy behaviour), so fraction 0.0
+    degenerates to Greedy and 1.0 to full QA-NT.
+    """
+    world = two_query_world(num_nodes=num_nodes, seed=seed)
+    trace = sinusoid_trace_for_load(
+        world, load_fraction=load_fraction, horizon_ms=horizon_ms, seed=seed + 1
+    )
+    responses = []
+    for fraction in adoption_fractions:
+        adopters = set(range(int(round(fraction * num_nodes))))
+        runs = run_mechanisms(
+            world,
+            trace,
+            mechanisms={
+                "qa-nt": lambda adopters=adopters: QantAllocator(
+                    adopters=adopters
+                )
+            },
+            config=FederationConfig(seed=seed + 2),
+        )
+        responses.append(runs["qa-nt"].mean_response_ms)
+    return PartialAdoptionResult(
+        adoption_fractions=list(adoption_fractions), response_ms=responses
+    )
+
+
+# --------------------------------------------------------------------------- A4
+
+
+@dataclass
+class StaticWorkloadResult:
+    """Mechanism responses on a static Poisson workload."""
+
+    response_ms: Dict[str, float]
+
+    def render(self) -> str:
+        """Per-mechanism responses as a table."""
+        return format_table(
+            ("mechanism", "mean response (ms)"),
+            sorted(self.response_ms.items()),
+        )
+
+    @property
+    def qant_vs_markov(self) -> float:
+        """QA-NT's response relative to Markov's (paper: 'comes close')."""
+        return self.response_ms["qa-nt"] / self.response_ms["markov"]
+
+
+def run_static_markov(
+    num_nodes: int = 30,
+    horizon_ms: float = 60_000.0,
+    load_fraction: float = 0.7,
+    seed: int = 0,
+) -> StaticWorkloadResult:
+    """Ablation A4: static load, Markov vs QA-NT vs Greedy."""
+    world = two_query_world(num_nodes=num_nodes, seed=seed)
+    capacity = world.capacity_qpms([2.0, 1.0])
+    rate_q1 = load_fraction * capacity * 2.0 / 3.0
+    rate_q2 = load_fraction * capacity / 3.0
+    trace = build_trace(
+        {0: PoissonArrivals(rate_q1), 1: PoissonArrivals(rate_q2)},
+        horizon_ms=horizon_ms,
+        origin_nodes=world.placement.node_ids,
+        seed=seed + 1,
+    )
+    runs = run_mechanisms(
+        world,
+        trace,
+        mechanisms={
+            "qa-nt": QantAllocator,
+            "greedy": GreedyAllocator,
+            "markov": lambda: MarkovAllocator([rate_q1, rate_q2]),
+        },
+        config=FederationConfig(seed=seed + 2),
+    )
+    return StaticWorkloadResult(
+        response_ms={name: run.mean_response_ms for name, run in runs.items()}
+    )
+
+
+# --------------------------------------------------------------------------- A5
+
+
+@dataclass
+class RoundingAblationResult:
+    """QA-NT response under different supply solvers, light vs heavy load."""
+
+    response_ms: Dict[str, Dict[str, float]]
+
+    def render(self) -> str:
+        """Solver x load grid as a table."""
+        solvers = sorted(self.response_ms)
+        loads = sorted(self.response_ms[solvers[0]])
+        rows = [
+            (solver, *[self.response_ms[solver][load] for load in loads])
+            for solver in solvers
+        ]
+        return format_table(("supply solver", *loads), rows)
+
+
+def run_rounding_ablation(
+    num_nodes: int = 30,
+    horizon_ms: float = 40_000.0,
+    seed: int = 0,
+) -> RoundingAblationResult:
+    """Ablation A5: corner/integer supply vs smooth proportional supply.
+
+    The paper attributes Greedy's sub-75 %-load advantage to QA-NT's
+    integer rounding of small fractional equilibrium supplies; comparing
+    the "greedy" (integer corner, no carry) and "proportional" (smooth +
+    carry) solvers quantifies that design choice.
+    """
+    world = two_query_world(num_nodes=num_nodes, seed=seed)
+    configs = {
+        "greedy-int": QantParameters(supply_method="greedy", carry_over=False),
+        "greedy-carry": QantParameters(supply_method="greedy-fractional", carry_over=True),
+        "proportional": QantParameters(supply_method="proportional", carry_over=True),
+    }
+    results: Dict[str, Dict[str, float]] = {name: {} for name in configs}
+    for load_name, load in (("light (50%)", 0.5), ("heavy (150%)", 1.5)):
+        trace = sinusoid_trace_for_load(
+            world, load_fraction=load, horizon_ms=horizon_ms, seed=seed + 1
+        )
+        for name, params in configs.items():
+            runs = run_mechanisms(
+                world,
+                trace,
+                mechanisms={
+                    "qa-nt": lambda params=params: QantAllocator(parameters=params)
+                },
+                config=FederationConfig(seed=seed + 2, drain_ms=120_000.0),
+            )
+            results[name][load_name] = runs["qa-nt"].mean_response_ms
+    return RoundingAblationResult(response_ms=results)

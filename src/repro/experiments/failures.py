@@ -1,0 +1,150 @@
+"""Extension experiment F1 — node failures (the paper's Section 1 motivation).
+
+The paper motivates autonomic query allocation with temporary overloads
+caused by, among other things, "multiple node failures".  This experiment
+injects exactly that: a fraction of the federation's nodes goes down for
+a window in the middle of a steady workload, shrinking system capacity
+below the offered load, and the mechanisms are compared on how the
+response time degrades during the outage and how quickly it recovers.
+
+Failed nodes drain their committed queue but accept no new queries;
+every mechanism sees the same failure schedule.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from ..allocation import Allocator, GreedyAllocator, QantAllocator
+from ..sim import FederationConfig, build_federation
+from ..workload import PoissonArrivals, build_trace
+from .reporting import format_table
+from .setups import two_query_world
+
+__all__ = [
+    "FailureResult",
+    "run_failures",
+]
+
+
+@dataclass
+class FailureResult:
+    """Per-mechanism response times before / during / after the outage."""
+
+    outage_window_ms: Tuple[float, float]
+    failed_nodes: Tuple[int, ...]
+    #: mechanism -> {"before": ms, "during": ms, "after": ms}
+    phases: Dict[str, Dict[str, float]]
+
+    def degradation(self, mechanism: str) -> float:
+        """Response during the outage relative to before it."""
+        phase = self.phases[mechanism]
+        return phase["during"] / phase["before"]
+
+    def render(self) -> str:
+        """The three-phase comparison as a table."""
+        rows = [
+            (
+                mechanism,
+                phase["before"],
+                phase["during"],
+                phase["after"],
+                self.degradation(mechanism),
+            )
+            for mechanism, phase in sorted(self.phases.items())
+        ]
+        table = format_table(
+            (
+                "mechanism",
+                "before (ms)",
+                "during outage (ms)",
+                "after (ms)",
+                "degradation",
+            ),
+            rows,
+        )
+        return "%s\noutage: nodes %s down during [%.0f, %.0f) ms" % (
+            table,
+            list(self.failed_nodes),
+            *self.outage_window_ms,
+        )
+
+
+def run_failures(
+    num_nodes: int = 40,
+    failed_fraction: float = 0.3,
+    outage_window_ms: Tuple[float, float] = (20_000.0, 40_000.0),
+    horizon_ms: float = 60_000.0,
+    load_fraction: float = 0.6,
+    mechanisms: Optional[Dict[str, Callable[[], Allocator]]] = None,
+    seed: int = 0,
+) -> FailureResult:
+    """Steady Poisson load; a node subset fails mid-run.
+
+    ``load_fraction`` is relative to the *healthy* capacity, so with 30 %
+    of nodes down a 0.6 load typically exceeds the surviving capacity —
+    the paper's transient-overload scenario.
+    """
+    if not 0 < failed_fraction < 1:
+        raise ValueError("failed fraction must be in (0, 1)")
+    start_ms, end_ms = outage_window_ms
+    if not 0 < start_ms < end_ms <= horizon_ms:
+        raise ValueError("outage window must lie inside the horizon")
+
+    world = two_query_world(num_nodes=num_nodes, seed=seed)
+    capacity = world.capacity_qpms([2.0, 1.0])
+    trace = build_trace(
+        {
+            0: PoissonArrivals(load_fraction * capacity * 2.0 / 3.0),
+            1: PoissonArrivals(load_fraction * capacity / 3.0),
+        },
+        horizon_ms=horizon_ms,
+        origin_nodes=world.placement.node_ids,
+        seed=seed + 1,
+    )
+    # Fail every k-th node so both Q2-capable (even) and Q1-only nodes go.
+    stride = max(1, int(1 / failed_fraction))
+    failed = tuple(
+        nid for nid in world.placement.node_ids if nid % stride == 0
+    )
+
+    mechanisms = mechanisms or {"qa-nt": QantAllocator, "greedy": GreedyAllocator}
+    phases: Dict[str, Dict[str, float]] = {}
+    for name, factory in mechanisms.items():
+        federation = build_federation(
+            world.specs,
+            world.placement,
+            world.classes,
+            world.cost_model,
+            factory(),
+            FederationConfig(seed=seed + 2, drain_ms=120_000.0),
+        )
+        for nid in failed:
+            federation.nodes[nid].schedule_outage(start_ms, end_ms)
+        metrics = federation.run(trace)
+        phases[name] = _phase_means(metrics, start_ms, end_ms)
+    return FailureResult(
+        outage_window_ms=outage_window_ms, failed_nodes=failed, phases=phases
+    )
+
+
+def _phase_means(
+    metrics, start_ms: float, end_ms: float
+) -> Dict[str, float]:
+    sums = {"before": 0.0, "during": 0.0, "after": 0.0}
+    counts = {"before": 0, "during": 0, "after": 0}
+    for outcome in metrics.outcomes:
+        if outcome.arrival_ms < start_ms:
+            phase = "before"
+        elif outcome.arrival_ms < end_ms:
+            phase = "during"
+        else:
+            phase = "after"
+        sums[phase] += outcome.response_ms
+        counts[phase] += 1
+    return {
+        phase: (sums[phase] / counts[phase]) if counts[phase] else math.nan
+        for phase in sums
+    }

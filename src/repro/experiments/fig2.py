@@ -1,0 +1,91 @@
+"""Experiment E2 — aggregate vectors of the worked example (paper Figure 2).
+
+For the first time period (T = 500 ms) of the Figure 1 instance, the paper
+shows the aggregate demand vector ``d = (2, 6)``, the aggregate
+supply/consumption points of the LB and QA strategies, and the aggregate
+supply set (the grey feasibility region).  This driver recomputes all of
+them: the per-strategy points from the Figure 1 schedules and the supply
+set by combining the two nodes' enumerated per-period supply sets (eq. 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Tuple
+
+from ..core import QueryVector, aggregate, excess_demand
+from .fig1 import (
+    _first_period_consumptions,
+    _simulate_serial,
+    _supply_sets,
+    lb_schedule,
+    qa_schedule,
+)
+from .reporting import format_table
+
+__all__ = [
+    "Fig2Result",
+    "run_fig2",
+]
+
+
+@dataclass
+class Fig2Result:
+    """The Figure 2 data: aggregate vectors and the supply region."""
+
+    aggregate_demand: QueryVector
+    lb_aggregate_consumption: QueryVector
+    qa_aggregate_consumption: QueryVector
+    lb_excess: Tuple[float, ...]
+    qa_excess: Tuple[float, ...]
+    #: The aggregate supply set S as integer points (eq. 2).
+    supply_region: FrozenSet[Tuple[int, ...]]
+
+    @property
+    def demand_is_infeasible(self) -> bool:
+        """Paper's observation: ``d`` lies outside the grey region."""
+        return (
+            tuple(int(x) for x in self.aggregate_demand) not in self.supply_region
+        )
+
+    def render(self) -> str:
+        """The Figure 2 points as text."""
+        rows = [
+            ("demand d", *self.aggregate_demand.components),
+            ("LB consumption", *self.lb_aggregate_consumption.components),
+            ("QA consumption", *self.qa_aggregate_consumption.components),
+        ]
+        table = format_table(("vector", "q1", "q2"), rows)
+        return "%s\nd outside supply set: %s\n|S| = %d points" % (
+            table,
+            self.demand_is_infeasible,
+            len(self.supply_region),
+        )
+
+
+def run_fig2(period_ms: float = 500.0) -> Fig2Result:
+    """Recompute the aggregate vectors of the example's first period."""
+    demand = QueryVector((2, 6))  # one q1 + six q2 at N1, one q1 at N2
+
+    lb_finishes, __ = _simulate_serial(lb_schedule())
+    qa_finishes, __ = _simulate_serial(
+        qa_schedule(), service_order=(1, 0, 2, 3, 4, 5, 6, 7)
+    )
+    lb_consumption = aggregate(_first_period_consumptions(lb_finishes, period_ms))
+    qa_consumption = aggregate(_first_period_consumptions(qa_finishes, period_ms))
+
+    # Aggregate supply set: one vector from each node, summed (eq. 2).
+    node_sets = _supply_sets(period_ms)
+    region = set()
+    for s1 in node_sets[0]:
+        for s2 in node_sets[1]:
+            region.add(tuple(int(x) for x in (s1 + s2)))
+
+    return Fig2Result(
+        aggregate_demand=demand,
+        lb_aggregate_consumption=lb_consumption,
+        qa_aggregate_consumption=qa_consumption,
+        lb_excess=excess_demand(demand, lb_consumption),
+        qa_excess=excess_demand(demand, qa_consumption),
+        supply_region=frozenset(region),
+    )

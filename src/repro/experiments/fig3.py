@@ -1,0 +1,70 @@
+"""Experiment E3 — the example sinusoid workload (paper Figure 3).
+
+Figure 3 plots the number of queries entering the system per half second
+for the two-query workload: Q1 and Q2 arrival rates follow 0.05 Hz
+sinusoids with a phase difference, Q1 peaking at twice Q2's rate.  This
+driver generates the trace and buckets arrivals per half-second, producing
+the two series of the figure.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from ..workload import two_class_sinusoid_trace
+from .reporting import format_series
+
+__all__ = [
+    "Fig3Result",
+    "run_fig3",
+]
+
+
+@dataclass
+class Fig3Result:
+    """Per-half-second arrival counts of Q1 and Q2."""
+
+    bucket_ms: float
+    q1_per_bucket: List[int]
+    q2_per_bucket: List[int]
+
+    @property
+    def times_s(self) -> List[float]:
+        """Bucket start times in seconds (the figure's x axis)."""
+        return [i * self.bucket_ms / 1000.0 for i in range(len(self.q1_per_bucket))]
+
+    def render(self) -> str:
+        """Both series as text."""
+        return "%s\n%s" % (
+            format_series("Q1 arrivals per 500ms", self.times_s, self.q1_per_bucket),
+            format_series("Q2 arrivals per 500ms", self.times_s, self.q2_per_bucket),
+        )
+
+
+def run_fig3(
+    horizon_ms: float = 40_000.0,
+    frequency_hz: float = 0.05,
+    q1_peak_rate_per_ms: float = 0.02,
+    bucket_ms: float = 500.0,
+    seed: int = 0,
+) -> Fig3Result:
+    """Generate the Figure 3 workload and bucket its arrivals."""
+    trace = two_class_sinusoid_trace(
+        horizon_ms=horizon_ms,
+        q1_peak_rate_per_ms=q1_peak_rate_per_ms,
+        frequency_hz=frequency_hz,
+        origin_nodes=(0,),
+        seed=seed,
+    )
+    num_buckets = int(math.ceil(horizon_ms / bucket_ms))
+    q1 = [0] * num_buckets
+    q2 = [0] * num_buckets
+    for event in trace:
+        bucket = min(num_buckets - 1, int(event.time_ms // bucket_ms))
+        if event.class_index == 0:
+            q1[bucket] += 1
+        else:
+            q2[bucket] += 1
+    return Fig3Result(bucket_ms=bucket_ms, q1_per_bucket=q1, q2_per_bucket=q2)

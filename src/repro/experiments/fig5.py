@@ -1,0 +1,217 @@
+"""Experiments E5–E7 — QA-NT in dynamic environments (paper Figure 5).
+
+Three panels, all on the two-query world:
+
+* **5a** — Greedy's response time normalised by QA-NT's as the average
+  workload sweeps 10–300 % of system capacity (20 s, 0.05 Hz sinusoid).
+  Paper shape: Greedy ≈5 % better below 75 %, 15–32 % worse above.
+* **5b** — the same normalised ratio as the sinusoid frequency sweeps
+  0.05–2 Hz at 80 % average load; the QA-NT advantage shrinks with
+  frequency.
+* **5c** — per-half-second counts of Q1 queries arriving vs executed by
+  QA-NT and by Greedy near total capacity; QA-NT tracks the arrival curve
+  more closely because it reserves capacity by pricing Q2 onto slower
+  nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..allocation import GreedyAllocator, QantAllocator
+from ..sim import FederationConfig
+from .reporting import format_series
+from .setups import (
+    World,
+    run_mechanisms,
+    sinusoid_trace_for_load,
+    two_query_world,
+)
+
+__all__ = [
+    "Fig5aResult",
+    "Fig5bResult",
+    "Fig5cResult",
+    "run_fig5a",
+    "run_fig5b",
+    "run_fig5c",
+]
+
+#: Mechanism pair the panels compare.
+_PAIR = {"qa-nt": QantAllocator, "greedy": GreedyAllocator}
+
+
+@dataclass
+class Fig5aResult:
+    """Greedy response normalised by QA-NT per load level."""
+
+    loads: List[float]
+    greedy_normalised: List[float]
+
+    def render(self) -> str:
+        """The 5a series as text."""
+        return format_series(
+            "greedy response / qa-nt response vs load fraction",
+            self.loads,
+            self.greedy_normalised,
+        )
+
+
+def run_fig5a(
+    loads: Sequence[float] = (0.1, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0),
+    num_nodes: int = 100,
+    horizon_ms: float = 20_000.0,
+    frequency_hz: float = 0.05,
+    seed: int = 0,
+    config: Optional[FederationConfig] = None,
+) -> Fig5aResult:
+    """Sweep average load as a fraction of system capacity (panel 5a)."""
+    world = two_query_world(num_nodes=num_nodes, seed=seed)
+    ratios = []
+    for index, load in enumerate(loads):
+        trace = sinusoid_trace_for_load(
+            world,
+            load_fraction=load,
+            horizon_ms=horizon_ms,
+            frequency_hz=frequency_hz,
+            seed=seed + 10 + index,
+        )
+        runs = run_mechanisms(
+            world,
+            trace,
+            mechanisms=dict(_PAIR),
+            config=config or FederationConfig(seed=seed + 2),
+        )
+        ratios.append(
+            runs["greedy"].mean_response_ms / runs["qa-nt"].mean_response_ms
+        )
+    return Fig5aResult(loads=list(loads), greedy_normalised=ratios)
+
+
+@dataclass
+class Fig5bResult:
+    """Greedy response normalised by QA-NT per sinusoid frequency."""
+
+    frequencies_hz: List[float]
+    greedy_normalised: List[float]
+
+    def render(self) -> str:
+        """The 5b series as text."""
+        return format_series(
+            "greedy response / qa-nt response vs frequency (Hz)",
+            self.frequencies_hz,
+            self.greedy_normalised,
+        )
+
+
+def run_fig5b(
+    frequencies_hz: Sequence[float] = (0.05, 0.1, 0.25, 0.5, 1.0, 2.0),
+    num_nodes: int = 100,
+    horizon_ms: float = 40_000.0,
+    load_fraction: float = 0.8,
+    seed: int = 0,
+    config: Optional[FederationConfig] = None,
+) -> Fig5bResult:
+    """Sweep the sinusoid frequency at 80 % average load (panel 5b)."""
+    world = two_query_world(num_nodes=num_nodes, seed=seed)
+    ratios = []
+    for index, freq in enumerate(frequencies_hz):
+        trace = sinusoid_trace_for_load(
+            world,
+            load_fraction=load_fraction,
+            horizon_ms=horizon_ms,
+            frequency_hz=freq,
+            seed=seed + 10 + index,
+        )
+        runs = run_mechanisms(
+            world,
+            trace,
+            mechanisms=dict(_PAIR),
+            config=config or FederationConfig(seed=seed + 2),
+        )
+        ratios.append(
+            runs["greedy"].mean_response_ms / runs["qa-nt"].mean_response_ms
+        )
+    return Fig5bResult(
+        frequencies_hz=list(frequencies_hz), greedy_normalised=ratios
+    )
+
+
+@dataclass
+class Fig5cResult:
+    """Per-bucket Q1 arrivals and executions (panel 5c)."""
+
+    bucket_ms: float
+    q1_arrivals: List[int]
+    q1_executed_qant: List[int]
+    q1_executed_greedy: List[int]
+
+    @property
+    def times_s(self) -> List[float]:
+        """Bucket start times in seconds."""
+        return [i * self.bucket_ms / 1000.0 for i in range(len(self.q1_arrivals))]
+
+    def tracking_error(self, executed: Sequence[int]) -> float:
+        """Mean absolute arrival-vs-executed gap (lower tracks better)."""
+        return sum(
+            abs(a - e) for a, e in zip(self.q1_arrivals, executed)
+        ) / max(1, len(self.q1_arrivals))
+
+    def render(self) -> str:
+        """All three 5c series as text."""
+        return "\n".join(
+            (
+                format_series("Q1 arrivals", self.times_s, self.q1_arrivals),
+                format_series(
+                    "Q1 executed (qa-nt)", self.times_s, self.q1_executed_qant
+                ),
+                format_series(
+                    "Q1 executed (greedy)", self.times_s, self.q1_executed_greedy
+                ),
+            )
+        )
+
+
+def run_fig5c(
+    num_nodes: int = 100,
+    horizon_ms: float = 15_000.0,
+    load_fraction: float = 0.95,
+    frequency_hz: float = 0.05,
+    bucket_ms: float = 500.0,
+    seed: int = 0,
+    config: Optional[FederationConfig] = None,
+) -> Fig5cResult:
+    """Near-capacity tracking of the Q1 arrival curve (panel 5c)."""
+    world = two_query_world(num_nodes=num_nodes, seed=seed)
+    trace = sinusoid_trace_for_load(
+        world,
+        load_fraction=load_fraction,
+        horizon_ms=horizon_ms,
+        frequency_hz=frequency_hz,
+        seed=seed + 1,
+    )
+    runs = run_mechanisms(
+        world,
+        trace,
+        mechanisms=dict(_PAIR),
+        config=config or FederationConfig(seed=seed + 2),
+    )
+    num_buckets = int(horizon_ms // bucket_ms)
+    arrivals = [0] * num_buckets
+    for event in trace:
+        if event.class_index == 0:
+            bucket = min(num_buckets - 1, int(event.time_ms // bucket_ms))
+            arrivals[bucket] += 1
+    executed = {
+        name: run.metrics.executed_per_period(
+            bucket_ms, horizon_ms, class_index=0
+        )[:num_buckets]
+        for name, run in runs.items()
+    }
+    return Fig5cResult(
+        bucket_ms=bucket_ms,
+        q1_arrivals=arrivals,
+        q1_executed_qant=executed["qa-nt"],
+        q1_executed_greedy=executed["greedy"],
+    )

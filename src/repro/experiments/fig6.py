@@ -1,0 +1,131 @@
+"""Experiment E8 — Zipf heterogeneous workload (paper Figure 6).
+
+The second simulation set: 10,000 queries over 100 select-join-project-sort
+classes (0–49 joins, ≈2,000 ms best-node execution), inter-arrival times
+Zipf(a=1) capped at 30 s, mean inter-arrival swept from 10 ms to
+20,000 ms.  The figure reports Greedy's response time normalised by
+QA-NT's per mean inter-arrival.  Paper shape: 13–24 % QA-NT advantage at
+small inter-arrivals (deep overload, shrinking as overload deepens),
+peaking ≈26 % at moderate overload (~10 s), and converging to 1.0 once
+the system stops being overloaded (≥17 s).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..allocation import GreedyAllocator, QantAllocator
+from ..sim import FederationConfig
+from .reporting import format_series
+from .setups import (
+    World,
+    run_mechanisms,
+    zipf_trace_for_world,
+    zipf_world,
+)
+
+__all__ = [
+    "Fig6Result",
+    "run_fig6",
+]
+
+
+@dataclass
+class Fig6Result:
+    """Greedy response normalised by QA-NT per mean inter-arrival."""
+
+    interarrivals_ms: List[float]
+    greedy_normalised: List[float]
+
+    def render(self) -> str:
+        """The Figure 6 series as text."""
+        return format_series(
+            "greedy response / qa-nt response vs mean inter-arrival (ms)",
+            self.interarrivals_ms,
+            self.greedy_normalised,
+        )
+
+
+def run_fig6(
+    interarrivals_ms: Sequence[float] = (
+        10.0,
+        100.0,
+        1_000.0,
+        5_000.0,
+        10_000.0,
+        17_000.0,
+        20_000.0,
+    ),
+    num_nodes: int = 100,
+    num_relations: int = 1000,
+    num_classes: int = 100,
+    max_queries: int = 10_000,
+    horizon_ms: float = 300_000.0,
+    crossover_ms: Optional[float] = 17_000.0,
+    seed: int = 0,
+    world: Optional[World] = None,
+    config: Optional[FederationConfig] = None,
+) -> Fig6Result:
+    """Sweep the mean inter-arrival time on the Zipf world.
+
+    ``crossover_ms`` rescales the cost model so the system stops being
+    overloaded at that per-class mean inter-arrival, matching the paper's
+    observation that gains vanish past ≈17,000 ms.  The paper pins both
+    this boundary and the 2,000 ms average best execution time; our
+    analytical cost model cannot honour both at once, so the crossover —
+    the property Figure 6's shape depends on — wins (see EXPERIMENTS.md).
+    Pass ``None`` to keep the Table 3 execution-time calibration instead.
+    """
+    world = world or zipf_world(
+        num_nodes=num_nodes,
+        num_relations=num_relations,
+        num_classes=num_classes,
+        seed=seed,
+    )
+    if crossover_ms is not None:
+        world = _calibrate_crossover(world, crossover_ms)
+    ratios = []
+    for index, mean_gap in enumerate(interarrivals_ms):
+        trace = zipf_trace_for_world(
+            world,
+            mean_interarrival_ms=mean_gap,
+            horizon_ms=horizon_ms,
+            max_queries=max_queries,
+            seed=seed + 20 + index,
+        )
+        runs = run_mechanisms(
+            world,
+            trace,
+            mechanisms={"qa-nt": QantAllocator, "greedy": GreedyAllocator},
+            config=config or FederationConfig(seed=seed + 2),
+        )
+        ratios.append(
+            runs["greedy"].mean_response_ms / runs["qa-nt"].mean_response_ms
+        )
+    return Fig6Result(
+        interarrivals_ms=list(interarrivals_ms), greedy_normalised=ratios
+    )
+
+
+def _calibrate_crossover(world: World, crossover_ms: float) -> World:
+    """Rescale the cost model so capacity equals ``K / crossover_ms``.
+
+    The system saturates exactly when every class arrives with mean
+    inter-arrival ``crossover_ms``; multiplying all costs by
+    ``capacity * crossover_ms / K`` moves the saturation boundary there
+    (capacity is inversely proportional to the cost scale).
+    """
+    num_classes = len(world.classes)
+    capacity = world.capacity_qpms([1.0] * num_classes)
+    factor = capacity * crossover_ms / num_classes
+    model = world.cost_model
+    if not hasattr(model, "rescaled"):
+        raise TypeError("crossover calibration needs a rescalable cost model")
+    return World(
+        specs=world.specs,
+        placement=world.placement,
+        classes=world.classes,
+        cost_model=model.rescaled(model.scale * factor),
+        catalog=world.catalog,
+    )

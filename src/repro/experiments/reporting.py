@@ -1,0 +1,90 @@
+"""Plain-text reporting of experiment results.
+
+Every experiment driver returns a structured result object plus a
+``render()`` helper that prints the same rows/series the paper's table or
+figure shows, so the benchmark harness can regenerate each artefact as
+text.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = [
+    "format_table",
+    "format_series",
+    "table_to_csv",
+    "series_to_csv",
+]
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Render rows as an aligned monospace table."""
+    str_rows: List[List[str]] = [[_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip(),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in str_rows:
+        lines.append(
+            "  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip()
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str, xs: Sequence[object], ys: Sequence[object]
+) -> str:
+    """Render one figure series as ``name: (x, y) ...`` pairs, one per line."""
+    if len(xs) != len(ys):
+        raise ValueError("series x and y lengths differ")
+    lines = [name]
+    for x, y in zip(xs, ys):
+        lines.append("  %s\t%s" % (_cell(x), _cell(y)))
+    return "\n".join(lines)
+
+
+def table_to_csv(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Render rows as CSV (RFC-4180 quoting for commas/quotes).
+
+    The text artefacts under ``benchmarks/results/`` are for humans; CSV
+    is for spreadsheets and plotting scripts.
+    """
+    lines = [",".join(_csv_cell(h) for h in headers)]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        lines.append(",".join(_csv_cell(c) for c in row))
+    return "\n".join(lines)
+
+
+def series_to_csv(
+    x_name: str, y_name: str, xs: Sequence[object], ys: Sequence[object]
+) -> str:
+    """One figure series as a two-column CSV."""
+    if len(xs) != len(ys):
+        raise ValueError("series x and y lengths differ")
+    return table_to_csv((x_name, y_name), list(zip(xs, ys)))
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return "%.3f" % value
+    return str(value)
+
+
+def _csv_cell(value: object) -> str:
+    text = repr(value) if isinstance(value, float) else str(value)
+    if any(ch in text for ch in ',"\n'):
+        return '"%s"' % text.replace('"', '""')
+    return text

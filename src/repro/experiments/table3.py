@@ -1,0 +1,102 @@
+"""Experiment E11 — the simulation parameters (paper Table 3).
+
+Table 3 lists the simulator's configuration; this driver instantiates the
+default world and *measures* the generated dataset's statistics (relation
+sizes, mirrors per relation, relations per node, join counts, calibrated
+execution times), so the table documents what the reproduction actually
+builds rather than merely restating constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from .reporting import format_table
+from .setups import World, zipf_world
+
+__all__ = [
+    "Table3Result",
+    "run_table3",
+]
+
+
+@dataclass
+class Table3Result:
+    """Declared parameters next to the generated world's measurements."""
+
+    num_nodes: int
+    num_relations: int
+    avg_relation_size_mb: float
+    avg_mirrors: float
+    avg_relations_per_node: float
+    num_classes: int
+    avg_joins: float
+    max_joins: int
+    avg_best_execution_ms: float
+    nodes_without_hash_join: int
+    cpu_range_ghz: Tuple[float, float]
+    io_range_mbps: Tuple[float, float]
+    buffer_range_mb: Tuple[float, float]
+
+    def render(self) -> str:
+        """Table 3 as text (measured column included)."""
+        rows = [
+            ("total network size", "%d nodes" % self.num_nodes),
+            ("# of different relations", str(self.num_relations)),
+            ("avg relation size", "%.1f MB" % self.avg_relation_size_mb),
+            ("avg mirrors per relation", "%.1f" % self.avg_mirrors),
+            ("avg relations per node", "%.1f" % self.avg_relations_per_node),
+            ("# of query classes", str(self.num_classes)),
+            ("joins per query (avg/max)", "%.1f / %d" % (self.avg_joins, self.max_joins)),
+            (
+                "avg best execution time",
+                "%.0f ms" % self.avg_best_execution_ms,
+            ),
+            (
+                "nodes without hash join",
+                str(self.nodes_without_hash_join),
+            ),
+            (
+                "CPU range",
+                "%.1f-%.1f GHz" % self.cpu_range_ghz,
+            ),
+            ("I/O range", "%.0f-%.0f MB/s" % self.io_range_mbps),
+            ("buffer range", "%.0f-%.0f MB" % self.buffer_range_mb),
+        ]
+        return format_table(("parameter", "value (measured)"), rows)
+
+
+def run_table3(world: World = None, seed: int = 0) -> Table3Result:
+    """Measure the default Zipf world against Table 3."""
+    world = world or zipf_world(seed=seed)
+    if world.catalog is None:
+        raise ValueError("Table 3 needs a catalog-backed world")
+    best_times = []
+    for qc in world.classes:
+        candidates = qc.candidate_nodes(world.placement)
+        best = min(
+            world.cost_model.execution_time_ms(qc, world.specs[nid])
+            for nid in candidates
+        )
+        best_times.append(best)
+    cpus = [s.cpu_ghz for s in world.specs]
+    ios = [s.io_mbps for s in world.specs]
+    buffers = [s.buffer_mb for s in world.specs]
+    return Table3Result(
+        num_nodes=world.num_nodes,
+        num_relations=len(world.catalog),
+        avg_relation_size_mb=world.catalog.average_size_mb(),
+        avg_mirrors=world.placement.average_mirrors(),
+        avg_relations_per_node=world.placement.average_relations_per_node(),
+        num_classes=len(world.classes),
+        avg_joins=sum(qc.num_joins for qc in world.classes) / len(world.classes),
+        max_joins=max(qc.num_joins for qc in world.classes),
+        avg_best_execution_ms=sum(best_times) / len(best_times),
+        nodes_without_hash_join=sum(
+            1 for s in world.specs if not s.supports_hash_join
+        ),
+        cpu_range_ghz=(min(cpus), max(cpus)),
+        io_range_mbps=(min(ios), max(ios)),
+        buffer_range_mb=(min(buffers), max(buffers)),
+    )

@@ -1,0 +1,49 @@
+"""SJPS query model, SQL rendering, cost model and estimators."""
+
+from .cost import (
+    CostModel,
+    MachineSpec,
+    RelativeSpeedCostModel,
+    calibrated_cost_model,
+    cost_matrix,
+)
+from .estimate import (
+    Estimator,
+    HistoryCalibratedEstimator,
+    NoisyEstimator,
+    PerfectEstimator,
+)
+from .model import (
+    Query,
+    QueryClass,
+    QueryClassParameters,
+    generate_query_classes,
+)
+from .sqlgen import (
+    create_table_sql,
+    insert_rows_sql,
+    plan_signature,
+    render_query_sql,
+    table_name,
+)
+
+__all__ = [
+    "CostModel",
+    "RelativeSpeedCostModel",
+    "Estimator",
+    "HistoryCalibratedEstimator",
+    "MachineSpec",
+    "NoisyEstimator",
+    "PerfectEstimator",
+    "Query",
+    "QueryClass",
+    "QueryClassParameters",
+    "calibrated_cost_model",
+    "cost_matrix",
+    "create_table_sql",
+    "generate_query_classes",
+    "insert_rows_sql",
+    "plan_signature",
+    "render_query_sql",
+    "table_name",
+]

@@ -1,0 +1,126 @@
+"""Execution-time estimation, including history calibration (Section 5.2).
+
+The paper's real deployment found raw optimizer estimates (EXPLAIN PLAN)
+"usually incorrect as [they] did not take into account the contents of the
+DBMS buffers", and fixed this by blending the plan with *past execution
+information concerning queries with the same plan*.  This module implements
+that estimator abstractly so both substrates share it:
+
+* :class:`PerfectEstimator` — returns the cost model's truth (simulator
+  upper bound);
+* :class:`NoisyEstimator` — truth distorted by multiplicative noise,
+  modelling optimizer error in the simulator;
+* :class:`HistoryCalibratedEstimator` — wraps any base estimator and
+  learns, per plan signature, an exponential moving-average correction
+  from observed runtimes.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Dict, Optional
+
+__all__ = [
+    "Estimator",
+    "PerfectEstimator",
+    "NoisyEstimator",
+    "HistoryCalibratedEstimator",
+]
+
+
+class Estimator(abc.ABC):
+    """Estimates the execution time of a query class on one node."""
+
+    @abc.abstractmethod
+    def estimate_ms(self, signature: str, base_cost_ms: float) -> float:
+        """Estimated execution time given the optimizer's raw cost.
+
+        ``signature`` identifies the plan shape (see
+        :func:`repro.query.sqlgen.plan_signature`); ``base_cost_ms`` is the
+        node-local optimizer estimate.
+        """
+
+    def observe(self, signature: str, base_cost_ms: float, actual_ms: float) -> None:
+        """Feed back an observed runtime.  Default: stateless, ignored."""
+
+
+class PerfectEstimator(Estimator):
+    """An oracle that trusts the base cost completely."""
+
+    def estimate_ms(self, signature: str, base_cost_ms: float) -> float:
+        return base_cost_ms
+
+
+class NoisyEstimator(Estimator):
+    """Multiplicative log-uniform noise around the base cost.
+
+    ``error_factor`` bounds the distortion: an estimate lies in
+    ``[cost / error_factor, cost * error_factor]``.  Noise is drawn per
+    (signature, node) and frozen so an optimizer is consistently wrong in
+    the same direction — the realistic failure mode history calibration
+    can actually fix.
+    """
+
+    def __init__(self, error_factor: float = 2.0, seed: int = 0):
+        if error_factor < 1.0:
+            raise ValueError("error factor must be >= 1")
+        self._error_factor = error_factor
+        self._rng = random.Random(seed)
+        self._bias: Dict[str, float] = {}
+
+    def estimate_ms(self, signature: str, base_cost_ms: float) -> float:
+        bias = self._bias.get(signature)
+        if bias is None:
+            low, high = 1.0 / self._error_factor, self._error_factor
+            bias = low * (high / low) ** self._rng.random()
+            self._bias[signature] = bias
+        return base_cost_ms * bias
+
+    def bias_of(self, signature: str) -> Optional[float]:
+        """The frozen bias for ``signature`` (None if never estimated)."""
+        return self._bias.get(signature)
+
+
+class HistoryCalibratedEstimator(Estimator):
+    """Past-execution calibration on top of a base estimator.
+
+    Keeps an exponential moving average of the ratio
+    ``actual / base_estimate`` per plan signature and multiplies future
+    estimates by it.  With enough observations the systematic bias of the
+    base estimator cancels — the paper's remedy for EXPLAIN PLAN drift.
+    """
+
+    def __init__(self, base: Estimator, smoothing: float = 0.3):
+        if not 0 < smoothing <= 1:
+            raise ValueError("smoothing must be in (0, 1]")
+        self._base = base
+        self._smoothing = smoothing
+        self._correction: Dict[str, float] = {}
+        self._observations: Dict[str, int] = {}
+
+    def estimate_ms(self, signature: str, base_cost_ms: float) -> float:
+        raw = self._base.estimate_ms(signature, base_cost_ms)
+        return raw * self._correction.get(signature, 1.0)
+
+    def observe(self, signature: str, base_cost_ms: float, actual_ms: float) -> None:
+        raw = self._base.estimate_ms(signature, base_cost_ms)
+        if raw <= 0:
+            return
+        ratio = actual_ms / raw
+        previous = self._correction.get(signature)
+        if previous is None:
+            self._correction[signature] = ratio
+        else:
+            self._correction[signature] = (
+                (1 - self._smoothing) * previous + self._smoothing * ratio
+            )
+        self._observations[signature] = self._observations.get(signature, 0) + 1
+
+    def observations_of(self, signature: str) -> int:
+        """Number of runtimes observed for ``signature``."""
+        return self._observations.get(signature, 0)
+
+    def correction_of(self, signature: str) -> float:
+        """Current multiplicative correction for ``signature``."""
+        return self._correction.get(signature, 1.0)

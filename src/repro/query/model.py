@@ -1,0 +1,215 @@
+"""Query classes, query instances, and class generation (paper Section 2.1).
+
+The workload consists of read-only select-join-project-sort (SJPS) queries.
+Queries are grouped into disjoint *classes* (templates): queries of the same
+class differ only in selection constants, use similar resources, and have
+similar estimated cost on any given node (though different nodes may cost
+them differently).  QA-NT treats classes as the traded commodities.
+
+A :class:`QueryClass` records which relations a template touches; the
+candidate servers of a class are the nodes holding all of them
+(:meth:`repro.catalog.Placement.holders`).  :class:`Query` is one runtime
+instance flowing through the simulator.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Sequence, Tuple
+
+from ..catalog import Catalog, Placement
+
+__all__ = [
+    "QueryClass",
+    "Query",
+    "QueryClassParameters",
+    "generate_query_classes",
+]
+
+
+@dataclass(frozen=True)
+class QueryClass:
+    """A template family of SJPS queries (one traded commodity).
+
+    ``selectivity`` is the fraction of the dominant input surviving each
+    join (and the final selection); ``requires_sort`` adds a final sort for
+    the ORDER BY the paper's "…-sort" queries carry.
+    """
+
+    index: int
+    relation_ids: Tuple[int, ...]
+    selectivity: float = 0.5
+    requires_sort: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.relation_ids:
+            raise ValueError("a query class must touch at least one relation")
+        if len(set(self.relation_ids)) != len(self.relation_ids):
+            raise ValueError("a query class cannot repeat a relation")
+        if not 0 < self.selectivity <= 1:
+            raise ValueError("selectivity must be in (0, 1]")
+
+    @property
+    def num_joins(self) -> int:
+        """Number of joins (relations minus one)."""
+        return len(self.relation_ids) - 1
+
+    def candidate_nodes(self, placement: Placement) -> FrozenSet[int]:
+        """Nodes that hold every relation this class touches."""
+        return placement.holders(self.relation_ids)
+
+
+@dataclass
+class Query:
+    """One runtime query instance travelling through the system."""
+
+    qid: int
+    class_index: int
+    origin_node: int
+    arrival_ms: float
+    #: Times the query was refused by every server and resubmitted.
+    resubmissions: int = 0
+    #: When the allocator committed the query to a node (set by the
+    #: federation; None until assigned).
+    assigned_ms: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.arrival_ms < 0:
+            raise ValueError("arrival time must be non-negative")
+
+
+@dataclass(frozen=True)
+class QueryClassParameters:
+    """Knobs of query-class generation (defaults = paper Table 3)."""
+
+    num_classes: int = 100
+    min_joins: int = 0
+    max_joins: int = 49
+    min_selectivity: float = 0.05
+    max_selectivity: float = 0.8
+    sort_probability: float = 0.8
+    #: Minimum number of nodes able to evaluate a class.  With fewer than
+    #: two candidates there is no allocation decision to make, so classes
+    #: below this are regenerated; mirrored placement (≈5 copies per
+    #: relation, Table 3) makes multi-candidate classes the norm.
+    min_candidates: int = 2
+    #: Preferred number of candidate nodes per class (matches the ≈5
+    #: mirrors of Table 3; achieved when placement overlap allows).
+    target_candidates: int = 4
+    #: Classes whose relation sets no node fully holds are regenerated up
+    #: to this many times before giving up.
+    max_attempts_per_class: int = 50
+
+    def __post_init__(self) -> None:
+        if self.num_classes <= 0:
+            raise ValueError("need at least one query class")
+        if not 0 <= self.min_joins <= self.max_joins:
+            raise ValueError("invalid join range")
+        if not 0 < self.min_selectivity <= self.max_selectivity <= 1:
+            raise ValueError("invalid selectivity range")
+
+
+def generate_query_classes(
+    catalog: Catalog,
+    placement: Placement,
+    params: Optional[QueryClassParameters] = None,
+    seed: int = 0,
+) -> List[QueryClass]:
+    """Generate query classes whose relations are co-located somewhere.
+
+    Each class is built by picking a random node and sampling the class's
+    relations from that node's local holdings, which guarantees at least
+    one candidate server; mirrored bundles then provide several more.  Join
+    counts are sampled uniformly from ``[min_joins, max_joins]`` but capped
+    by the chosen node's holdings.
+    """
+    params = params or QueryClassParameters()
+    rng = random.Random(seed)
+    node_ids = placement.node_ids
+    classes: List[QueryClass] = []
+    for index in range(params.num_classes):
+        query_class = _generate_one_class(
+            index, placement, node_ids, params, rng
+        )
+        classes.append(query_class)
+    return classes
+
+
+def _generate_one_class(
+    index: int,
+    placement: Placement,
+    node_ids: Sequence[int],
+    params: QueryClassParameters,
+    rng: random.Random,
+) -> QueryClass:
+    """Sample a class whose relations are co-located on several mirrors.
+
+    The relations are drawn from the *intersection* of a small set of
+    peer nodes' holdings (seeded by the mirrors of one of the home node's
+    relations), so the class is evaluable by all those peers.  When the
+    intersection is too small for the desired join count, peers are
+    dropped until either the relations fit or the candidate floor would
+    be violated (in which case the join count shrinks instead).
+    """
+    last_error: Optional[str] = None
+    for __ in range(params.max_attempts_per_class):
+        home = rng.choice(list(node_ids))
+        local = sorted(placement.relations_of(home))
+        if not local:
+            last_error = "node %d holds no relations" % home
+            continue
+        seed_relation = rng.choice(local)
+        mirrors = [n for n in placement.mirrors_of(seed_relation) if n != home]
+        rng.shuffle(mirrors)
+        peers = [home] + mirrors[: max(0, params.target_candidates - 1)]
+
+        joins = rng.randint(params.min_joins, params.max_joins)
+        relation_ids = _sample_colocated(
+            placement, peers, joins + 1, params.min_candidates, rng
+        )
+        if relation_ids is None:
+            last_error = "no co-located relation set found"
+            continue
+        holders = placement.holders(relation_ids)
+        if len(holders) < params.min_candidates and len(node_ids) > 1:
+            last_error = "only %d holder(s) for sampled relations" % len(holders)
+            continue
+        return QueryClass(
+            index=index,
+            relation_ids=relation_ids,
+            selectivity=rng.uniform(
+                params.min_selectivity, params.max_selectivity
+            ),
+            requires_sort=rng.random() < params.sort_probability,
+        )
+    raise RuntimeError(
+        "could not generate query class %d: %s" % (index, last_error)
+    )
+
+
+def _sample_colocated(
+    placement: Placement,
+    peers: List[int],
+    num_relations: int,
+    min_candidates: int,
+    rng: random.Random,
+) -> Optional[Tuple[int, ...]]:
+    """Relations common to as many of ``peers`` as possible.
+
+    Starts from all peers' intersection and drops trailing peers while
+    the pool is too small for ``num_relations``; never drops below
+    ``min_candidates`` peers — the join count shrinks instead.
+    """
+    active = list(peers)
+    while True:
+        pool = set(placement.relations_of(active[0]))
+        for node in active[1:]:
+            pool &= placement.relations_of(node)
+        if len(pool) >= num_relations or len(active) <= max(1, min_candidates):
+            break
+        active.pop()
+    if not pool:
+        return None
+    count = min(num_relations, len(pool))
+    return tuple(sorted(rng.sample(sorted(pool), count)))

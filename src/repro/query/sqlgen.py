@@ -1,0 +1,119 @@
+"""SQL text generation for query-class instances.
+
+Query classes are *templates*: queries of one class share structure and
+differ only in selection constants (paper Section 2.1).  This module
+renders a class into executable SQL — a select-join-project-sort statement
+over the synthetic schema — used by the SQLite substrate
+(:mod:`repro.dbms`) and by examples.  The canonical physical schema gives
+every relation the columns ``key`` (join column), ``val`` (selection
+column) and ``payload_0..n`` (projection filler).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from ..catalog import Relation
+from .model import Query, QueryClass
+
+__all__ = [
+    "table_name",
+    "create_table_sql",
+    "insert_rows_sql",
+    "render_query_sql",
+    "plan_signature",
+]
+
+
+def table_name(rid: int) -> str:
+    """Canonical physical table name for relation ``rid``."""
+    return "rel_%04d" % rid
+
+
+def create_table_sql(relation: Relation) -> str:
+    """DDL for one relation under the canonical physical schema."""
+    payload_cols = ", ".join(
+        "payload_%d INTEGER" % i
+        for i in range(max(0, relation.num_attributes - 2))
+    )
+    columns = "key INTEGER, val INTEGER"
+    if payload_cols:
+        columns += ", " + payload_cols
+    return "CREATE TABLE %s (%s)" % (table_name(relation.rid), columns)
+
+
+def insert_rows_sql(relation: Relation, num_rows: int) -> str:
+    """A parameterless bulk INSERT building ``num_rows`` synthetic rows.
+
+    Rows are generated with SQLite-compatible recursive CTE arithmetic so
+    loading needs no Python-side row materialisation.  ``key`` cycles over
+    a small domain (making joins selective but non-empty) and ``val`` is
+    uniform over [0, 1000).
+    """
+    if num_rows <= 0:
+        raise ValueError("num_rows must be positive")
+    payload_exprs = ", ".join(
+        "(n * %d) %% 997" % (i + 3)
+        for i in range(max(0, relation.num_attributes - 2))
+    )
+    select = "n % 1000, (n * 7) % 1000"
+    if payload_exprs:
+        select += ", " + payload_exprs
+    return (
+        "INSERT INTO %s "
+        "WITH RECURSIVE seq(n) AS (SELECT 1 UNION ALL SELECT n + 1 FROM seq "
+        "WHERE n < %d) SELECT %s FROM seq"
+        % (table_name(relation.rid), num_rows, select)
+    )
+
+
+def render_query_sql(
+    query_class: QueryClass,
+    constant: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+) -> str:
+    """Render one instance of ``query_class`` as a SJPS SQL statement.
+
+    The instance's selection ``constant`` is the only varying part — the
+    defining property of a query template.  When omitted, it is drawn from
+    ``rng`` (or a fresh generator) to mimic real clients.
+    """
+    if constant is None:
+        constant = (rng or random.Random()).randrange(0, 1000)
+    rids = query_class.relation_ids
+    tables = [table_name(rid) for rid in rids]
+    aliases = ["t%d" % i for i in range(len(tables))]
+    from_clause = ", ".join(
+        "%s AS %s" % (tbl, alias) for tbl, alias in zip(tables, aliases)
+    )
+    predicates: List[str] = [
+        "%s.key = %s.key" % (aliases[i], aliases[i + 1])
+        for i in range(len(aliases) - 1)
+    ]
+    threshold = max(1, int(1000 * query_class.selectivity))
+    predicates.append(
+        "%s.val < %d" % (aliases[0], (constant % threshold) + threshold)
+    )
+    sql = "SELECT %s.key, %s.val FROM %s WHERE %s" % (
+        aliases[0],
+        aliases[0],
+        from_clause,
+        " AND ".join(predicates),
+    )
+    if query_class.requires_sort:
+        sql += " ORDER BY %s.val" % aliases[0]
+    return sql
+
+
+def plan_signature(query_class: QueryClass) -> str:
+    """A stable signature identifying the class's execution plan shape.
+
+    The paper's real implementation estimated costs from "past execution
+    information concerning queries with the same plan"; the signature is
+    the grouping key for that history (constants excluded by design).
+    """
+    return "sjps:%s:sort=%d" % (
+        ",".join(str(rid) for rid in query_class.relation_ids),
+        int(query_class.requires_sort),
+    )

@@ -1,0 +1,32 @@
+"""Discrete-event simulator of a federation of autonomous RDBMSs."""
+
+from .capacity import system_capacity_qpms
+from .engine import EventHandle, Simulator
+from .federation import (
+    DEFAULT_PERIOD_MS,
+    FederationConfig,
+    FederationSimulation,
+    build_federation,
+    generate_machine_specs,
+)
+from .metrics import MetricsCollector, QueryOutcome, normalised_response_times
+from .network import LatencyModel, Network
+from .node import ExecutionRecord, SimulatedNode
+
+__all__ = [
+    "DEFAULT_PERIOD_MS",
+    "EventHandle",
+    "ExecutionRecord",
+    "FederationConfig",
+    "FederationSimulation",
+    "LatencyModel",
+    "MetricsCollector",
+    "Network",
+    "QueryOutcome",
+    "SimulatedNode",
+    "Simulator",
+    "build_federation",
+    "generate_machine_specs",
+    "normalised_response_times",
+    "system_capacity_qpms",
+]

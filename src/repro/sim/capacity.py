@@ -1,0 +1,150 @@
+"""System capacity estimation for workload scaling.
+
+Several experiments express load as a percentage of *total system
+capacity* (Fig. 5a sweeps 10–300 %, Fig. 5b runs at 80 %).  Capacity here
+is the maximum sustainable aggregate throughput (queries per millisecond)
+for a given class mix: the largest ``R`` such that arrival rates
+``R * mix_k`` can be served when every node divides its time optimally
+among the classes it can evaluate.
+
+This is a small linear program::
+
+    maximise R
+    s.t.  sum_k f_ik <= 1                 for every node i
+          sum_i f_ik / e_ik >= R * mix_k  for every class k
+          f_ik = 0 where node i cannot evaluate class k
+
+solved with :func:`scipy.optimize.linprog` when SciPy is available, and by
+a conservative binary search over a greedy feasibility check otherwise.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+__all__ = [
+    "system_capacity_qpms",
+]
+
+
+def system_capacity_qpms(
+    cost_matrix_ms: Sequence[Sequence[float]],
+    mix: Sequence[float],
+) -> float:
+    """Max sustainable throughput in queries/ms for the given class mix.
+
+    ``cost_matrix_ms[i][k]`` is node *i*'s execution time for class *k*
+    (``inf`` = ineligible); ``mix`` is the workload's class proportions
+    (normalised internally).
+    """
+    total_mix = sum(mix)
+    if total_mix <= 0:
+        raise ValueError("the class mix must have positive total weight")
+    shares = [m / total_mix for m in mix]
+    try:
+        return _capacity_linprog(cost_matrix_ms, shares)
+    except ImportError:
+        return _capacity_greedy(cost_matrix_ms, shares)
+
+
+def _capacity_linprog(
+    costs: Sequence[Sequence[float]], mix: Sequence[float]
+) -> float:
+    from scipy.optimize import linprog
+
+    num_nodes = len(costs)
+    num_classes = len(mix)
+    num_vars = num_nodes * num_classes + 1  # f_ik ... , R
+
+    def f_index(i: int, k: int) -> int:
+        return i * num_classes + k
+
+    c = [0.0] * num_vars
+    c[-1] = -1.0  # maximise R
+
+    a_ub: List[List[float]] = []
+    b_ub: List[float] = []
+    # Node time budgets: sum_k f_ik <= 1.
+    for i in range(num_nodes):
+        row = [0.0] * num_vars
+        for k in range(num_classes):
+            row[f_index(i, k)] = 1.0
+        a_ub.append(row)
+        b_ub.append(1.0)
+    # Throughput cover: R * mix_k - sum_i f_ik / e_ik <= 0.
+    for k in range(num_classes):
+        row = [0.0] * num_vars
+        for i in range(num_nodes):
+            if not math.isinf(costs[i][k]):
+                row[f_index(i, k)] = -1.0 / costs[i][k]
+        row[-1] = mix[k]
+        a_ub.append(row)
+        b_ub.append(0.0)
+
+    bounds = []
+    for i in range(num_nodes):
+        for k in range(num_classes):
+            if math.isinf(costs[i][k]):
+                bounds.append((0.0, 0.0))
+            else:
+                bounds.append((0.0, 1.0))
+    bounds.append((0.0, None))
+
+    result = linprog(c, A_ub=a_ub, b_ub=b_ub, bounds=bounds, method="highs")
+    if not result.success:
+        raise RuntimeError("capacity LP failed: %s" % result.message)
+    return float(result.x[-1])
+
+
+def _capacity_greedy(
+    costs: Sequence[Sequence[float]], mix: Sequence[float]
+) -> float:
+    """Binary search on R with a greedy feasibility check (SciPy-free).
+
+    Conservative: greedy packing may reject a feasible R, so the returned
+    capacity is a lower bound.
+    """
+    upper = sum(
+        max(
+            (1.0 / c for c in row if not math.isinf(c)),
+            default=0.0,
+        )
+        for row in costs
+    )
+    if upper <= 0:
+        return 0.0
+    lo, hi = 0.0, upper
+    for __ in range(50):
+        mid = (lo + hi) / 2.0
+        if _greedy_feasible(costs, mix, mid):
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+def _greedy_feasible(
+    costs: Sequence[Sequence[float]], mix: Sequence[float], rate: float
+) -> bool:
+    demand = [rate * m for m in mix]  # queries/ms per class
+    budgets = [1.0] * len(costs)
+    # Serve the scarcest classes first: fewest eligible nodes, then cost.
+    order = sorted(
+        range(len(mix)),
+        key=lambda k: sum(1 for row in costs if not math.isinf(row[k])),
+    )
+    for k in order:
+        nodes = sorted(
+            (i for i in range(len(costs)) if not math.isinf(costs[i][k])),
+            key=lambda i: costs[i][k],
+        )
+        for i in nodes:
+            if demand[k] <= 1e-12:
+                break
+            serve = min(demand[k], budgets[i] / costs[i][k])
+            demand[k] -= serve
+            budgets[i] -= serve * costs[i][k]
+        if demand[k] > 1e-9:
+            return False
+    return True

@@ -1,0 +1,134 @@
+"""Discrete-event simulation kernel.
+
+A minimal, deterministic event-heap simulator: events are ``(time, seq,
+callback)`` triples ordered by time with FIFO tie-breaking, so two runs with
+the same seeds produce identical traces.  All simulation modules measure
+time in **milliseconds** (matching the paper's reporting units).
+
+The kernel is deliberately tiny — scheduling, cancellation, bounded runs —
+because everything domain-specific (nodes, networks, markets) is built on
+top of it in sibling modules.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+__all__ = [
+    "EventHandle",
+    "Simulator",
+]
+
+
+class EventHandle:
+    """Handle to a scheduled event, usable for cancellation."""
+
+    __slots__ = ("time", "seq", "cancelled")
+
+    def __init__(self, time: float, seq: int):
+        self.time = time
+        self.seq = seq
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (no-op if already fired)."""
+        self.cancelled = True
+
+
+class Simulator:
+    """A deterministic discrete-event simulator clocked in milliseconds."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: List[Tuple[float, int, EventHandle, Callable[[], Any]]] = []
+        self._seq = itertools.count()
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in milliseconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of events executed so far."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still on the heap (including cancelled ones)."""
+        return len(self._heap)
+
+    def schedule(self, delay_ms: float, callback: Callable[[], Any]) -> EventHandle:
+        """Schedule ``callback`` to run ``delay_ms`` from now."""
+        if delay_ms < 0:
+            raise ValueError("cannot schedule an event in the past")
+        return self.schedule_at(self._now + delay_ms, callback)
+
+    def schedule_at(self, time_ms: float, callback: Callable[[], Any]) -> EventHandle:
+        """Schedule ``callback`` at absolute time ``time_ms``."""
+        if time_ms < self._now:
+            raise ValueError(
+                "cannot schedule at %.3f, current time is %.3f"
+                % (time_ms, self._now)
+            )
+        handle = EventHandle(time_ms, next(self._seq))
+        heapq.heappush(self._heap, (time_ms, handle.seq, handle, callback))
+        return handle
+
+    def step(self) -> bool:
+        """Execute the next event.  Returns False when the heap is empty."""
+        while self._heap:
+            time_ms, __, handle, callback = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            self._now = time_ms
+            self._events_processed += 1
+            callback()
+            return True
+        return False
+
+    def run(self, until_ms: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run until the heap empties, ``until_ms`` passes, or ``max_events``.
+
+        ``until_ms`` is inclusive: events scheduled exactly at ``until_ms``
+        still fire, and afterwards the clock is advanced to ``until_ms`` so
+        a bounded run always ends at a well-defined time.
+        """
+        executed = 0
+        while self._heap:
+            next_time = self._heap[0][0]
+            if until_ms is not None and next_time > until_ms:
+                break
+            if max_events is not None and executed >= max_events:
+                return
+            if self.step():
+                executed += 1
+        if until_ms is not None and self._now < until_ms:
+            self._now = until_ms
+
+    def every(
+        self,
+        interval_ms: float,
+        callback: Callable[[], Any],
+        start_ms: Optional[float] = None,
+        until_ms: Optional[float] = None,
+    ) -> None:
+        """Schedule ``callback`` periodically (period ticks, metric samples).
+
+        The recurrence reschedules itself after each firing; ``until_ms``
+        (inclusive) bounds the last firing.
+        """
+        if interval_ms <= 0:
+            raise ValueError("interval must be positive")
+        first = self._now if start_ms is None else start_ms
+
+        def fire_and_reschedule() -> None:
+            callback()
+            next_time = self._now + interval_ms
+            if until_ms is None or next_time <= until_ms:
+                self.schedule_at(next_time, fire_and_reschedule)
+
+        self.schedule_at(first, fire_and_reschedule)

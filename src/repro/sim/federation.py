@@ -1,0 +1,301 @@
+"""The federation simulation: nodes + allocator + workload + metrics.
+
+This is the counterpart of the paper's C++ simulator (Section 5.1): it
+wires the simulated RDBMS nodes, the network, one allocation mechanism and
+a workload trace into a single discrete-event run and collects the metrics
+the paper reports.
+
+The lifecycle per run:
+
+1. a period tick fires every ``period_ms`` (the paper's ``T`` = 500 ms):
+   the allocator's :meth:`on_period_start` runs (QA-NT recomputes supply
+   vectors) and previously refused queries are resubmitted;
+2. every trace event creates a :class:`repro.query.Query` and asks the
+   allocator for a decision; refusals join the pending pool, acceptances
+   enqueue at the chosen node after the negotiation delay;
+3. completions are recorded as :class:`repro.sim.metrics.QueryOutcome`.
+
+After the trace's horizon a configurable *drain* window keeps period ticks
+alive so backlogged queries can finish; whatever is still pending when the
+drain ends is recorded as dropped.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..allocation.base import AllocationContext, Allocator
+from ..catalog import Placement
+from ..query.cost import CostModel, MachineSpec
+from ..query.model import Query, QueryClass
+from ..workload.trace import WorkloadEvent
+from .engine import Simulator
+from .metrics import MetricsCollector, QueryOutcome
+from .network import LatencyModel, Network
+from .node import SimulatedNode
+
+__all__ = [
+    "FederationConfig",
+    "FederationSimulation",
+    "generate_machine_specs",
+    "build_federation",
+]
+
+#: The paper's period length ``T``.
+DEFAULT_PERIOD_MS = 500.0
+
+
+@dataclass(frozen=True)
+class FederationConfig:
+    """Run-level knobs of the federation simulator."""
+
+    period_ms: float = DEFAULT_PERIOD_MS
+    #: Extra simulated time after the last arrival for backlogs to drain.
+    drain_ms: float = 60_000.0
+    latency: LatencyModel = field(default_factory=LatencyModel)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.period_ms <= 0:
+            raise ValueError("period must be positive")
+        if self.drain_ms < 0:
+            raise ValueError("drain window must be non-negative")
+
+
+class FederationSimulation:
+    """One simulated federation bound to one allocation mechanism."""
+
+    def __init__(
+        self,
+        nodes: Dict[int, SimulatedNode],
+        classes: Sequence[QueryClass],
+        candidates_by_class: Dict[int, Tuple[int, ...]],
+        allocator: Allocator,
+        simulator: Simulator,
+        network: Network,
+        config: FederationConfig,
+    ):
+        self._nodes = nodes
+        self._classes = classes
+        self._allocator = allocator
+        self._sim = simulator
+        self._network = network
+        self._config = config
+        self._rng = random.Random(config.seed)
+        self._metrics = MetricsCollector()
+        self._pending: List[Query] = []
+        self._next_qid = 0
+        context = AllocationContext(
+            simulator=simulator,
+            network=network,
+            nodes=nodes,
+            classes=classes,
+            candidates_by_class=candidates_by_class,
+            period_ms=config.period_ms,
+            rng=random.Random(config.seed + 1),
+        )
+        allocator.bind(context)
+
+    # -- accessors -------------------------------------------------------------
+
+    @property
+    def metrics(self) -> MetricsCollector:
+        """The run's metrics collector."""
+        return self._metrics
+
+    @property
+    def nodes(self) -> Dict[int, SimulatedNode]:
+        """The federation's nodes by id."""
+        return self._nodes
+
+    @property
+    def allocator(self) -> Allocator:
+        """The bound allocation mechanism."""
+        return self._allocator
+
+    @property
+    def simulator(self) -> Simulator:
+        """The underlying event simulator."""
+        return self._sim
+
+    @property
+    def network(self) -> Network:
+        """The simulated network (message counts live here)."""
+        return self._network
+
+    @property
+    def pending_queries(self) -> int:
+        """Queries currently refused and awaiting resubmission."""
+        return len(self._pending)
+
+    # -- driving ------------------------------------------------------------------
+
+    def run(self, trace: Sequence[WorkloadEvent]) -> MetricsCollector:
+        """Execute a full workload trace and return the metrics."""
+        if not trace:
+            raise ValueError("cannot run an empty workload trace")
+        horizon = max(e.time_ms for e in trace)
+        end_of_run = horizon + self._config.drain_ms
+
+        self._sim.every(
+            self._config.period_ms,
+            self._on_period_tick,
+            start_ms=self._config.period_ms,
+            until_ms=end_of_run,
+        )
+        for event in trace:
+            self._sim.schedule_at(
+                event.time_ms, lambda ev=event: self._on_arrival(ev)
+            )
+        self._sim.run(until_ms=end_of_run)
+        for __ in self._pending:
+            self._metrics.record_drop()
+        return self._metrics
+
+    # -- event handlers ---------------------------------------------------------------
+
+    def _on_arrival(self, event: WorkloadEvent) -> None:
+        query = Query(
+            qid=self._next_qid,
+            class_index=event.class_index,
+            origin_node=event.origin_node,
+            arrival_ms=event.time_ms,
+        )
+        self._next_qid += 1
+        self._try_assign(query)
+
+    def _on_period_tick(self) -> None:
+        self._allocator.on_period_start()
+        if not self._pending:
+            return
+        # Refused queries re-enter the new period's demand (Section 3.3).
+        retry, self._pending = self._pending, []
+        for query in retry:
+            query.resubmissions += 1
+            self._try_assign(query)
+
+    def _try_assign(self, query: Query) -> None:
+        decision = self._allocator.assign(query)
+        if decision.node_id is None:
+            self._pending.append(query)
+            return
+        node = self._nodes[decision.node_id]
+        assigned_at = self._sim.now + decision.delay_ms
+
+        def enqueue() -> None:
+            record = node.enqueue(query)
+            self._sim.schedule_at(
+                record.finish_ms,
+                lambda: self._on_completion(query, node.node_id, record),
+            )
+
+        query.assigned_ms = assigned_at
+        if decision.delay_ms > 0:
+            self._sim.schedule(decision.delay_ms, enqueue)
+        else:
+            enqueue()
+
+    def _on_completion(self, query: Query, node_id: int, record) -> None:
+        outcome = QueryOutcome(
+            qid=query.qid,
+            class_index=query.class_index,
+            origin_node=query.origin_node,
+            arrival_ms=query.arrival_ms,
+            assigned_ms=(
+                query.assigned_ms
+                if query.assigned_ms is not None
+                else query.arrival_ms
+            ),
+            node_id=node_id,
+            start_ms=record.start_ms,
+            finish_ms=record.finish_ms,
+            resubmissions=query.resubmissions,
+        )
+        self._metrics.record(outcome)
+        self._allocator.on_completion(
+            query, node_id, record.finish_ms - record.start_ms
+        )
+
+
+def generate_machine_specs(
+    num_nodes: int,
+    seed: int = 0,
+    cpu_range_ghz: Tuple[float, float] = (1.0, 3.5),
+    buffer_range_mb: Tuple[float, float] = (2.0, 10.0),
+    io_range_mbps: Tuple[float, float] = (5.0, 80.0),
+    nodes_without_hash_join: int = 5,
+) -> List[MachineSpec]:
+    """Heterogeneous machine specs per Table 3.
+
+    Defaults: CPU 1–3.5 GHz, buffers 2–10 MB, I/O 5–80 MB/s, merge-scan on
+    all nodes but hash join missing on 5 of them.
+    """
+    if num_nodes <= 0:
+        raise ValueError("need at least one node")
+    rng = random.Random(seed)
+    no_hash = set(
+        rng.sample(range(num_nodes), min(nodes_without_hash_join, num_nodes))
+    )
+    return [
+        MachineSpec(
+            cpu_ghz=rng.uniform(*cpu_range_ghz),
+            buffer_mb=rng.uniform(*buffer_range_mb),
+            io_mbps=rng.uniform(*io_range_mbps),
+            supports_hash_join=i not in no_hash,
+        )
+        for i in range(num_nodes)
+    ]
+
+
+def build_federation(
+    specs: Sequence[MachineSpec],
+    placement: Placement,
+    classes: Sequence[QueryClass],
+    cost_model: CostModel,
+    allocator: Allocator,
+    config: Optional[FederationConfig] = None,
+) -> FederationSimulation:
+    """Assemble a ready-to-run federation.
+
+    Node *i* gets machine spec ``specs[i]`` and the relations
+    ``placement.relations_of(i)``; its per-class cost row is the cost
+    model's estimate where it holds all relations of the class and ``inf``
+    elsewhere.
+    """
+    config = config or FederationConfig()
+    if len(specs) != placement.num_nodes:
+        raise ValueError("one machine spec per placed node is required")
+    simulator = Simulator()
+    network = Network(simulator, latency=config.latency, seed=config.seed + 2)
+
+    candidates_by_class: Dict[int, Tuple[int, ...]] = {
+        qc.index: tuple(sorted(qc.candidate_nodes(placement)))
+        for qc in classes
+    }
+    nodes: Dict[int, SimulatedNode] = {}
+    for node_id in placement.node_ids:
+        spec = specs[node_id]
+        costs = []
+        for qc in classes:
+            if node_id in candidates_by_class[qc.index]:
+                costs.append(cost_model.execution_time_ms(qc, spec))
+            else:
+                costs.append(float("inf"))
+        nodes[node_id] = SimulatedNode(
+            node_id=node_id,
+            spec=spec,
+            relations=placement.relations_of(node_id),
+            class_costs_ms=costs,
+            simulator=simulator,
+        )
+    return FederationSimulation(
+        nodes=nodes,
+        classes=classes,
+        candidates_by_class=candidates_by_class,
+        allocator=allocator,
+        simulator=simulator,
+        network=network,
+        config=config,
+    )

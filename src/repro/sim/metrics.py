@@ -1,0 +1,174 @@
+"""Measurement layer: per-query records and the paper's summary metrics.
+
+The paper reports, per experiment, the number of queries executed per time
+period, the average query response time (normalised against QA-NT's), the
+time to assign a query to a node (Fig. 7), and the length of the overload
+period (introduction example).  All of these derive from one immutable
+record per query collected here.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+__all__ = [
+    "QueryOutcome",
+    "MetricsCollector",
+    "normalised_response_times",
+]
+
+
+@dataclass(frozen=True)
+class QueryOutcome:
+    """Full life cycle of one query through the system."""
+
+    qid: int
+    class_index: int
+    origin_node: int
+    arrival_ms: float
+    assigned_ms: float
+    node_id: int
+    start_ms: float
+    finish_ms: float
+    resubmissions: int = 0
+
+    @property
+    def response_ms(self) -> float:
+        """End-to-end response time the client experienced."""
+        return self.finish_ms - self.arrival_ms
+
+    @property
+    def assign_ms(self) -> float:
+        """Time from arrival to node assignment (Fig. 7's 'time to assign')."""
+        return self.assigned_ms - self.arrival_ms
+
+    @property
+    def execution_ms(self) -> float:
+        """Pure execution time on the chosen node."""
+        return self.finish_ms - self.start_ms
+
+
+class MetricsCollector:
+    """Accumulates query outcomes and derives the paper's metrics."""
+
+    def __init__(self) -> None:
+        self._outcomes: List[QueryOutcome] = []
+        self._dropped = 0
+
+    # -- recording ---------------------------------------------------------------
+
+    def record(self, outcome: QueryOutcome) -> None:
+        """Record one completed query."""
+        self._outcomes.append(outcome)
+
+    def record_drop(self) -> None:
+        """Record a query that never completed within the simulation."""
+        self._dropped += 1
+
+    # -- raw access ----------------------------------------------------------------
+
+    @property
+    def outcomes(self) -> List[QueryOutcome]:
+        """All completed-query records."""
+        return self._outcomes
+
+    @property
+    def completed(self) -> int:
+        """Number of queries that finished."""
+        return len(self._outcomes)
+
+    @property
+    def dropped(self) -> int:
+        """Number of queries still unserved when the simulation ended."""
+        return self._dropped
+
+    # -- headline metrics -------------------------------------------------------------
+
+    def mean_response_ms(self) -> float:
+        """Average query response time (NaN when nothing completed)."""
+        if not self._outcomes:
+            return math.nan
+        return sum(o.response_ms for o in self._outcomes) / len(self._outcomes)
+
+    def mean_assign_ms(self) -> float:
+        """Average time to assign a query to a node (Fig. 7 metric)."""
+        if not self._outcomes:
+            return math.nan
+        return sum(o.assign_ms for o in self._outcomes) / len(self._outcomes)
+
+    def mean_resubmissions(self) -> float:
+        """Average number of resubmissions per completed query."""
+        if not self._outcomes:
+            return math.nan
+        return sum(o.resubmissions for o in self._outcomes) / len(self._outcomes)
+
+    def last_finish_ms(self) -> float:
+        """When the system drained — the end of the overload period."""
+        if not self._outcomes:
+            return 0.0
+        return max(o.finish_ms for o in self._outcomes)
+
+    def percentile_response_ms(self, fraction: float) -> float:
+        """Response-time percentile, e.g. ``fraction=0.95`` for p95."""
+        if not 0 <= fraction <= 1:
+            raise ValueError("fraction must be in [0, 1]")
+        if not self._outcomes:
+            return math.nan
+        ordered = sorted(o.response_ms for o in self._outcomes)
+        index = min(len(ordered) - 1, int(fraction * len(ordered)))
+        return ordered[index]
+
+    # -- per-period series (the x-axes of Figs. 3-5) ----------------------------------
+
+    def executed_per_period(
+        self,
+        period_ms: float,
+        horizon_ms: float,
+        class_index: Optional[int] = None,
+    ) -> List[int]:
+        """Queries finished in each period of length ``period_ms``.
+
+        ``class_index`` restricts the count to one class (Fig. 5c plots Q1
+        executions per half-second).
+        """
+        if period_ms <= 0:
+            raise ValueError("period must be positive")
+        num_periods = max(1, int(math.ceil(horizon_ms / period_ms)))
+        counts = [0] * num_periods
+        for outcome in self._outcomes:
+            if class_index is not None and outcome.class_index != class_index:
+                continue
+            bucket = int(outcome.finish_ms // period_ms)
+            if 0 <= bucket < num_periods:
+                counts[bucket] += 1
+        return counts
+
+    def mean_response_by_class(self) -> Dict[int, float]:
+        """Average response time per query class."""
+        sums: Dict[int, float] = {}
+        counts: Dict[int, int] = {}
+        for outcome in self._outcomes:
+            sums[outcome.class_index] = (
+                sums.get(outcome.class_index, 0.0) + outcome.response_ms
+            )
+            counts[outcome.class_index] = counts.get(outcome.class_index, 0) + 1
+        return {k: sums[k] / counts[k] for k in sums}
+
+
+def normalised_response_times(
+    baseline: MetricsCollector, collectors: Dict[str, MetricsCollector]
+) -> Dict[str, float]:
+    """Each mechanism's mean response divided by the baseline's.
+
+    The paper normalises every algorithm's response time by QA-NT's, so
+    QA-NT plots at 1.0 and larger is worse.
+    """
+    reference = baseline.mean_response_ms()
+    if not reference or math.isnan(reference):
+        raise ValueError("baseline has no completed queries to normalise by")
+    return {
+        name: collector.mean_response_ms() / reference
+        for name, collector in collectors.items()
+    }

@@ -1,0 +1,223 @@
+"""Simulated autonomous RDBMS node.
+
+Each node is a black box with its own hardware (a
+:class:`repro.query.MachineSpec`), its own locally-held relations, and a
+serial FIFO query executor — the paper's introduction explicitly assumes
+nodes evaluate one query at a time, and its simulator measures busy time
+per node.  The FIFO is modelled with a single ``busy_until`` watermark:
+enqueueing computes the query's start and finish deterministically, so no
+per-stage events are needed.
+
+The node also exposes what the allocation mechanisms need:
+
+* ``estimated_completion_ms`` for Greedy (queue + execution time);
+* ``current_load_ms`` / ``utilisation`` for the load balancers;
+* ``make_supply_set`` for QA-NT's per-period seller problem.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..core.supply import CapacitySupplySet
+from ..query.cost import MachineSpec
+from ..query.model import Query
+from .engine import Simulator
+
+__all__ = [
+    "ExecutionRecord",
+    "SimulatedNode",
+]
+
+
+@dataclass(frozen=True)
+class ExecutionRecord:
+    """One finished query execution on a node."""
+
+    qid: int
+    class_index: int
+    enqueue_ms: float
+    start_ms: float
+    finish_ms: float
+
+    @property
+    def wait_ms(self) -> float:
+        """Time spent queued before execution started."""
+        return self.start_ms - self.enqueue_ms
+
+    @property
+    def execution_ms(self) -> float:
+        """Pure execution time."""
+        return self.finish_ms - self.start_ms
+
+
+class SimulatedNode:
+    """One autonomous DBMS in the simulated federation."""
+
+    def __init__(
+        self,
+        node_id: int,
+        spec: MachineSpec,
+        relations: FrozenSet[int],
+        class_costs_ms: Sequence[float],
+        simulator: Simulator,
+        exec_slots: int = 1,
+    ):
+        """``class_costs_ms[k]`` is this node's execution time for class
+        *k* (``inf`` when the node lacks the class's relations)."""
+        if exec_slots <= 0:
+            raise ValueError("a node needs at least one execution slot")
+        self.node_id = node_id
+        self.spec = spec
+        self.relations = relations
+        self._costs = tuple(float(c) for c in class_costs_ms)
+        self._sim = simulator
+        self._exec_slots = exec_slots
+        # One watermark per slot; a new query goes to the earliest-free slot.
+        self._slot_free_at: List[float] = [0.0] * exec_slots
+        self._total_busy_ms = 0.0
+        self._executed_by_class: Dict[int, int] = {}
+        self._history: List[ExecutionRecord] = []
+        #: Min-heap of finish times of not-yet-completed executions.
+        self._open_finishes: List[float] = []
+        #: Outage intervals (start_ms, end_ms) during which the node
+        #: accepts no new work; in-flight queries drain normally.
+        self._outages: List[Tuple[float, float]] = []
+
+    # -- capabilities -----------------------------------------------------------
+
+    @property
+    def num_classes(self) -> int:
+        """Number of query classes the cost row covers."""
+        return len(self._costs)
+
+    @property
+    def class_costs_ms(self) -> Sequence[float]:
+        """Per-class execution times on this node (``inf`` = ineligible)."""
+        return self._costs
+
+    def can_evaluate(self, class_index: int) -> bool:
+        """True iff the node holds the data for class ``class_index``."""
+        return not math.isinf(self._costs[class_index])
+
+    def execution_time_ms(self, class_index: int) -> float:
+        """Execution time of one class-``class_index`` query on this node."""
+        cost = self._costs[class_index]
+        if math.isinf(cost):
+            raise ValueError(
+                "node %d cannot evaluate class %d" % (self.node_id, class_index)
+            )
+        return cost
+
+    def schedule_outage(self, start_ms: float, end_ms: float) -> None:
+        """Mark the node unavailable during ``[start_ms, end_ms)``.
+
+        Outages model the paper's motivating overload scenario ("multiple
+        node failures", Section 1): the node stops accepting new queries
+        but drains already-committed work.  Allocators must consult
+        :meth:`is_available` before assigning.
+        """
+        if end_ms <= start_ms:
+            raise ValueError("an outage must end after it starts")
+        if start_ms < 0:
+            raise ValueError("outage start must be non-negative")
+        self._outages.append((start_ms, end_ms))
+
+    def is_available(self, now_ms: Optional[float] = None) -> bool:
+        """True iff the node accepts new work at ``now_ms`` (default: now)."""
+        now = self._sim.now if now_ms is None else now_ms
+        return not any(start <= now < end for start, end in self._outages)
+
+    def make_supply_set(self, period_ms: float) -> CapacitySupplySet:
+        """The node's supply set for one period of length ``period_ms``.
+
+        Capacity is the period length times the number of execution slots —
+        the processing-time budget the QA-NT seller may sell.
+        """
+        return CapacitySupplySet(self._costs, period_ms * self._exec_slots)
+
+    # -- load introspection (used by allocators) ---------------------------------
+
+    def queued_queries(self) -> int:
+        """Number of queries enqueued but not yet finished.
+
+        This is what a lightweight load probe returns (the two-random-
+        probes mechanism polls it): a count, blind to how expensive the
+        queued work is on this machine.
+        """
+        now = self._sim.now
+        while self._open_finishes and self._open_finishes[0] <= now:
+            heapq.heappop(self._open_finishes)
+        return len(self._open_finishes)
+
+    def current_load_ms(self) -> float:
+        """Outstanding work: how far ``busy_until`` lies past *now*.
+
+        With several slots this is the total remaining busy time across
+        slots, matching what a load balancer would learn from the node's
+        queue monitor.
+        """
+        now = self._sim.now
+        return sum(max(0.0, free_at - now) for free_at in self._slot_free_at)
+
+    def estimated_completion_ms(self, class_index: int) -> float:
+        """When a class-``class_index`` query enqueued now would finish."""
+        start = max(self._sim.now, min(self._slot_free_at))
+        return start + self.execution_time_ms(class_index)
+
+    @property
+    def total_busy_ms(self) -> float:
+        """Cumulative execution time of all finished-or-scheduled queries."""
+        return self._total_busy_ms
+
+    @property
+    def executed_by_class(self) -> Dict[int, int]:
+        """Count of queries executed (or committed) per class."""
+        return dict(self._executed_by_class)
+
+    @property
+    def history(self) -> List[ExecutionRecord]:
+        """All executions committed to this node, in enqueue order."""
+        return self._history
+
+    def busy_until_ms(self) -> float:
+        """Absolute time at which the node drains completely."""
+        return max(max(self._slot_free_at), self._sim.now)
+
+    # -- execution ----------------------------------------------------------------
+
+    def enqueue(
+        self,
+        query: Query,
+        on_complete: Optional[Callable[[Query, ExecutionRecord], None]] = None,
+    ) -> ExecutionRecord:
+        """Commit ``query`` to this node's FIFO and schedule its completion.
+
+        Returns the (already fully determined) execution record;
+        ``on_complete`` fires at the query's finish time.
+        """
+        exec_ms = self.execution_time_ms(query.class_index)
+        now = self._sim.now
+        slot = min(range(self._exec_slots), key=lambda i: self._slot_free_at[i])
+        start = max(now, self._slot_free_at[slot])
+        finish = start + exec_ms
+        self._slot_free_at[slot] = finish
+        self._total_busy_ms += exec_ms
+        self._executed_by_class[query.class_index] = (
+            self._executed_by_class.get(query.class_index, 0) + 1
+        )
+        record = ExecutionRecord(
+            qid=query.qid,
+            class_index=query.class_index,
+            enqueue_ms=now,
+            start_ms=start,
+            finish_ms=finish,
+        )
+        self._history.append(record)
+        heapq.heappush(self._open_finishes, finish)
+        if on_complete is not None:
+            self._sim.schedule_at(finish, lambda: on_complete(query, record))
+        return record

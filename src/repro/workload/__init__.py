@@ -1,0 +1,32 @@
+"""Workload generation: arrival processes and trace builders."""
+
+from .arrival import (
+    ArrivalProcess,
+    FixedArrivals,
+    PoissonArrivals,
+    UniformArrivals,
+)
+from .sinusoid import PAPER_PHASE_DIFFERENCE_DEG, SinusoidArrivals
+from .trace import (
+    WorkloadEvent,
+    build_trace,
+    two_class_sinusoid_trace,
+    zipf_trace,
+)
+from .zipf import MAX_INTERARRIVAL_MS, TruncatedZipf, ZipfArrivals
+
+__all__ = [
+    "ArrivalProcess",
+    "FixedArrivals",
+    "MAX_INTERARRIVAL_MS",
+    "PAPER_PHASE_DIFFERENCE_DEG",
+    "PoissonArrivals",
+    "SinusoidArrivals",
+    "TruncatedZipf",
+    "UniformArrivals",
+    "WorkloadEvent",
+    "ZipfArrivals",
+    "build_trace",
+    "two_class_sinusoid_trace",
+    "zipf_trace",
+]

@@ -1,0 +1,86 @@
+"""Arrival processes: streams of query arrival times.
+
+An :class:`ArrivalProcess` turns randomness into a non-decreasing sequence
+of arrival times (milliseconds) over a finite horizon.  The paper's
+experiments use three families:
+
+* uniform inter-arrival (the real-deployment experiment, Fig. 7);
+* sinusoid-modulated arrival *rates* (Figs. 3–5) — implemented in
+  :mod:`repro.workload.sinusoid`;
+* Zipf-distributed inter-arrival *times* (Fig. 6) — implemented in
+  :mod:`repro.workload.zipf`.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Iterator, List
+
+__all__ = [
+    "ArrivalProcess",
+    "UniformArrivals",
+    "PoissonArrivals",
+    "FixedArrivals",
+]
+
+
+class ArrivalProcess(abc.ABC):
+    """Generates arrival times within ``[0, horizon_ms)``."""
+
+    @abc.abstractmethod
+    def times(self, horizon_ms: float, rng: random.Random) -> Iterator[float]:
+        """Yield non-decreasing arrival times smaller than ``horizon_ms``."""
+
+    def sample(self, horizon_ms: float, rng: random.Random) -> List[float]:
+        """All arrival times as a list (convenience for trace builders)."""
+        return list(self.times(horizon_ms, rng))
+
+
+class UniformArrivals(ArrivalProcess):
+    """Inter-arrival gaps uniform in ``[0, 2 * mean_ms]``.
+
+    Matches the paper's real-deployment workload: "query interarrival time
+    had a uniform distribution with an average of 300 ms".
+    """
+
+    def __init__(self, mean_ms: float):
+        if mean_ms <= 0:
+            raise ValueError("mean inter-arrival time must be positive")
+        self._mean_ms = mean_ms
+
+    def times(self, horizon_ms: float, rng: random.Random) -> Iterator[float]:
+        clock = rng.uniform(0.0, 2.0 * self._mean_ms)
+        while clock < horizon_ms:
+            yield clock
+            clock += rng.uniform(0.0, 2.0 * self._mean_ms)
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Homogeneous Poisson process with rate ``rate_per_ms``."""
+
+    def __init__(self, rate_per_ms: float):
+        if rate_per_ms <= 0:
+            raise ValueError("arrival rate must be positive")
+        self._rate = rate_per_ms
+
+    def times(self, horizon_ms: float, rng: random.Random) -> Iterator[float]:
+        clock = rng.expovariate(self._rate)
+        while clock < horizon_ms:
+            yield clock
+            clock += rng.expovariate(self._rate)
+
+
+class FixedArrivals(ArrivalProcess):
+    """A predetermined list of arrival times (deterministic tests, replays)."""
+
+    def __init__(self, times_ms: List[float]):
+        ordered = sorted(times_ms)
+        if any(t < 0 for t in ordered):
+            raise ValueError("arrival times must be non-negative")
+        self._times = ordered
+
+    def times(self, horizon_ms: float, rng: random.Random) -> Iterator[float]:
+        for t in self._times:
+            if t < horizon_ms:
+                yield t

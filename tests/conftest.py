@@ -1,0 +1,43 @@
+"""Shared fixtures: small worlds reused across the test suite."""
+
+import pytest
+
+from repro.catalog import CatalogParameters, generate_catalog_and_placement
+from repro.experiments.setups import two_query_world, zipf_world
+from repro.query import (
+    QueryClassParameters,
+    calibrated_cost_model,
+    generate_query_classes,
+)
+from repro.sim import generate_machine_specs
+
+
+@pytest.fixture(scope="session")
+def small_catalog_world():
+    """A small catalog-backed world: catalog, placement, classes, specs, model."""
+    params = CatalogParameters(
+        num_relations=100, num_nodes=10, bundle_size=10, mirrors=4, num_groups=2
+    )
+    catalog, placement = generate_catalog_and_placement(params, seed=1)
+    class_params = QueryClassParameters(num_classes=6, max_joins=5)
+    classes = generate_query_classes(catalog, placement, class_params, seed=2)
+    specs = generate_machine_specs(10, seed=3, nodes_without_hash_join=1)
+    eligible = [sorted(qc.candidate_nodes(placement)) for qc in classes]
+    model = calibrated_cost_model(
+        catalog, classes, specs, target_best_ms=1000.0, eligible_nodes=eligible
+    )
+    return catalog, placement, classes, specs, model
+
+
+@pytest.fixture(scope="session")
+def tiny_two_query_world():
+    """The paper's two-query world at test scale (12 nodes)."""
+    return two_query_world(num_nodes=12, seed=5)
+
+
+@pytest.fixture(scope="session")
+def tiny_zipf_world():
+    """The Table 3 world at test scale."""
+    return zipf_world(
+        num_nodes=12, num_relations=60, num_classes=8, max_joins=6, seed=7
+    )

@@ -1,0 +1,73 @@
+"""Unit tests for repro.sim.capacity (the workload-scaling LP)."""
+
+import math
+
+import pytest
+
+from repro.sim.capacity import (
+    _capacity_greedy,
+    _greedy_feasible,
+    system_capacity_qpms,
+)
+
+INF = math.inf
+
+
+class TestCapacity:
+    def test_single_node_single_class(self):
+        # One node, 100 ms per query -> 0.01 queries per ms.
+        assert system_capacity_qpms([[100.0]], [1.0]) == pytest.approx(
+            0.01, rel=1e-3
+        )
+
+    def test_two_identical_nodes_double_capacity(self):
+        one = system_capacity_qpms([[100.0]], [1.0])
+        two = system_capacity_qpms([[100.0], [100.0]], [1.0])
+        assert two == pytest.approx(2 * one, rel=1e-3)
+
+    def test_mix_weighting(self):
+        # One node; class 0 costs 100, class 1 costs 300; equal mix.
+        # Per 'unit' of mixed traffic: 0.5*100 + 0.5*300 = 200 ms.
+        cap = system_capacity_qpms([[100.0, 300.0]], [1.0, 1.0])
+        assert cap == pytest.approx(1.0 / 200.0, rel=1e-3)
+
+    def test_specialisation_exploited(self):
+        # Two nodes, each fast at a different class; equal mix.  The
+        # optimum dedicates each node to its fast class.
+        costs = [[100.0, 1000.0], [1000.0, 100.0]]
+        cap = system_capacity_qpms(costs, [1.0, 1.0])
+        assert cap == pytest.approx(0.02, rel=1e-2)
+
+    def test_ineligible_class_limits_capacity(self):
+        # Class 1 only on node 1.
+        costs = [[100.0, INF], [100.0, 100.0]]
+        cap = system_capacity_qpms(costs, [0.0, 1.0])
+        assert cap == pytest.approx(0.01, rel=1e-3)
+
+    def test_mix_normalisation(self):
+        costs = [[100.0, 200.0]]
+        assert system_capacity_qpms(costs, [2.0, 1.0]) == pytest.approx(
+            system_capacity_qpms(costs, [4.0, 2.0]), rel=1e-6
+        )
+
+    def test_zero_mix_rejected(self):
+        with pytest.raises(ValueError):
+            system_capacity_qpms([[100.0]], [0.0])
+
+    def test_unservable_class_gives_zero_capacity(self):
+        cap = system_capacity_qpms([[INF]], [1.0])
+        assert cap == pytest.approx(0.0, abs=1e-6)
+
+
+class TestGreedyFallback:
+    def test_greedy_close_to_lp_on_simple_instance(self):
+        costs = [[100.0, 1000.0], [1000.0, 100.0]]
+        lp = system_capacity_qpms(costs, [1.0, 1.0])
+        greedy = _capacity_greedy(costs, [0.5, 0.5])
+        assert greedy <= lp + 1e-6
+        assert greedy >= 0.5 * lp
+
+    def test_feasibility_check(self):
+        costs = [[100.0]]
+        assert _greedy_feasible(costs, [1.0], 0.009)
+        assert not _greedy_feasible(costs, [1.0], 0.011)

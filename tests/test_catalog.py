@@ -1,0 +1,154 @@
+"""Unit tests for repro.catalog (schema, generator, placement)."""
+
+import pytest
+
+from repro.catalog import (
+    Catalog,
+    CatalogParameters,
+    Placement,
+    Relation,
+    generate_catalog,
+    generate_catalog_and_placement,
+    generate_placement,
+)
+
+
+class TestRelation:
+    def test_tuple_metrics(self):
+        r = Relation(rid=0, name="r", size_mb=1.0, num_attributes=10)
+        assert r.tuple_bytes == 200
+        assert r.num_tuples == 5000
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            Relation(rid=0, name="r", size_mb=0.0)
+
+    def test_rejects_zero_attributes(self):
+        with pytest.raises(ValueError):
+            Relation(rid=0, name="r", size_mb=1.0, num_attributes=0)
+
+
+class TestCatalog:
+    def make(self):
+        return Catalog(
+            [
+                Relation(rid=0, name="a", size_mb=2.0),
+                Relation(rid=1, name="b", size_mb=4.0),
+            ]
+        )
+
+    def test_lookup(self):
+        cat = self.make()
+        assert cat.get(1).name == "b"
+        assert 0 in cat and 5 not in cat
+        assert len(cat) == 2
+
+    def test_duplicate_rid_rejected(self):
+        with pytest.raises(ValueError):
+            Catalog(
+                [
+                    Relation(rid=0, name="a", size_mb=1.0),
+                    Relation(rid=0, name="b", size_mb=1.0),
+                ]
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Catalog([])
+
+    def test_size_statistics(self):
+        cat = self.make()
+        assert cat.total_size_mb() == 6.0
+        assert cat.average_size_mb() == 3.0
+
+    def test_relation_ids_sorted(self):
+        assert self.make().relation_ids == [0, 1]
+
+
+class TestPlacement:
+    def make(self):
+        return Placement({0: {0, 1}, 1: {1, 2}, 2: {0, 1, 2}})
+
+    def test_relations_of(self):
+        p = self.make()
+        assert p.relations_of(0) == frozenset({0, 1})
+
+    def test_mirrors_of(self):
+        p = self.make()
+        assert p.mirrors_of(1) == frozenset({0, 1, 2})
+        assert p.mirrors_of(99) == frozenset()
+
+    def test_holders_requires_all_relations(self):
+        p = self.make()
+        assert p.holders([0, 1]) == frozenset({0, 2})
+        assert p.holders([0, 1, 2]) == frozenset({2})
+
+    def test_holders_of_empty_list_is_everyone(self):
+        assert self.make().holders([]) == frozenset({0, 1, 2})
+
+    def test_holders_of_unplaced_relation_empty(self):
+        assert self.make().holders([42]) == frozenset()
+
+    def test_statistics(self):
+        p = self.make()
+        assert p.average_mirrors() == pytest.approx(7 / 3)
+        assert p.average_relations_per_node() == pytest.approx(7 / 3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Placement({})
+
+
+class TestGenerator:
+    def params(self):
+        return CatalogParameters(
+            num_relations=100,
+            num_nodes=20,
+            bundle_size=10,
+            mirrors=4,
+            num_groups=4,
+        )
+
+    def test_catalog_statistics(self):
+        catalog = generate_catalog(self.params(), seed=0)
+        assert len(catalog) == 100
+        sizes = [r.size_mb for r in catalog]
+        assert all(1.0 <= s <= 20.0 for s in sizes)
+        # Uniform(1, 20) has mean 10.5 (Table 3's reported average).
+        assert 8.0 <= catalog.average_size_mb() <= 13.0
+
+    def test_placement_statistics(self):
+        catalog, placement = generate_catalog_and_placement(self.params(), seed=0)
+        assert placement.num_nodes == 20
+        assert placement.average_mirrors() == pytest.approx(4.0)
+        # 100 relations x 4 copies / 20 nodes = 20 per node.
+        assert placement.average_relations_per_node() == pytest.approx(20.0)
+
+    def test_every_relation_placed(self):
+        catalog, placement = generate_catalog_and_placement(self.params(), seed=1)
+        for rid in catalog.relation_ids:
+            assert placement.mirrors_of(rid)
+
+    def test_bundles_are_colocated(self):
+        # All relations of one bundle share the same mirror set.
+        catalog, placement = generate_catalog_and_placement(self.params(), seed=2)
+        bundle = list(range(10))  # first bundle: rids 0..9
+        mirror_sets = {placement.mirrors_of(rid) for rid in bundle}
+        assert len(mirror_sets) == 1
+
+    def test_deterministic_given_seed(self):
+        a = generate_placement(generate_catalog(self.params(), 5), self.params(), 5)
+        b = generate_placement(generate_catalog(self.params(), 5), self.params(), 5)
+        assert all(
+            a.relations_of(n) == b.relations_of(n) for n in range(20)
+        )
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            CatalogParameters(num_relations=0)
+        with pytest.raises(ValueError):
+            CatalogParameters(min_size_mb=5.0, max_size_mb=1.0)
+        with pytest.raises(ValueError):
+            CatalogParameters(num_groups=0)
+        with pytest.raises(ValueError):
+            CatalogParameters(num_nodes=5, num_groups=10)

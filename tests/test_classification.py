@@ -1,0 +1,161 @@
+"""Tests for per-node private query classification (Section 3.3)."""
+
+import math
+
+import pytest
+
+from repro.allocation import GreedyAllocator, QantAllocator
+from repro.core.classification import (
+    ClassificationScheme,
+    PrivatelyClassifiedAgent,
+    cost_band_classification,
+)
+from repro.core.qant import QantParameters
+from repro.experiments.setups import (
+    run_mechanisms,
+    sinusoid_trace_for_load,
+    two_query_world,
+)
+from repro.sim import FederationConfig
+
+INF = math.inf
+
+
+class TestClassificationScheme:
+    def test_bucket_lookup(self):
+        scheme = ClassificationScheme([0, 1, 0, 1])
+        assert scheme.bucket_of(0) == 0
+        assert scheme.bucket_of(3) == 1
+        assert scheme.members_of(0) == (0, 2)
+        assert scheme.num_buckets == 2
+        assert scheme.num_global_classes == 4
+
+    def test_rejects_non_consecutive_buckets(self):
+        with pytest.raises(ValueError):
+            ClassificationScheme([0, 2])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ClassificationScheme([])
+
+    def test_bucket_costs_average_members(self):
+        scheme = ClassificationScheme([0, 0, 1])
+        costs = scheme.bucket_costs([100.0, 200.0, 400.0])
+        assert costs == [150.0, 400.0]
+
+    def test_bucket_costs_skip_inevaluable_members(self):
+        scheme = ClassificationScheme([0, 0])
+        costs = scheme.bucket_costs([100.0, INF])
+        assert costs == [100.0]
+
+    def test_all_inf_bucket_is_inf(self):
+        scheme = ClassificationScheme([0])
+        assert math.isinf(scheme.bucket_costs([INF])[0])
+
+    def test_cost_row_length_check(self):
+        scheme = ClassificationScheme([0, 1])
+        with pytest.raises(ValueError):
+            scheme.bucket_costs([100.0])
+
+
+class TestCostBandClassification:
+    def test_similar_costs_share_bucket(self):
+        scheme = cost_band_classification([100.0, 110.0, 5000.0], 2)
+        assert scheme.bucket_of(0) == scheme.bucket_of(1)
+        assert scheme.bucket_of(2) != scheme.bucket_of(0)
+
+    def test_single_bucket(self):
+        scheme = cost_band_classification([1.0, 1000.0], 1)
+        assert scheme.num_buckets == 1
+
+    def test_all_equal_costs_collapse(self):
+        scheme = cost_band_classification([100.0, 100.0, 100.0], 5)
+        assert scheme.num_buckets == 1
+
+    def test_inf_costs_in_dearest_band(self):
+        scheme = cost_band_classification([100.0, INF, 5000.0], 3)
+        assert scheme.bucket_of(1) == scheme.bucket_of(2) or (
+            scheme.bucket_of(1) > scheme.bucket_of(0)
+        )
+
+    def test_invalid_bucket_count(self):
+        with pytest.raises(ValueError):
+            cost_band_classification([1.0], 0)
+
+
+class TestPrivatelyClassifiedAgent:
+    def make_agent(self, costs=(100.0, 120.0, 1000.0), buckets=2):
+        scheme = cost_band_classification(list(costs), buckets)
+        return (
+            PrivatelyClassifiedAgent(
+                scheme,
+                list(costs),
+                capacity_ms=1000.0,
+                parameters=QantParameters(
+                    supply_method="greedy", carry_over=False
+                ),
+            ),
+            scheme,
+        )
+
+    def test_offer_translates_to_bucket(self):
+        agent, scheme = self.make_agent()
+        agent.begin_period()
+        # Classes 0 and 1 share the cheap bucket: supply is fungible.
+        assert agent.would_offer(0)
+        agent.accept(0)
+        assert agent.would_offer(1)
+
+    def test_inevaluable_class_never_offered(self):
+        agent, __ = self.make_agent(costs=(100.0, INF))
+        agent.begin_period()
+        assert not agent.would_offer(1)
+
+    def test_remaining_supply_per_global_class(self):
+        agent, scheme = self.make_agent()
+        agent.begin_period()
+        remaining = agent.remaining_supply
+        assert len(remaining) == 3
+        assert remaining[0] == remaining[1]  # same bucket
+
+    def test_rebind_capacity(self):
+        agent, __ = self.make_agent()
+        agent.begin_period()
+        agent.end_period()
+        agent.rebind_capacity(0.0)
+        assert agent.begin_period().is_zero()
+
+    def test_period_protocol(self):
+        agent, __ = self.make_agent()
+        assert not agent.in_period
+        agent.begin_period()
+        assert agent.in_period
+        stats = agent.end_period()
+        assert stats.planned_supply.total() >= 0
+
+
+@pytest.mark.slow
+class TestPrivateClassificationEndToEnd:
+    def test_qant_with_private_buckets_still_works(self):
+        """Section 3.3's claim: nodes with private classifications still
+        run the market and serve the workload."""
+        world = two_query_world(num_nodes=10, seed=3)
+        trace = sinusoid_trace_for_load(
+            world, load_fraction=0.8, horizon_ms=20_000.0, seed=4
+        )
+        runs = run_mechanisms(
+            world,
+            trace,
+            mechanisms={
+                "qa-nt-private": lambda: QantAllocator(private_buckets=2),
+                "greedy": GreedyAllocator,
+            },
+            config=FederationConfig(seed=5, drain_ms=120_000.0),
+        )
+        private = runs["qa-nt-private"]
+        assert private.metrics.completed == len(trace)
+        # Stays in the same performance ballpark as Greedy.
+        assert (
+            private.mean_response_ms
+            <= 2.0 * runs["greedy"].mean_response_ms
+        )

@@ -1,0 +1,114 @@
+"""Tests for the CLI and the node-failure extension experiment."""
+
+import math
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+from repro.experiments.failures import run_failures
+from repro.query import MachineSpec
+from repro.sim import Simulator
+from repro.sim.node import SimulatedNode
+
+
+class TestCli:
+    def test_list_prints_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out.split()
+        assert set(out) == set(EXPERIMENTS)
+
+    def test_run_fig1(self, capsys):
+        assert main(["run", "fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "662.5" in out and "431.25" in out
+
+    def test_run_fig2(self, capsys):
+        assert main(["run", "fig2"]) == 0
+        assert "demand d" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "nonexistent"])
+
+    def test_every_registered_experiment_has_render(self):
+        # The registry contract: every callable yields a render()able.
+        for name, factory in EXPERIMENTS.items():
+            assert callable(factory)
+
+
+class TestNodeOutages:
+    def make_node(self):
+        sim = Simulator()
+        node = SimulatedNode(
+            node_id=0,
+            spec=MachineSpec(),
+            relations=frozenset({0}),
+            class_costs_ms=[100.0],
+            simulator=sim,
+        )
+        return sim, node
+
+    def test_available_by_default(self):
+        __, node = self.make_node()
+        assert node.is_available()
+
+    def test_unavailable_during_outage(self):
+        sim, node = self.make_node()
+        node.schedule_outage(10.0, 20.0)
+        assert node.is_available(5.0)
+        assert not node.is_available(10.0)
+        assert not node.is_available(19.9)
+        assert node.is_available(20.0)
+
+    def test_multiple_outages(self):
+        __, node = self.make_node()
+        node.schedule_outage(10.0, 20.0)
+        node.schedule_outage(30.0, 40.0)
+        assert node.is_available(25.0)
+        assert not node.is_available(35.0)
+
+    def test_invalid_outage_rejected(self):
+        __, node = self.make_node()
+        with pytest.raises(ValueError):
+            node.schedule_outage(20.0, 10.0)
+        with pytest.raises(ValueError):
+            node.schedule_outage(-5.0, 10.0)
+
+
+@pytest.mark.slow
+class TestFailureExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_failures(
+            num_nodes=20,
+            failed_fraction=0.3,
+            outage_window_ms=(10_000.0, 20_000.0),
+            horizon_ms=30_000.0,
+            load_fraction=0.5,
+            seed=2,
+        )
+
+    def test_failed_nodes_recorded(self, result):
+        assert result.failed_nodes
+        assert all(nid % 3 == 0 for nid in result.failed_nodes)
+
+    def test_all_phases_measured(self, result):
+        for mechanism in ("qa-nt", "greedy"):
+            phases = result.phases[mechanism]
+            for phase in ("before", "during", "after"):
+                assert not math.isnan(phases[phase])
+
+    def test_outage_degrades_response(self, result):
+        # Losing 1/3 of the nodes under load must hurt.
+        for mechanism in ("qa-nt", "greedy"):
+            assert result.degradation(mechanism) > 1.0
+
+    def test_render(self, result):
+        text = result.render()
+        assert "during outage" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_failures(failed_fraction=0.0)
+        with pytest.raises(ValueError):
+            run_failures(outage_window_ms=(50_000.0, 10_000.0))

@@ -1,0 +1,189 @@
+"""Unit tests for repro.query.cost (the analytical cost model)."""
+
+import math
+
+import pytest
+
+from repro.catalog import Catalog, Relation
+from repro.query.cost import (
+    CostModel,
+    MachineSpec,
+    RelativeSpeedCostModel,
+    calibrated_cost_model,
+    cost_matrix,
+)
+from repro.query.model import QueryClass
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return Catalog(
+        [
+            Relation(rid=0, name="small", size_mb=1.0),
+            Relation(rid=1, name="medium", size_mb=8.0),
+            Relation(rid=2, name="large", size_mb=18.0),
+        ]
+    )
+
+
+def qc(rids, sort=False, selectivity=0.5, index=0):
+    return QueryClass(
+        index=index,
+        relation_ids=tuple(rids),
+        selectivity=selectivity,
+        requires_sort=sort,
+    )
+
+
+class TestMachineSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MachineSpec(cpu_ghz=0.0)
+        with pytest.raises(ValueError):
+            MachineSpec(buffer_mb=0.0)
+        with pytest.raises(ValueError):
+            MachineSpec(io_mbps=0.0)
+
+
+class TestCostModel:
+    def test_cost_is_positive(self, catalog):
+        model = CostModel(catalog)
+        assert model.execution_time_ms(qc([0]), MachineSpec()) > 0
+
+    def test_faster_io_is_cheaper(self, catalog):
+        model = CostModel(catalog)
+        slow = MachineSpec(io_mbps=5.0)
+        fast = MachineSpec(io_mbps=80.0)
+        query = qc([1, 2])
+        assert model.execution_time_ms(query, fast) < model.execution_time_ms(
+            query, slow
+        )
+
+    def test_faster_cpu_is_cheaper(self, catalog):
+        model = CostModel(catalog)
+        slow = MachineSpec(cpu_ghz=1.0)
+        fast = MachineSpec(cpu_ghz=3.5)
+        query = qc([1, 2], sort=True)
+        assert model.execution_time_ms(query, fast) < model.execution_time_ms(
+            query, slow
+        )
+
+    def test_more_joins_cost_more(self, catalog):
+        model = CostModel(catalog)
+        spec = MachineSpec()
+        assert model.execution_time_ms(qc([0, 1, 2]), spec) > model.execution_time_ms(
+            qc([0, 1]), spec
+        )
+
+    def test_sort_adds_cost(self, catalog):
+        model = CostModel(catalog)
+        spec = MachineSpec()
+        assert model.execution_time_ms(
+            qc([1, 2], sort=True), spec
+        ) > model.execution_time_ms(qc([1, 2], sort=False), spec)
+
+    def test_hash_join_cheaper_than_merge_scan_for_big_inputs(self, catalog):
+        model = CostModel(catalog)
+        with_hash = MachineSpec(supports_hash_join=True)
+        without = MachineSpec(supports_hash_join=False)
+        query = qc([1, 2])
+        assert model.execution_time_ms(query, with_hash) < model.execution_time_ms(
+            query, without
+        )
+
+    def test_bigger_buffer_never_hurts(self, catalog):
+        model = CostModel(catalog)
+        small = MachineSpec(buffer_mb=2.0, supports_hash_join=False)
+        large = MachineSpec(buffer_mb=10.0, supports_hash_join=False)
+        query = qc([1, 2], sort=True)
+        assert model.execution_time_ms(query, large) <= model.execution_time_ms(
+            query, small
+        )
+
+    def test_scale_multiplies_costs(self, catalog):
+        base = CostModel(catalog)
+        doubled = base.rescaled(2.0)
+        query = qc([0, 1])
+        assert doubled.execution_time_ms(
+            query, MachineSpec()
+        ) == pytest.approx(2 * base.execution_time_ms(query, MachineSpec()))
+
+    def test_bad_scale_rejected(self, catalog):
+        with pytest.raises(ValueError):
+            CostModel(catalog, scale=0.0)
+
+    def test_caching_returns_same_value(self, catalog):
+        model = CostModel(catalog)
+        spec = MachineSpec()
+        query = qc([0, 1, 2])
+        assert model.execution_time_ms(query, spec) == model.execution_time_ms(
+            query, spec
+        )
+
+
+class TestCalibration:
+    def test_target_mean_best_hit(self, catalog):
+        classes = [qc([0], index=0), qc([0, 1], index=1), qc([1, 2], index=2)]
+        specs = [MachineSpec(), MachineSpec(cpu_ghz=3.5, io_mbps=80.0)]
+        model = calibrated_cost_model(catalog, classes, specs, target_best_ms=500.0)
+        best = [
+            min(model.execution_time_ms(c, s) for s in specs) for c in classes
+        ]
+        assert sum(best) / len(best) == pytest.approx(500.0, rel=1e-6)
+
+    def test_eligibility_restricts_best(self, catalog):
+        classes = [qc([0], index=0)]
+        slow = MachineSpec(cpu_ghz=1.0, io_mbps=5.0)
+        fast = MachineSpec(cpu_ghz=3.5, io_mbps=80.0)
+        only_slow = calibrated_cost_model(
+            catalog, classes, [slow, fast], target_best_ms=100.0,
+            eligible_nodes=[[0]],
+        )
+        assert only_slow.execution_time_ms(classes[0], slow) == pytest.approx(
+            100.0, rel=1e-6
+        )
+
+    def test_empty_eligibility_rejected(self, catalog):
+        with pytest.raises(ValueError):
+            calibrated_cost_model(
+                catalog, [qc([0])], [MachineSpec()], eligible_nodes=[[]]
+            )
+
+
+class TestCostMatrix:
+    def test_eligibility_marks_infinity(self, catalog):
+        classes = [qc([0], index=0), qc([1], index=1)]
+        specs = [MachineSpec()]
+        matrix = cost_matrix(
+            classes, specs, CostModel(catalog), eligibility=[[True, False]]
+        )
+        assert matrix[0][0] > 0
+        assert math.isinf(matrix[0][1])
+
+
+class TestRelativeSpeedModel:
+    def test_reference_speed_is_one(self):
+        assert RelativeSpeedCostModel.speed_factor(MachineSpec()) == pytest.approx(1.0)
+
+    def test_costs_scale_inversely_with_speed(self):
+        model = RelativeSpeedCostModel({0: 1000.0})
+        fast = MachineSpec(cpu_ghz=4.6, io_mbps=85.0)
+        query = qc([0])
+        assert model.execution_time_ms(query, fast) < 1000.0
+
+    def test_reference_cost_is_base(self):
+        model = RelativeSpeedCostModel({0: 1000.0})
+        assert model.execution_time_ms(qc([0]), MachineSpec()) == pytest.approx(
+            1000.0
+        )
+
+    def test_unknown_class_rejected(self):
+        model = RelativeSpeedCostModel({0: 1000.0})
+        with pytest.raises(KeyError):
+            model.execution_time_ms(qc([0], index=7), MachineSpec())
+
+    def test_bad_base_cost_rejected(self):
+        with pytest.raises(ValueError):
+            RelativeSpeedCostModel({0: 0.0})
+        with pytest.raises(ValueError):
+            RelativeSpeedCostModel({})

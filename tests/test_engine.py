@@ -1,0 +1,135 @@
+"""Unit tests for repro.sim.engine (the discrete-event kernel)."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(30.0, lambda: fired.append("c"))
+        sim.schedule(10.0, lambda: fired.append("a"))
+        sim.schedule(20.0, lambda: fired.append("b"))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_fifo_tie_breaking(self):
+        sim = Simulator()
+        fired = []
+        for name in "abc":
+            sim.schedule(5.0, lambda n=name: fired.append(n))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(12.5, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [12.5]
+        assert sim.now == 12.5
+
+    def test_schedule_in_past_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_before_now_rejected(self):
+        sim = Simulator()
+        sim.schedule(10.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(5.0, lambda: None)
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        fired = []
+
+        def outer():
+            fired.append(("outer", sim.now))
+            sim.schedule(5.0, lambda: fired.append(("inner", sim.now)))
+
+        sim.schedule(10.0, outer)
+        sim.run()
+        assert fired == [("outer", 10.0), ("inner", 15.0)]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(10.0, lambda: fired.append(1))
+        handle.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_after_fire_is_noop(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        sim.run()
+        handle.cancel()  # should not raise
+
+
+class TestBoundedRuns:
+    def test_run_until_is_inclusive(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10.0, lambda: fired.append("at"))
+        sim.schedule(10.1, lambda: fired.append("after"))
+        sim.run(until_ms=10.0)
+        assert fired == ["at"]
+        assert sim.now == 10.0
+
+    def test_run_until_advances_clock_without_events(self):
+        sim = Simulator()
+        sim.run(until_ms=50.0)
+        assert sim.now == 50.0
+
+    def test_remaining_events_fire_on_next_run(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10.0, lambda: fired.append(1))
+        sim.run(until_ms=5.0)
+        assert fired == []
+        sim.run()
+        assert fired == [1]
+
+    def test_max_events(self):
+        sim = Simulator()
+        fired = []
+        for i in range(5):
+            sim.schedule(float(i + 1), lambda i=i: fired.append(i))
+        sim.run(max_events=2)
+        assert fired == [0, 1]
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for i in range(3):
+            sim.schedule(float(i), lambda: None)
+        sim.run()
+        assert sim.events_processed == 3
+
+    def test_step_returns_false_when_empty(self):
+        assert not Simulator().step()
+
+
+class TestRecurrence:
+    def test_every_fires_periodically(self):
+        sim = Simulator()
+        times = []
+        sim.every(10.0, lambda: times.append(sim.now), start_ms=10.0, until_ms=45.0)
+        sim.run()
+        assert times == [10.0, 20.0, 30.0, 40.0]
+
+    def test_every_rejects_nonpositive_interval(self):
+        with pytest.raises(ValueError):
+            Simulator().every(0.0, lambda: None)
+
+    def test_every_default_start_is_now(self):
+        sim = Simulator()
+        times = []
+        sim.every(5.0, lambda: times.append(sim.now), until_ms=12.0)
+        sim.run()
+        assert times == [0.0, 5.0, 10.0]

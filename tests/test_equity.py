@@ -1,0 +1,143 @@
+"""Unit tests for repro.core.equity (future-work equitable allocation)."""
+
+import pytest
+
+from repro.core.equity import (
+    equitable_allocation,
+    equitable_consumptions,
+    jain_fairness_index,
+    utility_spread,
+)
+from repro.core.pareto import Allocation, is_pareto_optimal
+from repro.core.preferences import WeightedThroughputPreference
+from repro.core.vectors import QueryVector, aggregate
+
+
+class TestProgressiveFilling:
+    def test_scarce_supply_split_evenly(self):
+        supply = QueryVector([4, 0])
+        demands = [QueryVector([4, 0]), QueryVector([4, 0])]
+        consumptions = equitable_consumptions(supply, demands)
+        assert [c.total() for c in consumptions] == [2.0, 2.0]
+
+    def test_all_supply_distributed_when_demanded(self):
+        supply = QueryVector([3, 2])
+        demands = [QueryVector([3, 2]), QueryVector([3, 2])]
+        consumptions = equitable_consumptions(supply, demands)
+        assert aggregate(consumptions) == supply
+
+    def test_consumption_never_exceeds_demand(self):
+        supply = QueryVector([10, 10])
+        demands = [QueryVector([1, 0]), QueryVector([0, 2])]
+        consumptions = equitable_consumptions(supply, demands)
+        for consumption, demand in zip(consumptions, demands):
+            assert consumption.componentwise_le(demand)
+
+    def test_uneven_demand_max_min_fair(self):
+        # 5 units of supply; node 0 wants 1, nodes 1-2 want 5 each.
+        supply = QueryVector([5])
+        demands = [QueryVector([1]), QueryVector([5]), QueryVector([5])]
+        consumptions = equitable_consumptions(supply, demands)
+        totals = [c.total() for c in consumptions]
+        assert totals == [1.0, 2.0, 2.0]
+
+    def test_scarcest_class_granted_first(self):
+        # Node 0 demands both classes; class 1 supply is scarce, so the
+        # fill takes class 1 first and class 0 still ends up fully served.
+        supply = QueryVector([2, 1])
+        demands = [QueryVector([2, 1])]
+        consumptions = equitable_consumptions(supply, demands)
+        assert consumptions[0] == QueryVector([2, 1])
+
+    def test_deterministic_tie_break(self):
+        supply = QueryVector([1])
+        demands = [QueryVector([1]), QueryVector([1])]
+        consumptions = equitable_consumptions(supply, demands)
+        assert consumptions[0].total() == 1.0
+        assert consumptions[1].total() == 0.0
+
+    def test_custom_preferences_steer_filling(self):
+        # Node 0 values class-0 queries 10x: after one grant its utility
+        # is 10, so the remaining grants go to node 1 first.
+        supply = QueryVector([3])
+        demands = [QueryVector([3]), QueryVector([3])]
+        prefs = [
+            WeightedThroughputPreference([10.0]),
+            WeightedThroughputPreference([1.0]),
+        ]
+        consumptions = equitable_consumptions(supply, demands, prefs)
+        assert consumptions[1].total() > consumptions[0].total()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            equitable_consumptions(QueryVector([1]), [])
+        with pytest.raises(ValueError):
+            equitable_consumptions(QueryVector([1]), [QueryVector([1, 2])])
+        with pytest.raises(ValueError):
+            equitable_consumptions(
+                QueryVector([1]), [QueryVector([1])], preferences=[]
+            )
+
+
+class TestEquitableAllocation:
+    def test_allocation_is_pareto_optimal_among_redistributions(self):
+        supplies = [QueryVector([2, 0]), QueryVector([2, 2])]
+        demands = [QueryVector([4, 2]), QueryVector([4, 2])]
+        allocation = equitable_allocation(supplies, demands)
+        # Alternative: hand everything to node 0.
+        greedy_all = Allocation(
+            supplies=tuple(supplies),
+            consumptions=(QueryVector([4, 2]), QueryVector([0, 0])),
+        )
+        assert is_pareto_optimal(allocation, [allocation, greedy_all])
+
+    def test_spread_zero_when_perfectly_divisible(self):
+        supplies = [QueryVector([4])]
+        demands = [QueryVector([2]), QueryVector([2])]
+        allocation = equitable_allocation(supplies, demands)
+        assert utility_spread(allocation) == 0.0
+
+    def test_spread_bounded_by_one_unit_for_equal_demands(self):
+        supplies = [QueryVector([5])]
+        demands = [QueryVector([5]), QueryVector([5]), QueryVector([5])]
+        allocation = equitable_allocation(supplies, demands)
+        assert utility_spread(allocation) <= 1.0
+
+
+class TestFairnessIndex:
+    def test_perfectly_fair(self):
+        allocation = Allocation(
+            supplies=(QueryVector([2]), QueryVector([2])),
+            consumptions=(QueryVector([2]), QueryVector([2])),
+        )
+        assert jain_fairness_index(allocation) == pytest.approx(1.0)
+
+    def test_maximally_unfair(self):
+        allocation = Allocation(
+            supplies=(QueryVector([4]), QueryVector([0])),
+            consumptions=(QueryVector([4]), QueryVector([0])),
+        )
+        assert jain_fairness_index(allocation) == pytest.approx(0.5)
+
+    def test_empty_allocation_is_vacuously_fair(self):
+        allocation = Allocation(
+            supplies=(QueryVector([0]),),
+            consumptions=(QueryVector([0]),),
+        )
+        assert jain_fairness_index(allocation) == 1.0
+
+    def test_equitable_beats_greedy_distribution_on_fairness(self):
+        supply = QueryVector([6])
+        demands = [QueryVector([6]), QueryVector([6]), QueryVector([6])]
+        fair = equitable_allocation(
+            [supply], demands
+        )
+        greedy = Allocation(
+            supplies=(supply, QueryVector([0]), QueryVector([0])),
+            consumptions=(
+                QueryVector([6]),
+                QueryVector([0]),
+                QueryVector([0]),
+            ),
+        )
+        assert jain_fairness_index(fair) > jain_fairness_index(greedy)

@@ -1,0 +1,103 @@
+"""Unit tests for repro.query.estimate (estimators and calibration)."""
+
+import pytest
+
+from repro.query.estimate import (
+    HistoryCalibratedEstimator,
+    NoisyEstimator,
+    PerfectEstimator,
+)
+
+
+class TestPerfectEstimator:
+    def test_returns_base_cost(self):
+        est = PerfectEstimator()
+        assert est.estimate_ms("sig", 123.0) == 123.0
+
+    def test_observe_is_noop(self):
+        est = PerfectEstimator()
+        est.observe("sig", 100.0, 500.0)
+        assert est.estimate_ms("sig", 100.0) == 100.0
+
+
+class TestNoisyEstimator:
+    def test_noise_within_error_factor(self):
+        est = NoisyEstimator(error_factor=2.0, seed=1)
+        for i in range(50):
+            estimate = est.estimate_ms("sig%d" % i, 100.0)
+            assert 50.0 <= estimate <= 200.0
+
+    def test_bias_frozen_per_signature(self):
+        est = NoisyEstimator(error_factor=3.0, seed=2)
+        first = est.estimate_ms("sig", 100.0)
+        second = est.estimate_ms("sig", 100.0)
+        assert first == second
+        assert est.bias_of("sig") is not None
+
+    def test_bias_scales_with_cost(self):
+        est = NoisyEstimator(seed=3)
+        small = est.estimate_ms("sig", 100.0)
+        large = est.estimate_ms("sig", 200.0)
+        assert large == pytest.approx(2 * small)
+
+    def test_rejects_factor_below_one(self):
+        with pytest.raises(ValueError):
+            NoisyEstimator(error_factor=0.5)
+
+    def test_unknown_signature_has_no_bias(self):
+        assert NoisyEstimator().bias_of("never-seen") is None
+
+
+class TestHistoryCalibration:
+    def test_learns_systematic_bias(self):
+        # Base estimator is consistently 4x too low; after observations the
+        # calibrated estimate approaches the actual runtime.
+        est = HistoryCalibratedEstimator(PerfectEstimator(), smoothing=0.5)
+        for __ in range(20):
+            est.observe("sig", base_cost_ms=100.0, actual_ms=400.0)
+        assert est.estimate_ms("sig", 100.0) == pytest.approx(400.0, rel=0.05)
+
+    def test_first_observation_jumps_to_ratio(self):
+        est = HistoryCalibratedEstimator(PerfectEstimator())
+        est.observe("sig", 100.0, 300.0)
+        assert est.correction_of("sig") == pytest.approx(3.0)
+
+    def test_smoothing_blends(self):
+        est = HistoryCalibratedEstimator(PerfectEstimator(), smoothing=0.5)
+        est.observe("sig", 100.0, 100.0)  # correction 1.0
+        est.observe("sig", 100.0, 300.0)  # blend towards 3.0
+        assert est.correction_of("sig") == pytest.approx(2.0)
+
+    def test_signatures_independent(self):
+        est = HistoryCalibratedEstimator(PerfectEstimator())
+        est.observe("a", 100.0, 500.0)
+        assert est.estimate_ms("b", 100.0) == 100.0
+
+    def test_observation_counting(self):
+        est = HistoryCalibratedEstimator(PerfectEstimator())
+        assert est.observations_of("sig") == 0
+        est.observe("sig", 100.0, 100.0)
+        est.observe("sig", 100.0, 100.0)
+        assert est.observations_of("sig") == 2
+
+    def test_fixes_noisy_base(self):
+        # The paper's remedy: history calibration on top of a biased
+        # optimizer recovers the true runtime.
+        noisy = NoisyEstimator(error_factor=3.0, seed=4)
+        est = HistoryCalibratedEstimator(noisy, smoothing=0.5)
+        for __ in range(20):
+            est.observe("sig", base_cost_ms=100.0, actual_ms=100.0)
+        assert est.estimate_ms("sig", 100.0) == pytest.approx(100.0, rel=0.1)
+
+    def test_zero_base_estimate_ignored(self):
+        class ZeroBase(PerfectEstimator):
+            def estimate_ms(self, signature, base_cost_ms):
+                return 0.0
+
+        est = HistoryCalibratedEstimator(ZeroBase())
+        est.observe("sig", 100.0, 100.0)  # must not divide by zero
+        assert est.correction_of("sig") == 1.0
+
+    def test_bad_smoothing_rejected(self):
+        with pytest.raises(ValueError):
+            HistoryCalibratedEstimator(PerfectEstimator(), smoothing=0.0)

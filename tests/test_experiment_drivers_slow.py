@@ -1,0 +1,93 @@
+"""Scaled-down runs of the remaining experiment drivers (marked slow)."""
+
+import math
+
+import pytest
+
+from repro.experiments.ablations import (
+    run_lambda_sweep,
+    run_period_sweep,
+    run_rounding_ablation,
+)
+from repro.experiments.fig5 import run_fig5b
+from repro.experiments.fig6 import run_fig6
+
+pytestmark = pytest.mark.slow
+
+
+class TestFig5bDriver:
+    def test_shape_and_positivity(self):
+        result = run_fig5b(
+            frequencies_hz=(0.05, 1.0),
+            num_nodes=16,
+            horizon_ms=15_000.0,
+            load_fraction=0.8,
+            seed=1,
+        )
+        assert len(result.greedy_normalised) == 2
+        assert all(r > 0 for r in result.greedy_normalised)
+        assert "frequency" in result.render()
+
+
+class TestFig6Driver:
+    def test_small_sweep(self):
+        result = run_fig6(
+            interarrivals_ms=(2_000.0, 10_000.0),
+            num_nodes=12,
+            num_relations=60,
+            num_classes=8,
+            max_queries=400,
+            horizon_ms=60_000.0,
+            seed=1,
+        )
+        assert len(result.greedy_normalised) == 2
+        assert all(
+            r > 0 and not math.isnan(r) for r in result.greedy_normalised
+        )
+
+    def test_without_crossover_calibration(self):
+        result = run_fig6(
+            interarrivals_ms=(5_000.0,),
+            num_nodes=12,
+            num_relations=60,
+            num_classes=8,
+            max_queries=200,
+            horizon_ms=40_000.0,
+            crossover_ms=None,
+            seed=1,
+        )
+        assert len(result.greedy_normalised) == 1
+
+
+class TestAblationDrivers:
+    def test_lambda_sweep_tradeoff(self):
+        result = run_lambda_sweep(
+            lambdas=(0.001, 0.02, 0.05),
+            num_nodes=12,
+            horizon_ms=15_000.0,
+            seed=1,
+        )
+        # Fewer umpire iterations as lambda grows (among converged runs).
+        assert result.tatonnement_iterations[0] > result.tatonnement_iterations[1]
+        # The overshooting lambda leaves residual excess demand.
+        assert result.tatonnement_residual[-1] > 0
+
+    def test_period_sweep_shapes(self):
+        result = run_period_sweep(
+            periods_ms=(250.0, 1000.0),
+            num_nodes=12,
+            horizon_ms=15_000.0,
+            seed=1,
+        )
+        assert len(result.response_slow_dynamics_ms) == 2
+        assert len(result.response_fast_dynamics_ms) == 2
+        assert all(r > 0 for r in result.response_slow_dynamics_ms)
+
+    def test_rounding_ablation_grid(self):
+        result = run_rounding_ablation(
+            num_nodes=12, horizon_ms=12_000.0, seed=1
+        )
+        for solver, by_load in result.response_ms.items():
+            assert set(by_load) == {"light (50%)", "heavy (150%)"}
+            assert all(v > 0 for v in by_load.values())
+        assert "supply solver" in result.render()

@@ -1,0 +1,209 @@
+"""Tests for the experiment drivers (exact paper numbers + scaled runs)."""
+
+import math
+
+import pytest
+
+from repro.experiments.fig1 import lb_schedule, run_fig1
+from repro.experiments.fig2 import run_fig2
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.fig5 import run_fig5a, run_fig5c
+from repro.experiments.reporting import format_series, format_table
+from repro.experiments.setups import two_query_world, zipf_world
+from repro.experiments.table2 import performance_grade, run_table2
+from repro.experiments.table3 import run_table3
+
+
+class TestFig1ExactNumbers:
+    """The introduction's example must reproduce to the millisecond."""
+
+    def test_lb_average_response_is_662ms(self):
+        assert run_fig1().lb_mean_response_ms == pytest.approx(662.5)
+
+    def test_qa_average_response_is_431ms(self):
+        assert run_fig1().qa_mean_response_ms == pytest.approx(431.25)
+
+    def test_lb_busy_until_900_and_950(self):
+        assert run_fig1().lb_busy_until_ms == (900.0, 950.0)
+
+    def test_qa_busy_until_600_and_900(self):
+        assert run_fig1().qa_busy_until_ms == (600.0, 900.0)
+
+    def test_lb_is_54_percent_slower(self):
+        assert run_fig1().slowdown == pytest.approx(0.536, abs=0.01)
+
+    def test_lb_assignment_narrative(self):
+        # q1->N1, q1->N2, three q2->N1, one q2->N2, two q2->N1 (Section 1).
+        assert lb_schedule() == [0, 1, 0, 0, 0, 1, 0, 0]
+
+    def test_qa_dominates_and_is_pareto_optimal(self):
+        result = run_fig1()
+        assert result.qa_dominates_lb
+        assert result.qa_is_pareto_optimal
+
+    def test_render_contains_headline_numbers(self):
+        text = run_fig1().render()
+        assert "662.5" in text and "431.25" in text
+
+
+class TestFig2:
+    def test_aggregate_demand_is_2_6(self):
+        result = run_fig2()
+        assert result.aggregate_demand.components == (2.0, 6.0)
+
+    def test_consumption_totals_match_paper(self):
+        result = run_fig2()
+        # LB: N1 and N2 consumed 2 and 1 queries; QA: 5 and 1.
+        assert result.lb_aggregate_consumption.total() == 3.0
+        assert result.qa_aggregate_consumption.total() == 6.0
+
+    def test_demand_outside_supply_region(self):
+        assert run_fig2().demand_is_infeasible
+
+    def test_qa_consumption_feasible(self):
+        result = run_fig2()
+        point = tuple(int(x) for x in result.qa_aggregate_consumption)
+        assert point in result.supply_region
+
+
+class TestFig3:
+    def test_series_shapes(self):
+        result = run_fig3(horizon_ms=20_000.0, seed=1)
+        assert len(result.q1_per_bucket) == 40
+        assert len(result.times_s) == 40
+
+    def test_q1_roughly_twice_q2(self):
+        result = run_fig3(horizon_ms=200_000.0, q1_peak_rate_per_ms=0.05, seed=2)
+        q1, q2 = sum(result.q1_per_bucket), sum(result.q2_per_bucket)
+        assert q1 == pytest.approx(2 * q2, rel=0.25)
+
+    def test_render(self):
+        text = run_fig3(horizon_ms=5_000.0).render()
+        assert "Q1 arrivals" in text and "Q2 arrivals" in text
+
+
+@pytest.mark.slow
+class TestFig4Scaled:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig4(num_nodes=20, horizon_ms=40_000.0, seed=0)
+
+    def test_qant_normalised_is_one(self, result):
+        assert result.normalised["qa-nt"] == pytest.approx(1.0)
+
+    def test_market_mechanisms_beat_load_balancers(self, result):
+        for fast in ("qa-nt", "greedy"):
+            for slow in ("random", "round-robin"):
+                assert result.normalised[fast] < result.normalised[slow]
+
+    def test_random_and_round_robin_worst(self, result):
+        worst_two = sorted(result.normalised, key=result.normalised.get)[-2:]
+        assert set(worst_two) == {"random", "round-robin"}
+
+    def test_qant_needs_most_messages(self, result):
+        qant_messages = result.runs["qa-nt"].messages
+        assert all(
+            qant_messages >= run.messages for run in result.runs.values()
+        )
+
+
+@pytest.mark.slow
+class TestFig5Scaled:
+    def test_fig5a_overload_favours_qant(self):
+        result = run_fig5a(
+            loads=(0.5, 2.0), num_nodes=20, horizon_ms=15_000.0, seed=0
+        )
+        light, heavy = result.greedy_normalised
+        # Light load: near parity (within 10%); overload: QA-NT wins.
+        assert light == pytest.approx(1.0, abs=0.1)
+        assert heavy > 1.0
+
+    def test_fig5c_series_lengths_match(self):
+        result = run_fig5c(num_nodes=20, horizon_ms=10_000.0, seed=0)
+        assert (
+            len(result.q1_arrivals)
+            == len(result.q1_executed_qant)
+            == len(result.q1_executed_greedy)
+        )
+        assert result.tracking_error(result.q1_arrivals) == 0.0
+
+
+class TestTables:
+    def test_performance_grades(self):
+        assert performance_grade(1.0) == "very good"
+        assert performance_grade(1.5) == "good"
+        assert performance_grade(5.0) == "poor"
+
+    @pytest.mark.slow
+    def test_table2_static_columns(self):
+        from repro.experiments.fig4 import run_fig4
+
+        fig4 = run_fig4(num_nodes=20, horizon_ms=30_000.0, seed=0)
+        table = run_table2(fig4=fig4)
+        qant = table.row("qa-nt")
+        assert qant.distributed and qant.respects_autonomy
+        assert not qant.conflicts_with_dqo
+        greedy = table.row("greedy")
+        assert not greedy.respects_autonomy
+        markov = table.row("markov")
+        assert markov.workload_type == "static"
+        assert not markov.distributed
+        assert "mechanism" in table.render()
+
+    def test_table3_measures_generated_world(self, tiny_zipf_world):
+        result = run_table3(world=tiny_zipf_world)
+        assert result.num_nodes == 12
+        assert result.num_relations == 60
+        assert result.num_classes == 8
+        assert result.avg_mirrors > 1.0
+        assert result.avg_best_execution_ms > 0
+        assert "parameter" in result.render()
+
+    def test_table3_requires_catalog(self, tiny_two_query_world):
+        with pytest.raises(ValueError):
+            run_table3(world=tiny_two_query_world)
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(("a", "bb"), [(1, 2.5), ("x", "y")])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_format_table_row_width_check(self):
+        with pytest.raises(ValueError):
+            format_table(("a",), [(1, 2)])
+
+    def test_format_series(self):
+        text = format_series("s", [1, 2], [3.0, 4.0])
+        assert "3.000" in text
+
+    def test_format_series_length_check(self):
+        with pytest.raises(ValueError):
+            format_series("s", [1], [1, 2])
+
+
+class TestWorldBuilders:
+    def test_two_query_world_eligibility(self, tiny_two_query_world):
+        world = tiny_two_query_world
+        q1_candidates = world.classes[0].candidate_nodes(world.placement)
+        q2_candidates = world.classes[1].candidate_nodes(world.placement)
+        assert len(q1_candidates) == world.num_nodes
+        assert len(q2_candidates) == world.num_nodes // 2
+
+    def test_two_query_world_cost_matrix(self, tiny_two_query_world):
+        matrix = tiny_two_query_world.cost_matrix()
+        # Q2 costs inf exactly on the odd nodes.
+        for node_id, row in enumerate(matrix):
+            assert not math.isinf(row[0])
+            assert math.isinf(row[1]) == (node_id % 2 == 1)
+
+    def test_capacity_positive(self, tiny_two_query_world):
+        assert tiny_two_query_world.capacity_qpms([2.0, 1.0]) > 0
+
+    def test_zipf_world_classes_have_candidates(self, tiny_zipf_world):
+        world = tiny_zipf_world
+        for qc in world.classes:
+            assert qc.candidate_nodes(world.placement)

@@ -1,0 +1,139 @@
+"""Integration tests for repro.sim.federation (end-to-end runs)."""
+
+import pytest
+
+from repro.allocation import GreedyAllocator, QantAllocator, RandomAllocator
+from repro.experiments.setups import (
+    sinusoid_trace_for_load,
+    two_query_world,
+)
+from repro.sim import FederationConfig, build_federation
+from repro.workload import WorkloadEvent
+
+
+@pytest.fixture(scope="module")
+def world():
+    return two_query_world(num_nodes=10, seed=2)
+
+
+def run(world, allocator, trace, **config_kwargs):
+    config = FederationConfig(seed=4, **config_kwargs)
+    federation = build_federation(
+        world.specs,
+        world.placement,
+        world.classes,
+        world.cost_model,
+        allocator,
+        config,
+    )
+    metrics = federation.run(trace)
+    return federation, metrics
+
+
+@pytest.fixture(scope="module")
+def light_trace(world):
+    return sinusoid_trace_for_load(
+        world, load_fraction=0.4, horizon_ms=20_000.0, seed=5
+    )
+
+
+class TestEndToEnd:
+    def test_all_queries_complete_under_light_load(self, world, light_trace):
+        __, metrics = run(world, GreedyAllocator(), light_trace)
+        assert metrics.completed == len(light_trace)
+        assert metrics.dropped == 0
+
+    def test_qant_completes_light_load(self, world, light_trace):
+        __, metrics = run(world, QantAllocator(), light_trace)
+        assert metrics.completed == len(light_trace)
+
+    def test_outcomes_are_causally_ordered(self, world, light_trace):
+        __, metrics = run(world, GreedyAllocator(), light_trace)
+        for outcome in metrics.outcomes:
+            assert outcome.arrival_ms <= outcome.assigned_ms
+            assert outcome.assigned_ms <= outcome.start_ms + 1e-9
+            assert outcome.start_ms < outcome.finish_ms
+
+    def test_assignments_only_to_eligible_nodes(self, world, light_trace):
+        federation, metrics = run(world, RandomAllocator(), light_trace)
+        for outcome in metrics.outcomes:
+            node = federation.nodes[outcome.node_id]
+            assert node.can_evaluate(outcome.class_index)
+
+    def test_node_execution_is_serial(self, world, light_trace):
+        federation, __ = run(world, GreedyAllocator(), light_trace)
+        for node in federation.nodes.values():
+            records = sorted(node.history, key=lambda r: r.start_ms)
+            for earlier, later in zip(records, records[1:]):
+                assert later.start_ms >= earlier.finish_ms - 1e-9
+
+    def test_messages_counted(self, world, light_trace):
+        federation, __ = run(world, GreedyAllocator(), light_trace)
+        assert federation.network.messages_sent > 0
+
+    def test_deterministic_given_seed(self, world, light_trace):
+        __, first = run(world, GreedyAllocator(), light_trace)
+        __, second = run(world, GreedyAllocator(), light_trace)
+        assert first.mean_response_ms() == second.mean_response_ms()
+
+    def test_empty_trace_rejected(self, world):
+        federation = build_federation(
+            world.specs,
+            world.placement,
+            world.classes,
+            world.cost_model,
+            GreedyAllocator(),
+            FederationConfig(),
+        )
+        with pytest.raises(ValueError):
+            federation.run([])
+
+
+class TestOverloadBehaviour:
+    def test_qant_resubmissions_happen_under_overload(self, world):
+        trace = sinusoid_trace_for_load(
+            world, load_fraction=2.5, horizon_ms=15_000.0, seed=6
+        )
+        __, metrics = run(
+            world, QantAllocator(), trace, drain_ms=120_000.0
+        )
+        assert metrics.mean_resubmissions() > 0
+
+    def test_short_drain_drops_backlog(self, world):
+        trace = sinusoid_trace_for_load(
+            world, load_fraction=3.0, horizon_ms=10_000.0, seed=7
+        )
+        __, metrics = run(
+            world,
+            QantAllocator(activation_threshold=None, queue_allowance_ms=300.0),
+            trace,
+            drain_ms=0.0,
+        )
+        assert metrics.dropped > 0
+
+    def test_greedy_never_refuses(self, world):
+        trace = sinusoid_trace_for_load(
+            world, load_fraction=2.5, horizon_ms=10_000.0, seed=8
+        )
+        __, metrics = run(world, GreedyAllocator(), trace, drain_ms=300_000.0)
+        assert metrics.mean_resubmissions() == 0.0
+        assert metrics.dropped == 0
+
+
+class TestBuildValidation:
+    def test_spec_count_must_match_placement(self, world):
+        with pytest.raises(ValueError):
+            build_federation(
+                world.specs[:-1],
+                world.placement,
+                world.classes,
+                world.cost_model,
+                GreedyAllocator(),
+                FederationConfig(),
+            )
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            FederationConfig(period_ms=0.0)
+        with pytest.raises(ValueError):
+            FederationConfig(drain_ms=-1.0)

@@ -1,0 +1,86 @@
+"""Tests for fig6 calibration and the experiment setup helpers."""
+
+import math
+
+import pytest
+
+from repro.experiments.fig6 import _calibrate_crossover
+from repro.experiments.setups import (
+    MechanismRun,
+    sinusoid_trace_for_load,
+    zipf_trace_for_world,
+)
+from repro.sim import MetricsCollector
+
+
+class TestCrossoverCalibration:
+    def test_capacity_moved_to_crossover(self, tiny_zipf_world):
+        world = tiny_zipf_world
+        crossover_ms = 5_000.0
+        calibrated = _calibrate_crossover(world, crossover_ms)
+        capacity = calibrated.capacity_qpms([1.0] * len(calibrated.classes))
+        expected = len(calibrated.classes) / crossover_ms
+        assert capacity == pytest.approx(expected, rel=0.02)
+
+    def test_structure_preserved(self, tiny_zipf_world):
+        calibrated = _calibrate_crossover(tiny_zipf_world, 5_000.0)
+        assert calibrated.classes == tiny_zipf_world.classes
+        assert calibrated.placement is tiny_zipf_world.placement
+        assert calibrated.specs == tiny_zipf_world.specs
+
+    def test_relative_costs_preserved(self, tiny_zipf_world):
+        world = tiny_zipf_world
+        calibrated = _calibrate_crossover(world, 5_000.0)
+        qc = world.classes[0]
+        spec_a, spec_b = world.specs[0], world.specs[1]
+        original_ratio = world.cost_model.execution_time_ms(
+            qc, spec_a
+        ) / world.cost_model.execution_time_ms(qc, spec_b)
+        new_ratio = calibrated.cost_model.execution_time_ms(
+            qc, spec_a
+        ) / calibrated.cost_model.execution_time_ms(qc, spec_b)
+        assert new_ratio == pytest.approx(original_ratio)
+
+    def test_requires_rescalable_model(self, tiny_two_query_world):
+        with pytest.raises(TypeError):
+            _calibrate_crossover(tiny_two_query_world, 5_000.0)
+
+
+class TestTraceHelpers:
+    def test_sinusoid_trace_mean_load(self, tiny_two_query_world):
+        world = tiny_two_query_world
+        load = 0.8
+        horizon = 200_000.0
+        trace = sinusoid_trace_for_load(
+            world, load_fraction=load, horizon_ms=horizon, seed=1
+        )
+        capacity = world.capacity_qpms([2.0, 1.0])
+        realised_rate = len(trace) / horizon
+        assert realised_rate == pytest.approx(load * capacity, rel=0.2)
+
+    def test_sinusoid_trace_mix_is_two_to_one(self, tiny_two_query_world):
+        trace = sinusoid_trace_for_load(
+            tiny_two_query_world,
+            load_fraction=1.0,
+            horizon_ms=300_000.0,
+            seed=2,
+        )
+        q1 = sum(1 for e in trace if e.class_index == 0)
+        q2 = sum(1 for e in trace if e.class_index == 1)
+        assert q1 == pytest.approx(2 * q2, rel=0.2)
+
+    def test_zipf_trace_classes_within_world(self, tiny_zipf_world):
+        trace = zipf_trace_for_world(
+            tiny_zipf_world,
+            mean_interarrival_ms=500.0,
+            horizon_ms=30_000.0,
+            max_queries=200,
+            seed=3,
+        )
+        valid = set(range(len(tiny_zipf_world.classes)))
+        assert {e.class_index for e in trace} <= valid
+
+    def test_mechanism_run_mean_response(self):
+        metrics = MetricsCollector()
+        run = MechanismRun(mechanism="x", metrics=metrics, messages=0)
+        assert math.isnan(run.mean_response_ms)

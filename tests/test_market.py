@@ -1,0 +1,100 @@
+"""Unit tests for repro.core.market (prices, excess demand, equilibrium)."""
+
+import pytest
+
+from repro.core.market import (
+    PriceVector,
+    excess_demand,
+    is_equilibrium,
+    market_excess_demand,
+)
+from repro.core.supply import CapacitySupplySet
+from repro.core.vectors import QueryVector
+
+
+class TestPriceVector:
+    def test_uniform(self):
+        assert PriceVector.uniform(3).values == (1.0, 1.0, 1.0)
+        assert PriceVector.uniform(2, 5.0).values == (5.0, 5.0)
+
+    def test_rejects_negative_prices(self):
+        with pytest.raises(ValueError):
+            PriceVector([1.0, -0.1])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            PriceVector([])
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(ValueError):
+            PriceVector([float("inf")])
+
+    def test_value_of(self):
+        p = PriceVector([2.0, 3.0])
+        assert p.value_of(QueryVector([1, 2])) == 8.0
+
+    def test_equality_and_hash(self):
+        assert PriceVector([1, 2]) == PriceVector([1, 2])
+        assert hash(PriceVector([1, 2])) == hash(PriceVector([1, 2]))
+        assert PriceVector([1, 2]) != PriceVector([2, 1])
+
+    def test_indexing_and_iteration(self):
+        p = PriceVector([1.0, 2.0])
+        assert p[1] == 2.0
+        assert list(p) == [1.0, 2.0]
+        assert len(p) == 2
+
+    def test_adjusted_implements_eq6(self):
+        p = PriceVector([1.0, 1.0])
+        adjusted = p.adjusted([2.0, -1.0], step=0.5)
+        assert adjusted.values == (2.0, 0.5)
+
+    def test_adjusted_clamps_at_floor(self):
+        p = PriceVector([1.0])
+        assert p.adjusted([-100.0], step=1.0, floor=0.1).values == (0.1,)
+
+    def test_adjusted_rejects_bad_step(self):
+        with pytest.raises(ValueError):
+            PriceVector([1.0]).adjusted([1.0], step=0.0)
+
+    def test_adjusted_length_check(self):
+        with pytest.raises(ValueError):
+            PriceVector([1.0]).adjusted([1.0, 2.0], step=0.1)
+
+    def test_scaled_class(self):
+        p = PriceVector([1.0, 2.0])
+        assert p.scaled_class(1, 1.5).values == (1.0, 3.0)
+
+    def test_scaled_class_floor(self):
+        p = PriceVector([1.0])
+        assert p.scaled_class(0, 0.0, floor=0.5).values == (0.5,)
+
+    def test_scaled_class_bad_index(self):
+        with pytest.raises(IndexError):
+            PriceVector([1.0]).scaled_class(3, 1.0)
+
+
+class TestExcessDemand:
+    def test_signed(self):
+        z = excess_demand(QueryVector([3, 1]), QueryVector([1, 2]))
+        assert z == (2.0, -1.0)
+
+    def test_equilibrium_ignores_oversupply(self):
+        assert is_equilibrium((-5.0, 0.0))
+        assert not is_equilibrium((0.5, 0.0), tolerance=0.1)
+
+    def test_equilibrium_tolerance(self):
+        assert is_equilibrium((0.4,), tolerance=0.5)
+
+    def test_market_excess_demand(self):
+        demands = [QueryVector([2, 2])]
+        supply_sets = [CapacitySupplySet([100.0, 100.0], 200.0)]
+        z = market_excess_demand(demands, supply_sets, PriceVector([1.0, 0.0]))
+        # All capacity to class 0: supply (2, 0) vs demand (2, 2).
+        assert z == (0.0, 2.0)
+
+    def test_market_excess_demand_length_check(self):
+        with pytest.raises(ValueError):
+            market_excess_demand(
+                [QueryVector([1])], [], PriceVector([1.0])
+            )

@@ -1,0 +1,240 @@
+"""Unit tests for repro.sim.network, repro.sim.node and repro.sim.metrics."""
+
+import math
+
+import pytest
+
+from repro.query import MachineSpec
+from repro.query.model import Query
+from repro.sim.engine import Simulator
+from repro.sim.metrics import (
+    MetricsCollector,
+    QueryOutcome,
+    normalised_response_times,
+)
+from repro.sim.network import LatencyModel, Network
+from repro.sim.node import SimulatedNode
+
+
+class TestLatencyModel:
+    def test_sample_within_bounds(self):
+        import random
+
+        model = LatencyModel(base_ms=1.0, jitter_ms=2.0)
+        rng = random.Random(0)
+        for __ in range(100):
+            value = model.sample(rng)
+            assert 1.0 <= value <= 3.0
+
+    def test_zero_jitter_is_deterministic(self):
+        import random
+
+        model = LatencyModel(base_ms=0.7, jitter_ms=0.0)
+        assert model.sample(random.Random(0)) == 0.7
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyModel(base_ms=-1.0)
+
+
+class TestNetwork:
+    def test_send_counts_and_delivers(self):
+        sim = Simulator()
+        net = Network(sim, LatencyModel(base_ms=2.0, jitter_ms=0.0))
+        delivered = []
+        net.send(lambda: delivered.append(sim.now))
+        sim.run()
+        assert delivered == [2.0]
+        assert net.messages_sent == 1
+
+    def test_round_trip_counts_two_messages_per_peer(self):
+        sim = Simulator()
+        net = Network(sim, LatencyModel(base_ms=1.0, jitter_ms=0.0))
+        delay = net.round_trip_ms(3)
+        assert net.messages_sent == 6
+        assert delay == 2.0
+
+    def test_round_trip_zero_peers(self):
+        net = Network(Simulator())
+        assert net.round_trip_ms(0) == 0.0
+        assert net.messages_sent == 0
+
+
+def make_node(sim, costs=(100.0, 200.0), slots=1):
+    return SimulatedNode(
+        node_id=0,
+        spec=MachineSpec(),
+        relations=frozenset({0}),
+        class_costs_ms=list(costs),
+        simulator=sim,
+        exec_slots=slots,
+    )
+
+
+def make_query(qid=0, class_index=0):
+    return Query(qid=qid, class_index=class_index, origin_node=0, arrival_ms=0.0)
+
+
+class TestSimulatedNode:
+    def test_fifo_execution_times(self):
+        sim = Simulator()
+        node = make_node(sim)
+        r1 = node.enqueue(make_query(0, 0))
+        r2 = node.enqueue(make_query(1, 0))
+        assert (r1.start_ms, r1.finish_ms) == (0.0, 100.0)
+        assert (r2.start_ms, r2.finish_ms) == (100.0, 200.0)
+
+    def test_completion_callback_fires_at_finish(self):
+        sim = Simulator()
+        node = make_node(sim)
+        finished = []
+        node.enqueue(make_query(), lambda q, r: finished.append(sim.now))
+        sim.run()
+        assert finished == [100.0]
+
+    def test_cannot_evaluate_infinite_cost_class(self):
+        sim = Simulator()
+        node = make_node(sim, costs=(100.0, math.inf))
+        assert node.can_evaluate(0)
+        assert not node.can_evaluate(1)
+        with pytest.raises(ValueError):
+            node.execution_time_ms(1)
+
+    def test_current_load_decreases_with_time(self):
+        sim = Simulator()
+        node = make_node(sim)
+        node.enqueue(make_query())
+        assert node.current_load_ms() == 100.0
+        sim.schedule(40.0, lambda: None)
+        sim.run()
+        assert node.current_load_ms() == pytest.approx(60.0)
+
+    def test_estimated_completion(self):
+        sim = Simulator()
+        node = make_node(sim)
+        node.enqueue(make_query())
+        assert node.estimated_completion_ms(0) == 200.0
+
+    def test_queued_queries_count(self):
+        sim = Simulator()
+        node = make_node(sim)
+        node.enqueue(make_query(0))
+        node.enqueue(make_query(1))
+        assert node.queued_queries() == 2
+        sim.schedule(150.0, lambda: None)
+        sim.run()
+        assert node.queued_queries() == 1
+
+    def test_two_slots_run_in_parallel(self):
+        sim = Simulator()
+        node = make_node(sim, slots=2)
+        r1 = node.enqueue(make_query(0))
+        r2 = node.enqueue(make_query(1))
+        assert r1.finish_ms == 100.0
+        assert r2.finish_ms == 100.0
+
+    def test_supply_set_uses_period_capacity(self):
+        sim = Simulator()
+        node = make_node(sim)
+        supply_set = node.make_supply_set(500.0)
+        assert supply_set.capacity_ms == 500.0
+
+    def test_executed_by_class(self):
+        sim = Simulator()
+        node = make_node(sim)
+        node.enqueue(make_query(0, 0))
+        node.enqueue(make_query(1, 0))
+        node.enqueue(make_query(2, 1))
+        assert node.executed_by_class == {0: 2, 1: 1}
+
+    def test_total_busy_accumulates(self):
+        sim = Simulator()
+        node = make_node(sim)
+        node.enqueue(make_query(0, 0))
+        node.enqueue(make_query(1, 1))
+        assert node.total_busy_ms == 300.0
+
+    def test_zero_slots_rejected(self):
+        with pytest.raises(ValueError):
+            make_node(Simulator(), slots=0)
+
+
+def outcome(qid=0, arrival=0.0, assigned=1.0, start=2.0, finish=10.0, cls=0):
+    return QueryOutcome(
+        qid=qid,
+        class_index=cls,
+        origin_node=0,
+        arrival_ms=arrival,
+        assigned_ms=assigned,
+        node_id=0,
+        start_ms=start,
+        finish_ms=finish,
+    )
+
+
+class TestMetrics:
+    def test_response_and_assign_times(self):
+        o = outcome()
+        assert o.response_ms == 10.0
+        assert o.assign_ms == 1.0
+        assert o.execution_ms == 8.0
+
+    def test_mean_response(self):
+        m = MetricsCollector()
+        m.record(outcome(finish=10.0))
+        m.record(outcome(finish=20.0))
+        assert m.mean_response_ms() == 15.0
+
+    def test_empty_collector_returns_nan(self):
+        assert math.isnan(MetricsCollector().mean_response_ms())
+
+    def test_drop_counting(self):
+        m = MetricsCollector()
+        m.record_drop()
+        m.record_drop()
+        assert m.dropped == 2
+
+    def test_percentile(self):
+        m = MetricsCollector()
+        for finish in (10.0, 20.0, 30.0, 40.0):
+            m.record(outcome(finish=finish))
+        assert m.percentile_response_ms(0.0) == 10.0
+        assert m.percentile_response_ms(1.0) == 40.0
+
+    def test_percentile_bounds(self):
+        with pytest.raises(ValueError):
+            MetricsCollector().percentile_response_ms(1.5)
+
+    def test_executed_per_period(self):
+        m = MetricsCollector()
+        m.record(outcome(finish=100.0))
+        m.record(outcome(finish=600.0))
+        m.record(outcome(finish=600.0, cls=1))
+        counts = m.executed_per_period(500.0, 1000.0)
+        assert counts == [1, 2]
+        only_class0 = m.executed_per_period(500.0, 1000.0, class_index=0)
+        assert only_class0 == [1, 1]
+
+    def test_mean_response_by_class(self):
+        m = MetricsCollector()
+        m.record(outcome(finish=10.0, cls=0))
+        m.record(outcome(finish=30.0, cls=1))
+        by_class = m.mean_response_by_class()
+        assert by_class == {0: 10.0, 1: 30.0}
+
+    def test_last_finish(self):
+        m = MetricsCollector()
+        m.record(outcome(finish=42.0))
+        assert m.last_finish_ms() == 42.0
+
+    def test_normalised_response_times(self):
+        base = MetricsCollector()
+        base.record(outcome(finish=10.0))
+        other = MetricsCollector()
+        other.record(outcome(finish=20.0))
+        normalised = normalised_response_times(base, {"x": other, "base": base})
+        assert normalised == {"x": 2.0, "base": 1.0}
+
+    def test_normalised_rejects_empty_baseline(self):
+        with pytest.raises(ValueError):
+            normalised_response_times(MetricsCollector(), {})

@@ -1,0 +1,145 @@
+"""Unit tests for repro.core.pareto (Definition 1 machinery)."""
+
+import pytest
+
+from repro.core.pareto import (
+    Allocation,
+    enumerate_allocations,
+    is_pareto_optimal,
+    pareto_dominates,
+    pareto_front,
+)
+from repro.core.preferences import WeightedThroughputPreference
+from repro.core.supply import ExplicitSupplySet
+from repro.core.vectors import QueryVector
+
+
+def alloc(*consumptions):
+    """Allocation with supplies mirroring consumptions (clearing trivially)."""
+    vectors = [QueryVector(c) for c in consumptions]
+    return Allocation(supplies=tuple(vectors), consumptions=tuple(vectors))
+
+
+class TestAllocation:
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            Allocation(
+                supplies=(QueryVector([1]),),
+                consumptions=(QueryVector([1]), QueryVector([1])),
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Allocation(supplies=(), consumptions=())
+
+    def test_aggregates(self):
+        a = alloc((1, 2), (3, 4))
+        assert a.aggregate_supply() == QueryVector([4, 6])
+        assert a.aggregate_consumption() == QueryVector([4, 6])
+
+    def test_market_clearing(self):
+        a = alloc((1, 1))
+        assert a.is_market_clearing()
+        b = Allocation(
+            supplies=(QueryVector([2, 0]),),
+            consumptions=(QueryVector([1, 0]),),
+        )
+        assert not b.is_market_clearing()
+
+    def test_respects_demand(self):
+        a = alloc((1, 1), (0, 2))
+        assert a.respects_demand([QueryVector([2, 1]), QueryVector([0, 2])])
+        assert not a.respects_demand([QueryVector([0, 1]), QueryVector([0, 2])])
+
+    def test_total_consumed(self):
+        assert alloc((1, 2), (3, 0)).total_consumed() == 6.0
+
+
+class TestDominance:
+    def test_dominates_when_one_node_strictly_better(self):
+        better = alloc((2, 0), (1, 0))
+        worse = alloc((1, 0), (1, 0))
+        assert pareto_dominates(better, worse)
+
+    def test_no_domination_when_tradeoff(self):
+        a = alloc((2, 0), (0, 0))
+        b = alloc((0, 0), (2, 0))
+        assert not pareto_dominates(a, b)
+        assert not pareto_dominates(b, a)
+
+    def test_equal_allocations_do_not_dominate(self):
+        a = alloc((1, 1))
+        assert not pareto_dominates(a, alloc((1, 1)))
+
+    def test_custom_preferences(self):
+        # Node 0 values class 1 ten times more.
+        prefs = [WeightedThroughputPreference([1.0, 10.0])]
+        rich = alloc((0, 1))
+        poor = alloc((5, 0))
+        assert pareto_dominates(rich, poor, prefs)
+
+    def test_node_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            pareto_dominates(alloc((1,)), alloc((1,), (1,)))
+
+    def test_preference_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            pareto_dominates(
+                alloc((1,)), alloc((2,)), [WeightedThroughputPreference([1])] * 2
+            )
+
+
+class TestFrontAndOptimality:
+    def test_is_pareto_optimal_against_alternatives(self):
+        candidate = alloc((2, 0), (1, 0))
+        alternatives = [candidate, alloc((1, 0), (1, 0)), alloc((2, 0), (0, 0))]
+        assert is_pareto_optimal(candidate, alternatives)
+        assert not is_pareto_optimal(alloc((1, 0), (1, 0)), alternatives)
+
+    def test_front_excludes_dominated(self):
+        a = alloc((2, 0), (1, 0))
+        b = alloc((1, 0), (1, 0))
+        c = alloc((0, 0), (3, 0))
+        front = pareto_front([a, b, c])
+        assert a in front and c in front and b not in front
+
+    def test_front_of_empty_list(self):
+        assert pareto_front([]) == []
+
+    def test_front_keeps_incomparable(self):
+        a = alloc((2, 0), (0, 0))
+        b = alloc((0, 0), (2, 0))
+        assert set(map(id, pareto_front([a, b]))) == {id(a), id(b)}
+
+
+class TestEnumeration:
+    def test_enumerates_only_feasible_clearing_allocations(self):
+        demands = [QueryVector([1, 1]), QueryVector([1, 0])]
+        supply_sets = [
+            ExplicitSupplySet([QueryVector([1, 0]), QueryVector([0, 1])]),
+            ExplicitSupplySet([QueryVector([1, 0])]),
+        ]
+        allocations = enumerate_allocations(demands, supply_sets)
+        assert allocations  # non-empty
+        total_demand = QueryVector([2, 1])
+        for allocation in allocations:
+            assert allocation.is_market_clearing()
+            assert allocation.aggregate_supply().componentwise_le(total_demand)
+            assert allocation.respects_demand(demands)
+
+    def test_supply_exceeding_demand_excluded(self):
+        demands = [QueryVector([0, 0])]
+        supply_sets = [ExplicitSupplySet([QueryVector([1, 0])])]
+        allocations = enumerate_allocations(demands, supply_sets)
+        # Only the zero supply vector survives.
+        assert all(a.aggregate_supply().is_zero() for a in allocations)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            enumerate_allocations(
+                [QueryVector([1])],
+                [
+                    ExplicitSupplySet([QueryVector([1])]),
+                    ExplicitSupplySet([QueryVector([1])]),
+                ],
+            )

@@ -1,0 +1,66 @@
+"""Unit tests for repro.core.preferences."""
+
+import pytest
+
+from repro.core.preferences import (
+    ThroughputPreference,
+    WeightedThroughputPreference,
+)
+from repro.core.vectors import QueryVector
+
+
+class TestThroughputPreference:
+    def test_utility_is_total(self):
+        assert ThroughputPreference().utility(QueryVector([2, 3])) == 5.0
+
+    def test_prefers_more_queries(self):
+        pref = ThroughputPreference()
+        assert pref.prefers(QueryVector([3, 0]), QueryVector([1, 1]))
+
+    def test_weak_preference_is_reflexive(self):
+        pref = ThroughputPreference()
+        v = QueryVector([1, 2])
+        assert pref.prefers(v, v)
+
+    def test_strict_preference(self):
+        pref = ThroughputPreference()
+        assert pref.strictly_prefers(QueryVector([2, 2]), QueryVector([1, 2]))
+        assert not pref.strictly_prefers(QueryVector([2, 1]), QueryVector([1, 2]))
+
+    def test_indifference_between_same_totals(self):
+        pref = ThroughputPreference()
+        assert pref.indifferent(QueryVector([2, 1]), QueryVector([0, 3]))
+
+    def test_completeness(self):
+        # Any two vectors are comparable (one direction always holds).
+        pref = ThroughputPreference()
+        a, b = QueryVector([5, 0]), QueryVector([0, 4])
+        assert pref.prefers(a, b) or pref.prefers(b, a)
+
+
+class TestWeightedThroughputPreference:
+    def test_weights_applied(self):
+        pref = WeightedThroughputPreference([2.0, 1.0])
+        assert pref.utility(QueryVector([1, 2])) == 4.0
+
+    def test_reduces_to_throughput_with_unit_weights(self):
+        weighted = WeightedThroughputPreference([1.0, 1.0])
+        plain = ThroughputPreference()
+        v = QueryVector([3, 4])
+        assert weighted.utility(v) == plain.utility(v)
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(ValueError):
+            WeightedThroughputPreference([1.0, -1.0])
+
+    def test_rejects_empty_weights(self):
+        with pytest.raises(ValueError):
+            WeightedThroughputPreference([])
+
+    def test_length_mismatch_rejected(self):
+        pref = WeightedThroughputPreference([1.0])
+        with pytest.raises(ValueError):
+            pref.utility(QueryVector([1, 2]))
+
+    def test_weights_property(self):
+        assert WeightedThroughputPreference([1, 2]).weights == (1.0, 2.0)

@@ -1,0 +1,103 @@
+"""Unit tests for repro.query.model (classes, instances, generation)."""
+
+import pytest
+
+from repro.catalog import Placement
+from repro.query.model import (
+    Query,
+    QueryClass,
+    QueryClassParameters,
+    generate_query_classes,
+)
+
+
+class TestQueryClass:
+    def test_num_joins(self):
+        qc = QueryClass(index=0, relation_ids=(1, 2, 3))
+        assert qc.num_joins == 2
+
+    def test_rejects_empty_relations(self):
+        with pytest.raises(ValueError):
+            QueryClass(index=0, relation_ids=())
+
+    def test_rejects_duplicate_relations(self):
+        with pytest.raises(ValueError):
+            QueryClass(index=0, relation_ids=(1, 1))
+
+    def test_rejects_bad_selectivity(self):
+        with pytest.raises(ValueError):
+            QueryClass(index=0, relation_ids=(1,), selectivity=0.0)
+        with pytest.raises(ValueError):
+            QueryClass(index=0, relation_ids=(1,), selectivity=1.5)
+
+    def test_candidate_nodes(self):
+        placement = Placement({0: {1, 2}, 1: {2}, 2: {1, 2, 3}})
+        qc = QueryClass(index=0, relation_ids=(1, 2))
+        assert qc.candidate_nodes(placement) == frozenset({0, 2})
+
+
+class TestQuery:
+    def test_defaults(self):
+        q = Query(qid=1, class_index=2, origin_node=3, arrival_ms=4.0)
+        assert q.resubmissions == 0
+        assert q.assigned_ms is None
+
+    def test_rejects_negative_arrival(self):
+        with pytest.raises(ValueError):
+            Query(qid=0, class_index=0, origin_node=0, arrival_ms=-1.0)
+
+
+class TestGeneration:
+    def make_placement(self):
+        # Three overlapping nodes sharing a pool of relations.
+        shared = set(range(20))
+        return Placement(
+            {0: shared, 1: shared | {20}, 2: shared | {21}, 3: {22}}
+        )
+
+    def test_generates_requested_count(self, small_catalog_world):
+        __, placement, classes, __, __ = small_catalog_world
+        assert len(classes) == 6
+        assert [qc.index for qc in classes] == list(range(6))
+
+    def test_classes_have_multiple_candidates(self, small_catalog_world):
+        __, placement, classes, __, __ = small_catalog_world
+        for qc in classes:
+            assert len(qc.candidate_nodes(placement)) >= 2
+
+    def test_join_bounds_respected(self):
+        placement = self.make_placement()
+        params = QueryClassParameters(num_classes=10, min_joins=1, max_joins=3)
+        classes = generate_query_classes(None, placement, params, seed=0)
+        for qc in classes:
+            assert 1 <= qc.num_joins <= 3
+
+    def test_selectivity_bounds_respected(self):
+        placement = self.make_placement()
+        params = QueryClassParameters(
+            num_classes=10, max_joins=2, min_selectivity=0.3, max_selectivity=0.4
+        )
+        classes = generate_query_classes(None, placement, params, seed=1)
+        for qc in classes:
+            assert 0.3 <= qc.selectivity <= 0.4
+
+    def test_deterministic_given_seed(self):
+        placement = self.make_placement()
+        params = QueryClassParameters(num_classes=5, max_joins=4)
+        a = generate_query_classes(None, placement, params, seed=3)
+        b = generate_query_classes(None, placement, params, seed=3)
+        assert [qc.relation_ids for qc in a] == [qc.relation_ids for qc in b]
+
+    def test_relations_drawn_from_holdings(self):
+        placement = self.make_placement()
+        params = QueryClassParameters(num_classes=10, max_joins=5)
+        for qc in generate_query_classes(None, placement, params, seed=4):
+            assert placement.holders(qc.relation_ids)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            QueryClassParameters(num_classes=0)
+        with pytest.raises(ValueError):
+            QueryClassParameters(min_joins=5, max_joins=2)
+        with pytest.raises(ValueError):
+            QueryClassParameters(min_selectivity=0.9, max_selectivity=0.1)

@@ -1,0 +1,126 @@
+"""Tests for CSV export and multi-seed replication helpers."""
+
+import pytest
+
+from repro.experiments.replication import (
+    Replication,
+    ratio_confident,
+    replicate,
+)
+from repro.experiments.reporting import series_to_csv, table_to_csv
+
+
+class TestCsvExport:
+    def test_simple_table(self):
+        csv = table_to_csv(("a", "b"), [(1, 2), ("x", "y")])
+        assert csv.splitlines() == ["a,b", "1,2", "x,y"]
+
+    def test_floats_keep_full_precision(self):
+        csv = table_to_csv(("v",), [(0.1234567890123,)])
+        assert "0.1234567890123" in csv
+
+    def test_quoting(self):
+        csv = table_to_csv(("name",), [('He said "hi", twice',)])
+        assert csv.splitlines()[1] == '"He said ""hi"", twice"'
+
+    def test_row_width_checked(self):
+        with pytest.raises(ValueError):
+            table_to_csv(("a",), [(1, 2)])
+
+    def test_series(self):
+        csv = series_to_csv("x", "y", [1, 2], [3, 4])
+        assert csv.splitlines() == ["x,y", "1,3", "2,4"]
+
+    def test_series_length_checked(self):
+        with pytest.raises(ValueError):
+            series_to_csv("x", "y", [1], [1, 2])
+
+
+class TestReplication:
+    def test_statistics(self):
+        rep = replicate(lambda seed: float(seed), seeds=[1, 2, 3])
+        assert rep.mean == 2.0
+        assert rep.min == 1.0 and rep.max == 3.0
+        assert rep.std == pytest.approx(1.0)
+
+    def test_single_seed_has_zero_std(self):
+        rep = replicate(lambda seed: 5.0, seeds=[7])
+        assert rep.std == 0.0
+
+    def test_render(self):
+        rep = replicate(lambda seed: 1.0, seeds=[0, 1])
+        assert "n=2" in rep.render()
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            replicate(lambda seed: 1.0, seeds=[])
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            replicate(lambda seed: float("nan"), seeds=[0])
+
+    def test_measure_called_once_per_seed(self):
+        calls = []
+        replicate(lambda seed: calls.append(seed) or 0.0, seeds=[4, 5])
+        assert calls == [4, 5]
+
+
+class TestRatioConfident:
+    def test_consistent_winner(self):
+        assert ratio_confident(
+            lambda seed: 2.0, lambda seed: 1.0, seeds=[0, 1, 2]
+        )
+
+    def test_consistent_loser(self):
+        assert not ratio_confident(
+            lambda seed: 0.5, lambda seed: 1.0, seeds=[0, 1, 2]
+        )
+
+    def test_majority_rule(self):
+        # Wins on seeds 1 and 2, loses on 0 -> majority win.
+        assert ratio_confident(
+            lambda seed: 2.0 if seed else 0.5,
+            lambda seed: 1.0,
+            seeds=[0, 1, 2],
+        )
+
+    def test_threshold(self):
+        assert not ratio_confident(
+            lambda seed: 1.05, lambda seed: 1.0, seeds=[0], threshold=1.1
+        )
+
+    @pytest.mark.slow
+    def test_fig5a_overload_win_is_seed_robust(self):
+        """QA-NT's overload advantage survives re-seeding (3 seeds)."""
+        from repro.allocation import GreedyAllocator, QantAllocator
+        from repro.experiments.setups import (
+            run_mechanisms,
+            sinusoid_trace_for_load,
+            two_query_world,
+        )
+        from repro.sim import FederationConfig
+
+        def response(mechanism):
+            def measure(seed):
+                world = two_query_world(num_nodes=20, seed=seed)
+                trace = sinusoid_trace_for_load(
+                    world,
+                    load_fraction=2.0,
+                    horizon_ms=15_000.0,
+                    seed=seed + 100,
+                )
+                runs = run_mechanisms(
+                    world,
+                    trace,
+                    mechanisms={mechanism[0]: mechanism[1]},
+                    config=FederationConfig(seed=seed + 200, drain_ms=90_000.0),
+                )
+                return runs[mechanism[0]].mean_response_ms
+
+            return measure
+
+        assert ratio_confident(
+            response(("greedy", GreedyAllocator)),
+            response(("qa-nt", QantAllocator)),
+            seeds=[0, 1, 2],
+        )

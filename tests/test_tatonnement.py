@@ -1,0 +1,104 @@
+"""Unit tests for repro.core.tatonnement (the centralised umpire)."""
+
+import pytest
+
+from repro.core.market import PriceVector, is_equilibrium
+from repro.core.supply import CapacitySupplySet
+from repro.core.tatonnement import TatonnementUmpire
+from repro.core.vectors import QueryVector, aggregate
+
+
+def two_node_market():
+    """Two complementary sellers, demand requiring both to specialise."""
+    supply_sets = [
+        CapacitySupplySet([100.0, 200.0], 1000.0),  # fast at class 0
+        CapacitySupplySet([200.0, 100.0], 1000.0),  # fast at class 1
+    ]
+    demands = [QueryVector([8, 2]), QueryVector([2, 8])]
+    return demands, supply_sets
+
+
+class TestUmpire:
+    def test_converges_on_feasible_market(self):
+        demands, supply_sets = two_node_market()
+        umpire = TatonnementUmpire(step=0.001, tolerance=0.5)
+        result = umpire.find_equilibrium(demands, supply_sets)
+        assert result.converged
+        assert is_equilibrium(result.excess, tolerance=0.5)
+
+    def test_supply_meets_demand_at_equilibrium(self):
+        demands, supply_sets = two_node_market()
+        result = TatonnementUmpire(step=0.001).find_equilibrium(
+            demands, supply_sets
+        )
+        total_demand = aggregate(demands)
+        supplied = result.aggregate_supply()
+        for k in range(2):
+            assert supplied[k] >= total_demand[k] - 0.5
+
+    def test_reports_nonconvergence(self):
+        # Demand grossly beyond capacity can never clear.
+        supply_sets = [CapacitySupplySet([100.0], 100.0)]
+        demands = [QueryVector([100])]
+        result = TatonnementUmpire(step=0.01, max_iterations=20).find_equilibrium(
+            demands, supply_sets
+        )
+        assert not result.converged
+        assert result.iterations == 20
+
+    def test_trajectory_recorded(self):
+        demands, supply_sets = two_node_market()
+        result = TatonnementUmpire(step=0.001).find_equilibrium(
+            demands, supply_sets, record_trajectory=True
+        )
+        assert len(result.trajectory) >= 1
+        assert isinstance(result.trajectory[0], PriceVector)
+
+    def test_trajectory_not_recorded_by_default(self):
+        demands, supply_sets = two_node_market()
+        result = TatonnementUmpire(step=0.001).find_equilibrium(
+            demands, supply_sets
+        )
+        assert result.trajectory == []
+
+    def test_initial_prices_respected(self):
+        demands, supply_sets = two_node_market()
+        umpire = TatonnementUmpire(step=0.001)
+        result = umpire.find_equilibrium(
+            demands, supply_sets, initial_prices=PriceVector([5.0, 5.0])
+        )
+        assert result.converged
+
+    def test_wrong_price_length_rejected(self):
+        demands, supply_sets = two_node_market()
+        with pytest.raises(ValueError):
+            TatonnementUmpire().find_equilibrium(
+                demands, supply_sets, initial_prices=PriceVector([1.0])
+            )
+
+    def test_empty_market_rejected(self):
+        with pytest.raises(ValueError):
+            TatonnementUmpire().find_equilibrium([], [])
+
+    def test_mismatched_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            TatonnementUmpire().find_equilibrium(
+                [QueryVector([1])],
+                [CapacitySupplySet([1.0], 1.0)] * 2,
+            )
+
+    def test_bad_step_rejected(self):
+        with pytest.raises(ValueError):
+            TatonnementUmpire(step=0.0)
+
+    def test_larger_step_converges_in_fewer_iterations(self):
+        # The paper's lambda trade-off: bigger steps -> fewer iterations.
+        demands, supply_sets = two_node_market()
+        slow = TatonnementUmpire(step=0.0005, tolerance=0.5).find_equilibrium(
+            demands, supply_sets
+        )
+        fast = TatonnementUmpire(step=0.002, tolerance=0.5).find_equilibrium(
+            demands, supply_sets
+        )
+        assert fast.converged and slow.converged
+        assert fast.iterations <= slow.iterations

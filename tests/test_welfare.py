@@ -1,0 +1,127 @@
+"""Unit tests for repro.core.welfare (FTWE checks, market economy)."""
+
+import pytest
+
+from repro.core.market import PriceVector
+from repro.core.qant import QantParameters
+from repro.core.supply import CapacitySupplySet, ExplicitSupplySet
+from repro.core.vectors import QueryVector
+from repro.core.welfare import (
+    QueryMarketEconomy,
+    ftwe_allocation,
+    verify_ftwe,
+)
+
+
+def fig1_supply_sets(period_ms=500.0):
+    """Enumerated supply sets of the paper's Figure 1 nodes."""
+    sets = []
+    for costs in ((400.0, 100.0), (450.0, 500.0)):
+        vectors = []
+        for n1 in range(3):
+            for n2 in range(6):
+                if n1 * costs[0] + n2 * costs[1] <= period_ms:
+                    vectors.append(QueryVector((n1, n2)))
+        sets.append(ExplicitSupplySet(vectors))
+    return sets
+
+
+class TestFtwe:
+    def test_allocation_distributes_supply_to_demand(self):
+        demands = [QueryVector([1, 6]), QueryVector([1, 0])]
+        allocation = ftwe_allocation(
+            demands, fig1_supply_sets(), PriceVector([1.0, 1.0])
+        )
+        assert allocation.respects_demand(demands)
+        assert allocation.num_nodes == 2
+
+    def test_verify_ftwe_holds_at_supporting_prices(self):
+        # Prices making N1 sell q2 and N2 sell q1: q2 relatively valuable
+        # at N1 (100ms each), q1 at N2.  Aggregate demand (1, 5) matches
+        # the induced aggregate supply exactly.
+        demands = [QueryVector([0, 5]), QueryVector([1, 0])]
+        prices = PriceVector([1.0, 0.9])
+        assert verify_ftwe(demands, fig1_supply_sets(), prices)
+
+    def test_verify_ftwe_fails_when_market_does_not_clear(self):
+        demands = [QueryVector([2, 6]), QueryVector([1, 0])]
+        # Zero price on q1 -> nobody supplies q1 -> excess demand.
+        prices = PriceVector([0.0, 1.0])
+        assert not verify_ftwe(demands, fig1_supply_sets(), prices)
+
+
+class TestEconomy:
+    def make_economy(self, seed=0, **params):
+        defaults = dict(supply_method="greedy", carry_over=False)
+        defaults.update(params)
+        return QueryMarketEconomy(
+            [
+                CapacitySupplySet([400.0, 100.0], 500.0),
+                CapacitySupplySet([450.0, 500.0], 500.0),
+            ],
+            parameters=QantParameters(**defaults),
+            seed=seed,
+        )
+
+    def test_single_period_consumes_feasible_demand(self):
+        economy = self.make_economy()
+        record = economy.run_period(QueryVector([0, 3]))
+        assert record.consumed.total() >= 3
+
+    def test_infeasible_demand_creates_backlog(self):
+        economy = self.make_economy()
+        economy.run_period(QueryVector([10, 10]))
+        assert economy.backlog_size > 0
+
+    def test_backlog_re_enters_demand(self):
+        economy = self.make_economy()
+        economy.run_period(QueryVector([10, 0]))
+        backlog = economy.backlog_size
+        record = economy.run_period(QueryVector([0, 0]))
+        # The resubmitted queries appear in the period's offered demand.
+        assert record.demand.total() == backlog
+
+    def test_market_specialises_under_constant_load(self):
+        economy = self.make_economy(seed=7)
+        demand = QueryVector([1, 5])
+        for __ in range(40):
+            record = economy.run_period(demand)
+        # Late periods serve the full per-period demand: the market found
+        # the Figure 1 allocation (N1 -> q2, N2 -> q1).
+        late = economy.history[-5:]
+        assert any(r.consumed.total() >= demand.total() for r in late)
+
+    def test_history_grows(self):
+        economy = self.make_economy()
+        economy.run([QueryVector([1, 1])] * 3)
+        assert len(economy.history) == 3
+        assert [r.period for r in economy.history] == [1, 2, 3]
+
+    def test_rejects_fractional_demand(self):
+        economy = self.make_economy()
+        with pytest.raises(ValueError):
+            economy.run_period(QueryVector([1.5, 0]))
+
+    def test_rejects_wrong_demand_length(self):
+        economy = self.make_economy()
+        with pytest.raises(ValueError):
+            economy.run_period(QueryVector([1]))
+
+    def test_rejects_empty_economy(self):
+        with pytest.raises(ValueError):
+            QueryMarketEconomy([])
+
+    def test_rejects_mixed_class_counts(self):
+        with pytest.raises(ValueError):
+            QueryMarketEconomy(
+                [
+                    CapacitySupplySet([1.0], 1.0),
+                    CapacitySupplySet([1.0, 2.0], 1.0),
+                ]
+            )
+
+    def test_steady_state_excess_shrinks(self):
+        economy = self.make_economy(seed=3)
+        # Clearly sub-capacity demand: 1 q2 per period.
+        excess = economy.steady_state_excess(QueryVector([0, 1]), periods=20)
+        assert excess[1] <= 1.0

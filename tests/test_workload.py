@@ -1,0 +1,222 @@
+"""Unit tests for repro.workload (arrival processes, traces)."""
+
+import math
+import random
+import statistics
+
+import pytest
+
+from repro.workload.arrival import (
+    FixedArrivals,
+    PoissonArrivals,
+    UniformArrivals,
+)
+from repro.workload.sinusoid import SinusoidArrivals
+from repro.workload.trace import (
+    WorkloadEvent,
+    build_trace,
+    two_class_sinusoid_trace,
+    zipf_trace,
+)
+from repro.workload.zipf import TruncatedZipf, ZipfArrivals
+
+
+class TestUniformArrivals:
+    def test_times_sorted_and_bounded(self):
+        process = UniformArrivals(mean_ms=50.0)
+        times = process.sample(10_000.0, random.Random(0))
+        assert times == sorted(times)
+        assert all(0 <= t < 10_000.0 for t in times)
+
+    def test_mean_gap_near_target(self):
+        process = UniformArrivals(mean_ms=50.0)
+        times = process.sample(200_000.0, random.Random(1))
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert statistics.mean(gaps) == pytest.approx(50.0, rel=0.15)
+
+    def test_rejects_nonpositive_mean(self):
+        with pytest.raises(ValueError):
+            UniformArrivals(0.0)
+
+
+class TestPoissonArrivals:
+    def test_rate_realised(self):
+        process = PoissonArrivals(rate_per_ms=0.02)
+        times = process.sample(100_000.0, random.Random(2))
+        assert len(times) == pytest.approx(2000, rel=0.15)
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(0.0)
+
+
+class TestFixedArrivals:
+    def test_respects_horizon(self):
+        process = FixedArrivals([5.0, 15.0, 25.0])
+        assert process.sample(20.0, random.Random(0)) == [5.0, 15.0]
+
+    def test_sorts_input(self):
+        process = FixedArrivals([30.0, 10.0])
+        assert process.sample(100.0, random.Random(0)) == [10.0, 30.0]
+
+    def test_rejects_negative_times(self):
+        with pytest.raises(ValueError):
+            FixedArrivals([-1.0])
+
+
+class TestSinusoidArrivals:
+    def test_rate_profile(self):
+        process = SinusoidArrivals(frequency_hz=0.05, peak_rate_per_ms=0.1)
+        # sin(0)=0 -> half the peak at t=0; peak a quarter-cycle later.
+        assert process.rate_at(0.0) == pytest.approx(0.05)
+        assert process.rate_at(5_000.0) == pytest.approx(0.1)
+        assert process.rate_at(15_000.0) == pytest.approx(0.0, abs=1e-9)
+
+    def test_mean_rate(self):
+        process = SinusoidArrivals(frequency_hz=0.05, peak_rate_per_ms=0.1)
+        assert process.mean_rate_per_ms() == pytest.approx(0.05)
+
+    def test_phase_shift(self):
+        base = SinusoidArrivals(frequency_hz=0.05, peak_rate_per_ms=0.1)
+        shifted = SinusoidArrivals(
+            frequency_hz=0.05, peak_rate_per_ms=0.1, phase_deg=180.0
+        )
+        assert shifted.rate_at(5_000.0) == pytest.approx(
+            base.rate_at(15_000.0), abs=1e-9
+        )
+
+    def test_event_count_matches_mean_rate(self):
+        process = SinusoidArrivals(frequency_hz=0.05, peak_rate_per_ms=0.02)
+        times = process.sample(100_000.0, random.Random(3))
+        assert len(times) == pytest.approx(1000, rel=0.15)
+
+    def test_events_cluster_at_rate_peaks(self):
+        process = SinusoidArrivals(frequency_hz=0.05, peak_rate_per_ms=0.05)
+        times = process.sample(20_000.0, random.Random(4))
+        peak_window = [t for t in times if 2_500.0 <= t < 7_500.0]
+        trough_window = [t for t in times if 12_500.0 <= t < 17_500.0]
+        assert len(peak_window) > 3 * max(1, len(trough_window))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SinusoidArrivals(frequency_hz=0.0, peak_rate_per_ms=0.1)
+        with pytest.raises(ValueError):
+            SinusoidArrivals(frequency_hz=1.0, peak_rate_per_ms=0.0)
+
+
+class TestTruncatedZipf:
+    def test_samples_within_support(self):
+        zipf = TruncatedZipf(a=1.0, support=100)
+        rng = random.Random(5)
+        draws = [zipf.sample(rng) for __ in range(1000)]
+        assert all(1 <= d <= 100 for d in draws)
+
+    def test_small_values_most_likely(self):
+        zipf = TruncatedZipf(a=1.0, support=100)
+        rng = random.Random(6)
+        draws = [zipf.sample(rng) for __ in range(5000)]
+        ones = sum(1 for d in draws if d == 1)
+        tens = sum(1 for d in draws if d == 10)
+        assert ones > 5 * tens
+
+    def test_mean_formula(self):
+        zipf = TruncatedZipf(a=1.0, support=3)
+        # weights 1, 1/2, 1/3 -> mean = (1 + 1 + 1) / (11/6) = 18/11.
+        assert zipf.mean == pytest.approx(18.0 / 11.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TruncatedZipf(a=0.0)
+        with pytest.raises(ValueError):
+            TruncatedZipf(support=0)
+
+
+class TestZipfArrivals:
+    def test_gaps_capped(self):
+        process = ZipfArrivals(
+            mean_interarrival_ms=20_000.0, max_interarrival_ms=30_000.0
+        )
+        rng = random.Random(7)
+        for __ in range(200):
+            assert process.gap_ms(rng) <= 30_000.0
+
+    def test_mean_gap_matches_target_when_uncapped(self):
+        process = ZipfArrivals(
+            mean_interarrival_ms=100.0, max_interarrival_ms=1e12
+        )
+        rng = random.Random(8)
+        gaps = [process.gap_ms(rng) for __ in range(30_000)]
+        assert statistics.mean(gaps) == pytest.approx(100.0, rel=0.2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfArrivals(mean_interarrival_ms=0.0)
+
+
+class TestTraceBuilders:
+    def test_build_trace_sorted(self):
+        trace = build_trace(
+            {0: PoissonArrivals(0.01), 1: PoissonArrivals(0.01)},
+            horizon_ms=10_000.0,
+            origin_nodes=[0, 1, 2],
+            seed=9,
+        )
+        times = [e.time_ms for e in trace]
+        assert times == sorted(times)
+
+    def test_build_trace_origins_valid(self):
+        trace = build_trace(
+            {0: PoissonArrivals(0.01)},
+            horizon_ms=10_000.0,
+            origin_nodes=[5, 6],
+            seed=10,
+        )
+        assert {e.origin_node for e in trace} <= {5, 6}
+
+    def test_build_trace_deterministic(self):
+        kwargs = dict(
+            processes={0: PoissonArrivals(0.01)},
+            horizon_ms=5_000.0,
+            origin_nodes=[0],
+            seed=11,
+        )
+        assert build_trace(**kwargs) == build_trace(**kwargs)
+
+    def test_build_trace_validation(self):
+        with pytest.raises(ValueError):
+            build_trace({}, horizon_ms=0.0, origin_nodes=[0])
+        with pytest.raises(ValueError):
+            build_trace({}, horizon_ms=10.0, origin_nodes=[])
+
+    def test_two_class_trace_rates(self):
+        trace = two_class_sinusoid_trace(
+            horizon_ms=200_000.0,
+            q1_peak_rate_per_ms=0.02,
+            origin_nodes=[0],
+            seed=12,
+        )
+        q1 = sum(1 for e in trace if e.class_index == 0)
+        q2 = sum(1 for e in trace if e.class_index == 1)
+        # Q1's peak (and hence mean) rate is twice Q2's.
+        assert q1 == pytest.approx(2 * q2, rel=0.2)
+
+    def test_zipf_trace_max_queries(self):
+        trace = zipf_trace(
+            num_classes=5,
+            mean_interarrival_ms=10.0,
+            horizon_ms=50_000.0,
+            origin_nodes=[0],
+            max_queries=100,
+            seed=13,
+        )
+        assert len(trace) == 100
+
+    def test_zipf_trace_covers_classes(self):
+        trace = zipf_trace(
+            num_classes=4,
+            mean_interarrival_ms=50.0,
+            horizon_ms=50_000.0,
+            origin_nodes=[0],
+            seed=14,
+        )
+        assert {e.class_index for e in trace} == {0, 1, 2, 3}
