@@ -23,9 +23,10 @@ examples:
 	$(PYTHON) examples/sqlite_federation.py
 	$(PYTHON) examples/failure_recovery.py
 
-# Regenerate every paper artefact via the CLI (scaled-down).
+# Regenerate every paper artefact via the CLI (scaled-down), archiving
+# a versioned JSON result per experiment under benchmarks/results/.
 artefacts:
-	$(PYTHON) -m repro run all
+	$(PYTHON) -m repro run all --scale small --json
 
 clean:
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache \

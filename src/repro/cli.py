@@ -5,11 +5,21 @@ Usage::
     python -m repro list
     python -m repro run fig1
     python -m repro run fig4 --scale paper --seed 3
-    python -m repro run all --scale small
+    python -m repro run fig5a --seeds 3 --jobs 4 --json
+    python -m repro run all --scale small --json
+
+Every experiment is a :class:`~repro.experiments.spec.ScenarioSpec` in
+the global registry; the CLI is a thin shell over
+:func:`~repro.experiments.runner.run_sweep` and
+:func:`~repro.experiments.runner.run_single`.
 
 ``--scale small`` (default) runs each experiment on a reduced federation
 that finishes in seconds-to-minutes; ``--scale paper`` uses the paper's
 full dimensions (100 nodes, 10,000 queries) and can take much longer.
+``--seeds N`` replicates each run across N derived seeds (the first is
+``--seed`` itself), ``--jobs N`` fans sweep cells out over N worker
+processes (results are byte-identical to a serial run), and ``--json``
+writes a versioned artifact under ``benchmarks/results/``.
 """
 
 from __future__ import annotations
@@ -19,134 +29,91 @@ import sys
 import time
 from typing import Callable, Dict, Optional, Sequence
 
-from .experiments import (
-    run_fig1,
-    run_fig2,
-    run_fig3,
-    run_fig4,
-    run_fig5a,
-    run_fig5b,
-    run_fig5c,
-    run_fig6,
-    run_fig7,
-    run_lambda_sweep,
-    run_partial_adoption,
-    run_period_sweep,
-    run_rounding_ablation,
-    run_static_markov,
-    run_table2,
-    run_table3,
+from . import experiments as _experiments  # noqa: F401  (populates the registry)
+from .experiments.runner import (
+    DEFAULT_RESULTS_DIR,
+    replicate_seeds,
+    run_single,
+    run_sweep,
+    single_run_payload,
+    write_json_artifact,
 )
-from .experiments.failures import run_failures
-from .experiments.setups import zipf_world
+from .experiments.spec import REGISTRY, SCALES, ScenarioSpec
 
 __all__ = ["main", "EXPERIMENTS"]
 
 
-def _fig3(scale: str, seed: int):
-    return run_fig3(horizon_ms=40_000.0, q1_peak_rate_per_ms=0.05, seed=seed)
+def _legacy_entry(name: str) -> Callable[[str, int], object]:
+    """A ``callable(scale, seed)`` view of one registered experiment.
+
+    Sweepable specs return a :class:`SweepResult`; plain specs return the
+    driver's native result object.  Both carry ``render()``/``to_dict()``.
+    """
+
+    def run(scale: str, seed: int) -> object:
+        spec = REGISTRY.get(name)
+        if spec.sweepable:
+            return run_sweep(spec, scale=scale, seeds=(seed,))
+        return run_single(spec, scale, seed)
+
+    return run
 
 
-def _fig4(scale: str, seed: int):
-    nodes = 100 if scale == "paper" else 30
-    horizon = 120_000.0 if scale == "paper" else 60_000.0
-    return run_fig4(num_nodes=nodes, horizon_ms=horizon, seed=seed)
-
-
-def _fig5a(scale: str, seed: int):
-    loads = (
-        (0.1, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0)
-        if scale == "paper"
-        else (0.25, 0.75, 1.5, 3.0)
-    )
-    nodes = 100 if scale == "paper" else 30
-    return run_fig5a(loads=loads, num_nodes=nodes, seed=seed)
-
-
-def _fig5b(scale: str, seed: int):
-    freqs = (
-        (0.05, 0.1, 0.25, 0.5, 1.0, 2.0)
-        if scale == "paper"
-        else (0.05, 0.5, 2.0)
-    )
-    nodes = 100 if scale == "paper" else 30
-    return run_fig5b(frequencies_hz=freqs, num_nodes=nodes, seed=seed)
-
-
-def _fig5c(scale: str, seed: int):
-    nodes = 100 if scale == "paper" else 30
-    return run_fig5c(num_nodes=nodes, seed=seed)
-
-
-def _fig6(scale: str, seed: int):
-    if scale == "paper":
-        return run_fig6(seed=seed)
-    return run_fig6(
-        interarrivals_ms=(1_000.0, 10_000.0, 17_000.0),
-        num_nodes=30,
-        num_relations=300,
-        num_classes=30,
-        max_queries=2_500,
-        horizon_ms=200_000.0,
-        seed=seed,
-    )
-
-
-def _fig7(scale: str, seed: int):
-    queries = 300 if scale == "paper" else 100
-    return run_fig7(num_queries=queries, seed=seed)
-
-
-def _table2(scale: str, seed: int):
-    nodes = 100 if scale == "paper" else 30
-    return run_table2(num_nodes=nodes, horizon_ms=60_000.0, seed=seed)
-
-
-def _table3(scale: str, seed: int):
-    if scale == "paper":
-        return run_table3(seed=seed)
-    world = zipf_world(
-        num_nodes=30, num_relations=300, num_classes=30, seed=seed
-    )
-    return run_table3(world=world)
-
-
-def _failures(scale: str, seed: int):
-    nodes = 100 if scale == "paper" else 30
-    return run_failures(num_nodes=nodes, seed=seed)
-
-
-#: Registry: experiment name -> callable(scale, seed) returning an object
-#: with a ``render()`` method.
+#: Legacy registry view: experiment name -> callable(scale, seed) returning
+#: an object with a ``render()`` method.  Kept importable for callers of the
+#: pre-registry CLI; the names are exactly ``REGISTRY.names()``.
 EXPERIMENTS: Dict[str, Callable[[str, int], object]] = {
-    "fig1": lambda scale, seed: run_fig1(),
-    "fig2": lambda scale, seed: run_fig2(),
-    "fig3": _fig3,
-    "fig4": _fig4,
-    "fig5a": _fig5a,
-    "fig5b": _fig5b,
-    "fig5c": _fig5c,
-    "fig6": _fig6,
-    "fig7": _fig7,
-    "table2": _table2,
-    "table3": _table3,
-    "ablation-lambda": lambda scale, seed: run_lambda_sweep(
-        num_nodes=20, seed=seed
-    ),
-    "ablation-period": lambda scale, seed: run_period_sweep(
-        num_nodes=20, seed=seed
-    ),
-    "ablation-partial": lambda scale, seed: run_partial_adoption(
-        num_nodes=20, seed=seed
-    ),
-    "ablation-markov": lambda scale, seed: run_static_markov(
-        num_nodes=20, seed=seed
-    ),
-    "ablation-rounding": lambda scale, seed: run_rounding_ablation(
-        num_nodes=20, seed=seed
-    ),
-    "failures": _failures,
+    name: _legacy_entry(name) for name in REGISTRY.names()
 }
+
+
+def _progress(message: str) -> None:
+    if sys.stderr.isatty():
+        print(message, file=sys.stderr, flush=True)
+
+
+def _sweep_progress(name: str) -> Callable[[int, int, object], None]:
+    def report(done: int, total: int, result: object) -> None:
+        _progress("%s: cell %d/%d" % (name, done, total))
+
+    return report
+
+
+def _run_one(
+    name: str,
+    scale: str,
+    seeds: Sequence[int],
+    jobs: int,
+    as_json: bool,
+    out_dir: str,
+) -> None:
+    """Run one registered experiment and print/persist its results."""
+    spec: ScenarioSpec = REGISTRY.get(name)
+    started = time.time()
+    if spec.sweepable:
+        result = run_sweep(
+            spec, scale=scale, seeds=seeds, jobs=jobs, progress=_sweep_progress(name)
+        )
+        rendered = result.render()
+        payload = result.to_dict()
+    else:
+        results = []
+        for seed in seeds:
+            _progress("%s: seed %d" % (name, seed))
+            results.append(run_single(spec, scale, seed))
+        rendered = results[0].render()
+        if len(results) > 1:
+            rendered += "\n(%d replicate seeds measured; JSON has all)" % len(
+                results
+            )
+        payload = single_run_payload(spec, scale, seeds, results)
+    elapsed = time.time() - started
+    print("=== %s (%.1fs) ===" % (name, elapsed))
+    print(rendered)
+    if as_json:
+        path = write_json_artifact(name, payload, out_dir)
+        print("wrote %s" % path)
+    print()
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -159,16 +126,38 @@ def _build_parser() -> argparse.ArgumentParser:
     run = commands.add_parser("run", help="run one experiment (or 'all')")
     run.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all"],
+        choices=REGISTRY.names() + ["all"],
         help="experiment id (see 'list')",
     )
     run.add_argument(
         "--scale",
-        choices=("small", "paper"),
+        choices=SCALES,
         default="small",
         help="federation/workload size (default: small)",
     )
-    run.add_argument("--seed", type=int, default=0, help="random seed")
+    run.add_argument("--seed", type=int, default=0, help="base random seed")
+    run.add_argument(
+        "--seeds",
+        type=int,
+        default=1,
+        help="number of replicate seeds derived from --seed (default: 1)",
+    )
+    run.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for sweep cells (default: 1, serial)",
+    )
+    run.add_argument(
+        "--json",
+        action="store_true",
+        help="write a versioned JSON artifact per experiment",
+    )
+    run.add_argument(
+        "--out",
+        default=DEFAULT_RESULTS_DIR,
+        help="artifact directory (default: %s)" % DEFAULT_RESULTS_DIR,
+    )
     return parser
 
 
@@ -176,18 +165,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
     if args.command == "list":
-        for name in sorted(EXPERIMENTS):
+        for name in REGISTRY.names():
             print(name)
         return 0
 
-    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    if args.seeds < 1:
+        print("--seeds must be >= 1", file=sys.stderr)
+        return 2
+    if args.jobs < 1:
+        print("--jobs must be >= 1", file=sys.stderr)
+        return 2
+    seeds = replicate_seeds(args.seed, args.seeds)
+    names = REGISTRY.names() if args.experiment == "all" else [args.experiment]
     for name in names:
-        started = time.time()
-        result = EXPERIMENTS[name](args.scale, args.seed)
-        elapsed = time.time() - started
-        print("=== %s (%.1fs) ===" % (name, elapsed))
-        print(result.render())
-        print()
+        _run_one(name, args.scale, seeds, args.jobs, args.json, args.out)
     return 0
 
 

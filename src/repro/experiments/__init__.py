@@ -12,6 +12,26 @@ from .ablations import (
     run_static_markov,
 )
 from .failures import FailureResult, run_failures
+from .runner import (
+    CellResult,
+    MetricStats,
+    SweepResult,
+    derive_cell_seed,
+    expand_cells,
+    replicate_seeds,
+    run_single,
+    run_sweep,
+    single_run_payload,
+    write_json_artifact,
+)
+from .spec import (
+    REGISTRY,
+    ExperimentRegistry,
+    ScalePreset,
+    ScenarioSpec,
+    SweepCell,
+    register,
+)
 from .fig1 import Fig1Result, run_fig1
 from .fig2 import Fig2Result, run_fig2
 from .fig3 import Fig3Result, run_fig3
@@ -39,9 +59,25 @@ from .table2 import Table2Result, run_table2
 from .table3 import Table3Result, run_table3
 
 __all__ = [
+    "CellResult",
+    "ExperimentRegistry",
     "FailureResult",
     "Fig1Result",
+    "MetricStats",
+    "REGISTRY",
     "Replication",
+    "ScalePreset",
+    "ScenarioSpec",
+    "SweepCell",
+    "SweepResult",
+    "derive_cell_seed",
+    "expand_cells",
+    "register",
+    "replicate_seeds",
+    "run_single",
+    "run_sweep",
+    "single_run_payload",
+    "write_json_artifact",
     "ratio_confident",
     "replicate",
     "run_failures",

@@ -20,8 +20,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Sequence
 
 from ..allocation import GreedyAllocator, MarkovAllocator, QantAllocator
 from ..core import (
@@ -35,10 +35,11 @@ from ..workload import PoissonArrivals, build_trace
 from .reporting import format_series, format_table
 from .setups import (
     World,
-    run_mechanisms,
+    run_mechanism,
     sinusoid_trace_for_load,
     two_query_world,
 )
+from .spec import ScalePreset, ScenarioSpec, register
 
 __all__ = [
     "LambdaSweepResult",
@@ -46,6 +47,11 @@ __all__ = [
     "PartialAdoptionResult",
     "StaticWorkloadResult",
     "RoundingAblationResult",
+    "lambda_cell",
+    "period_cell",
+    "partial_adoption_cell",
+    "static_markov_cell",
+    "rounding_cell",
     "run_lambda_sweep",
     "run_period_sweep",
     "run_partial_adoption",
@@ -78,24 +84,22 @@ class LambdaSweepResult:
             ),
         )
 
+    def to_dict(self) -> dict:
+        """JSON-ready form of all three series."""
+        return asdict(self)
 
-def run_lambda_sweep(
-    lambdas: Sequence[float] = (0.001, 0.005, 0.02, 0.05),
-    num_nodes: int = 30,
-    horizon_ms: float = 40_000.0,
-    load_fraction: float = 1.2,
-    seed: int = 0,
-) -> LambdaSweepResult:
-    """Ablation A1: sweep the price-adjustment coefficient.
 
-    The centralised umpire starts from deliberately skewed prices so the
-    market needs real adjustment; the paper's trade-off shows cleanly:
-    larger lambda clears in fewer iterations, until it overshoots and
-    oscillates forever (the "decreased accuracy" failure mode).
+def _umpire_convergence(lam: float) -> tuple:
+    """Centralised tatonnement convergence at step ``lam``.
+
+    The umpire starts from deliberately skewed prices so the market needs
+    real adjustment; the paper's trade-off shows cleanly: larger lambda
+    clears in fewer iterations, until it overshoots and oscillates forever
+    (the "decreased accuracy" failure mode).  Returns ``(iterations,
+    residual_excess)``.
     """
     from ..core.market import PriceVector
 
-    # Centralised umpire on a small heterogeneous market.
     supply_sets = [
         CapacitySupplySet([800.0, 1600.0], 10_000.0),
         CapacitySupplySet([1600.0, 800.0], 10_000.0),
@@ -107,34 +111,67 @@ def run_lambda_sweep(
         QueryVector((2, 6)),
     ]
     skewed = PriceVector([1.0, 0.05])
-    iterations, residuals = [], []
-    for lam in lambdas:
-        umpire = TatonnementUmpire(
-            step=lam, max_iterations=5000, supply_method="proportional"
-        )
-        result = umpire.find_equilibrium(
-            demands, supply_sets, initial_prices=skewed
-        )
-        iterations.append(result.iterations)
-        residuals.append(max(0.0, max(result.excess)))
+    umpire = TatonnementUmpire(
+        step=lam, max_iterations=5000, supply_method="proportional"
+    )
+    result = umpire.find_equilibrium(demands, supply_sets, initial_prices=skewed)
+    return result.iterations, max(0.0, max(result.excess))
 
-    world = two_query_world(num_nodes=num_nodes, seed=seed)
+
+def lambda_cell(
+    mechanism: str,
+    adjustment_lambda: float,
+    point_index: int,
+    seed: int,
+    num_nodes: int = 30,
+    horizon_ms: float = 40_000.0,
+    load_fraction: float = 1.2,
+    world: Optional[World] = None,
+) -> Dict[str, float]:
+    """One (lambda, seed) sweep cell: umpire convergence + QA-NT response."""
+    iterations, residual = _umpire_convergence(adjustment_lambda)
+    world = world or two_query_world(num_nodes=num_nodes, seed=seed)
     trace = sinusoid_trace_for_load(
         world, load_fraction=load_fraction, horizon_ms=horizon_ms, seed=seed + 1
     )
-    responses = []
-    for lam in lambdas:
-        runs = run_mechanisms(
-            world,
-            trace,
-            mechanisms={
-                "qa-nt": lambda lam=lam: QantAllocator(
-                    parameters=QantParameters(adjustment=lam)
-                )
-            },
-            config=FederationConfig(seed=seed + 2),
+    run = run_mechanism(
+        world,
+        trace,
+        mechanism,
+        lambda: QantAllocator(
+            parameters=QantParameters(adjustment=adjustment_lambda)
+        ),
+        config=FederationConfig(seed=seed + 2),
+    )
+    metrics = run.metrics_dict()
+    metrics["umpire_iterations"] = float(iterations)
+    metrics["umpire_residual"] = residual
+    return metrics
+
+
+def run_lambda_sweep(
+    lambdas: Sequence[float] = (0.001, 0.005, 0.02, 0.05),
+    num_nodes: int = 30,
+    horizon_ms: float = 40_000.0,
+    load_fraction: float = 1.2,
+    seed: int = 0,
+) -> LambdaSweepResult:
+    """Ablation A1: sweep the price-adjustment coefficient."""
+    world = two_query_world(num_nodes=num_nodes, seed=seed)
+    iterations, residuals, responses = [], [], []
+    for index, lam in enumerate(lambdas):
+        metrics = lambda_cell(
+            "qa-nt",
+            lam,
+            index,
+            seed,
+            horizon_ms=horizon_ms,
+            load_fraction=load_fraction,
+            world=world,
         )
-        responses.append(runs["qa-nt"].mean_response_ms)
+        iterations.append(int(metrics["umpire_iterations"]))
+        residuals.append(metrics["umpire_residual"])
+        responses.append(metrics["mean_response_ms"])
     return LambdaSweepResult(
         lambdas=list(lambdas),
         tatonnement_iterations=iterations,
@@ -165,6 +202,45 @@ class PeriodSweepResult:
             ),
         )
 
+    def to_dict(self) -> dict:
+        """JSON-ready form of both series."""
+        return asdict(self)
+
+
+#: The period sweep encodes the workload dynamics in the mechanism label
+#: so the two sinusoid frequencies appear as two series of one sweep.
+_PERIOD_FREQUENCIES = {"qa-nt@0.05Hz": 0.05, "qa-nt@1Hz": 1.0}
+
+
+def period_cell(
+    mechanism: str,
+    period_ms: float,
+    point_index: int,
+    seed: int,
+    num_nodes: int = 30,
+    horizon_ms: float = 40_000.0,
+    load_fraction: float = 1.2,
+    world: Optional[World] = None,
+) -> Dict[str, float]:
+    """One (mechanism-label, period, seed) sweep cell for ablation A2."""
+    frequency_hz = _PERIOD_FREQUENCIES[mechanism]
+    world = world or two_query_world(num_nodes=num_nodes, seed=seed)
+    trace = sinusoid_trace_for_load(
+        world,
+        load_fraction=load_fraction,
+        horizon_ms=horizon_ms,
+        frequency_hz=frequency_hz,
+        seed=seed + 1,
+    )
+    run = run_mechanism(
+        world,
+        trace,
+        mechanism,
+        QantAllocator,
+        config=FederationConfig(period_ms=period_ms, seed=seed + 2),
+    )
+    return run.metrics_dict()
+
 
 def run_period_sweep(
     periods_ms: Sequence[float] = (125.0, 250.0, 500.0, 1000.0, 2000.0),
@@ -176,22 +252,18 @@ def run_period_sweep(
     """Ablation A2: sweep the market period length T."""
     world = two_query_world(num_nodes=num_nodes, seed=seed)
     slow, fast = [], []
-    for frequency_hz, sink in ((0.05, slow), (1.0, fast)):
-        trace = sinusoid_trace_for_load(
-            world,
-            load_fraction=load_fraction,
-            horizon_ms=horizon_ms,
-            frequency_hz=frequency_hz,
-            seed=seed + 1,
-        )
-        for period in periods_ms:
-            runs = run_mechanisms(
-                world,
-                trace,
-                mechanisms={"qa-nt": QantAllocator},
-                config=FederationConfig(period_ms=period, seed=seed + 2),
+    for label, sink in (("qa-nt@0.05Hz", slow), ("qa-nt@1Hz", fast)):
+        for index, period in enumerate(periods_ms):
+            metrics = period_cell(
+                label,
+                period,
+                index,
+                seed,
+                horizon_ms=horizon_ms,
+                load_fraction=load_fraction,
+                world=world,
             )
-            sink.append(runs["qa-nt"].mean_response_ms)
+            sink.append(metrics["mean_response_ms"])
     return PeriodSweepResult(
         periods_ms=list(periods_ms),
         response_slow_dynamics_ms=slow,
@@ -222,6 +294,38 @@ class PartialAdoptionResult:
         """True iff full adoption beats zero adoption."""
         return self.response_ms[-1] <= self.response_ms[0]
 
+    def to_dict(self) -> dict:
+        """JSON-ready form of the adoption series."""
+        payload = asdict(self)
+        payload["monotone_gain"] = self.monotone_gain
+        return payload
+
+
+def partial_adoption_cell(
+    mechanism: str,
+    adoption_fraction: float,
+    point_index: int,
+    seed: int,
+    num_nodes: int = 40,
+    horizon_ms: float = 40_000.0,
+    load_fraction: float = 1.2,
+    world: Optional[World] = None,
+) -> Dict[str, float]:
+    """One (adoption fraction, seed) sweep cell for ablation A3."""
+    world = world or two_query_world(num_nodes=num_nodes, seed=seed)
+    trace = sinusoid_trace_for_load(
+        world, load_fraction=load_fraction, horizon_ms=horizon_ms, seed=seed + 1
+    )
+    adopters = set(range(int(round(adoption_fraction * world.num_nodes))))
+    run = run_mechanism(
+        world,
+        trace,
+        mechanism,
+        lambda: QantAllocator(adopters=adopters),
+        config=FederationConfig(seed=seed + 2),
+    )
+    return run.metrics_dict()
+
 
 def run_partial_adoption(
     adoption_fractions: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0),
@@ -236,23 +340,18 @@ def run_partial_adoption(
     degenerates to Greedy and 1.0 to full QA-NT.
     """
     world = two_query_world(num_nodes=num_nodes, seed=seed)
-    trace = sinusoid_trace_for_load(
-        world, load_fraction=load_fraction, horizon_ms=horizon_ms, seed=seed + 1
-    )
     responses = []
-    for fraction in adoption_fractions:
-        adopters = set(range(int(round(fraction * num_nodes))))
-        runs = run_mechanisms(
-            world,
-            trace,
-            mechanisms={
-                "qa-nt": lambda adopters=adopters: QantAllocator(
-                    adopters=adopters
-                )
-            },
-            config=FederationConfig(seed=seed + 2),
+    for index, fraction in enumerate(adoption_fractions):
+        metrics = partial_adoption_cell(
+            "qa-nt",
+            fraction,
+            index,
+            seed,
+            horizon_ms=horizon_ms,
+            load_fraction=load_fraction,
+            world=world,
         )
-        responses.append(runs["qa-nt"].mean_response_ms)
+        responses.append(metrics["mean_response_ms"])
     return PartialAdoptionResult(
         adoption_fractions=list(adoption_fractions), response_ms=responses
     )
@@ -279,15 +378,29 @@ class StaticWorkloadResult:
         """QA-NT's response relative to Markov's (paper: 'comes close')."""
         return self.response_ms["qa-nt"] / self.response_ms["markov"]
 
+    def to_dict(self) -> dict:
+        """JSON-ready form of the per-mechanism responses."""
+        payload = asdict(self)
+        payload["qant_vs_markov"] = self.qant_vs_markov
+        return payload
 
-def run_static_markov(
+
+def static_markov_cell(
+    mechanism: str,
+    load_fraction: float,
+    point_index: int,
+    seed: int,
     num_nodes: int = 30,
     horizon_ms: float = 60_000.0,
-    load_fraction: float = 0.7,
-    seed: int = 0,
-) -> StaticWorkloadResult:
-    """Ablation A4: static load, Markov vs QA-NT vs Greedy."""
-    world = two_query_world(num_nodes=num_nodes, seed=seed)
+    world: Optional[World] = None,
+) -> Dict[str, float]:
+    """One (mechanism, load, seed) sweep cell for ablation A4.
+
+    The Markov allocator's arrival-rate parameters are recomputed from
+    the world's capacity inside the cell, exactly as the paper requires
+    (the static allocator must be told the workload in advance).
+    """
+    world = world or two_query_world(num_nodes=num_nodes, seed=seed)
     capacity = world.capacity_qpms([2.0, 1.0])
     rate_q1 = load_fraction * capacity * 2.0 / 3.0
     rate_q2 = load_fraction * capacity / 3.0
@@ -297,19 +410,41 @@ def run_static_markov(
         origin_nodes=world.placement.node_ids,
         seed=seed + 1,
     )
-    runs = run_mechanisms(
+    factories = {
+        "qa-nt": QantAllocator,
+        "greedy": GreedyAllocator,
+        "markov": lambda: MarkovAllocator([rate_q1, rate_q2]),
+    }
+    run = run_mechanism(
         world,
         trace,
-        mechanisms={
-            "qa-nt": QantAllocator,
-            "greedy": GreedyAllocator,
-            "markov": lambda: MarkovAllocator([rate_q1, rate_q2]),
-        },
+        mechanism,
+        factories[mechanism],
         config=FederationConfig(seed=seed + 2),
     )
-    return StaticWorkloadResult(
-        response_ms={name: run.mean_response_ms for name, run in runs.items()}
-    )
+    return run.metrics_dict()
+
+
+def run_static_markov(
+    num_nodes: int = 30,
+    horizon_ms: float = 60_000.0,
+    load_fraction: float = 0.7,
+    seed: int = 0,
+) -> StaticWorkloadResult:
+    """Ablation A4: static load, Markov vs QA-NT vs Greedy."""
+    world = two_query_world(num_nodes=num_nodes, seed=seed)
+    responses = {}
+    for mechanism in ("qa-nt", "greedy", "markov"):
+        metrics = static_markov_cell(
+            mechanism,
+            load_fraction,
+            0,
+            seed,
+            horizon_ms=horizon_ms,
+            world=world,
+        )
+        responses[mechanism] = metrics["mean_response_ms"]
+    return StaticWorkloadResult(response_ms=responses)
 
 
 # --------------------------------------------------------------------------- A5
@@ -331,6 +466,43 @@ class RoundingAblationResult:
         ]
         return format_table(("supply solver", *loads), rows)
 
+    def to_dict(self) -> dict:
+        """JSON-ready form of the solver x load grid."""
+        return asdict(self)
+
+
+#: The rounding ablation encodes the supply solver in the mechanism label.
+_ROUNDING_PARAMETERS = {
+    "greedy-int": dict(supply_method="greedy", carry_over=False),
+    "greedy-carry": dict(supply_method="greedy-fractional", carry_over=True),
+    "proportional": dict(supply_method="proportional", carry_over=True),
+}
+
+
+def rounding_cell(
+    mechanism: str,
+    load_fraction: float,
+    point_index: int,
+    seed: int,
+    num_nodes: int = 30,
+    horizon_ms: float = 40_000.0,
+    world: Optional[World] = None,
+) -> Dict[str, float]:
+    """One (solver-label, load, seed) sweep cell for ablation A5."""
+    params = QantParameters(**_ROUNDING_PARAMETERS[mechanism])
+    world = world or two_query_world(num_nodes=num_nodes, seed=seed)
+    trace = sinusoid_trace_for_load(
+        world, load_fraction=load_fraction, horizon_ms=horizon_ms, seed=seed + 1
+    )
+    run = run_mechanism(
+        world,
+        trace,
+        mechanism,
+        lambda: QantAllocator(parameters=params),
+        config=FederationConfig(seed=seed + 2, drain_ms=120_000.0),
+    )
+    return run.metrics_dict()
+
 
 def run_rounding_ablation(
     num_nodes: int = 30,
@@ -345,24 +517,102 @@ def run_rounding_ablation(
     carry) solvers quantifies that design choice.
     """
     world = two_query_world(num_nodes=num_nodes, seed=seed)
-    configs = {
-        "greedy-int": QantParameters(supply_method="greedy", carry_over=False),
-        "greedy-carry": QantParameters(supply_method="greedy-fractional", carry_over=True),
-        "proportional": QantParameters(supply_method="proportional", carry_over=True),
+    results: Dict[str, Dict[str, float]] = {
+        name: {} for name in _ROUNDING_PARAMETERS
     }
-    results: Dict[str, Dict[str, float]] = {name: {} for name in configs}
-    for load_name, load in (("light (50%)", 0.5), ("heavy (150%)", 1.5)):
-        trace = sinusoid_trace_for_load(
-            world, load_fraction=load, horizon_ms=horizon_ms, seed=seed + 1
-        )
-        for name, params in configs.items():
-            runs = run_mechanisms(
-                world,
-                trace,
-                mechanisms={
-                    "qa-nt": lambda params=params: QantAllocator(parameters=params)
-                },
-                config=FederationConfig(seed=seed + 2, drain_ms=120_000.0),
+    for index, (load_name, load) in enumerate(
+        (("light (50%)", 0.5), ("heavy (150%)", 1.5))
+    ):
+        for name in _ROUNDING_PARAMETERS:
+            metrics = rounding_cell(
+                name, load, index, seed, horizon_ms=horizon_ms, world=world
             )
-            results[name][load_name] = runs["qa-nt"].mean_response_ms
+            results[name][load_name] = metrics["mean_response_ms"]
     return RoundingAblationResult(response_ms=results)
+
+
+# ----------------------------------------------------------------- registry
+
+register(
+    ScenarioSpec(
+        name="ablation-lambda",
+        title="A1 — price-adjustment coefficient lambda",
+        cell=lambda_cell,
+        axis="adjustment_lambda",
+        mechanisms=("qa-nt",),
+        scales={
+            "small": ScalePreset(
+                points=(0.001, 0.005, 0.02, 0.05), fixed={"num_nodes": 20}
+            ),
+            "paper": ScalePreset(
+                points=(0.001, 0.005, 0.02, 0.05), fixed={"num_nodes": 30}
+            ),
+        },
+    )
+)
+
+register(
+    ScenarioSpec(
+        name="ablation-period",
+        title="A2 — market period length T",
+        cell=period_cell,
+        axis="period_ms",
+        mechanisms=("qa-nt@0.05Hz", "qa-nt@1Hz"),
+        scales={
+            "small": ScalePreset(
+                points=(125.0, 250.0, 500.0, 1000.0, 2000.0),
+                fixed={"num_nodes": 20},
+            ),
+            "paper": ScalePreset(
+                points=(125.0, 250.0, 500.0, 1000.0, 2000.0),
+                fixed={"num_nodes": 30},
+            ),
+        },
+    )
+)
+
+register(
+    ScenarioSpec(
+        name="ablation-partial",
+        title="A3 — partial QA-NT adoption",
+        cell=partial_adoption_cell,
+        axis="adoption_fraction",
+        mechanisms=("qa-nt",),
+        scales={
+            "small": ScalePreset(
+                points=(0.0, 0.25, 0.5, 0.75, 1.0), fixed={"num_nodes": 20}
+            ),
+            "paper": ScalePreset(
+                points=(0.0, 0.25, 0.5, 0.75, 1.0), fixed={"num_nodes": 40}
+            ),
+        },
+    )
+)
+
+register(
+    ScenarioSpec(
+        name="ablation-markov",
+        title="A4 — Markov vs QA-NT on a static workload",
+        cell=static_markov_cell,
+        axis="load_fraction",
+        mechanisms=("qa-nt", "greedy", "markov"),
+        scales={
+            "small": ScalePreset(points=(0.7,), fixed={"num_nodes": 20}),
+            "paper": ScalePreset(points=(0.7,), fixed={"num_nodes": 30}),
+        },
+    )
+)
+
+register(
+    ScenarioSpec(
+        name="ablation-rounding",
+        title="A5 — integer supply rounding vs smooth supply",
+        cell=rounding_cell,
+        axis="load_fraction",
+        mechanisms=("greedy-int", "greedy-carry", "proportional"),
+        scales={
+            "small": ScalePreset(points=(0.5, 1.5), fixed={"num_nodes": 20}),
+            "paper": ScalePreset(points=(0.5, 1.5), fixed={"num_nodes": 30}),
+        },
+    )
+)

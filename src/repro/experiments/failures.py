@@ -21,10 +21,12 @@ from ..allocation import Allocator, GreedyAllocator, QantAllocator
 from ..sim import FederationConfig, build_federation
 from ..workload import PoissonArrivals, build_trace
 from .reporting import format_table
-from .setups import two_query_world
+from .setups import World, two_query_world
+from .spec import ScalePreset, ScenarioSpec, register
 
 __all__ = [
     "FailureResult",
+    "failures_cell",
     "run_failures",
 ]
 
@@ -71,6 +73,78 @@ class FailureResult:
             *self.outage_window_ms,
         )
 
+    def to_dict(self) -> dict:
+        """JSON-ready form: phases plus the per-mechanism degradation."""
+        return {
+            "outage_window_ms": list(self.outage_window_ms),
+            "failed_nodes": list(self.failed_nodes),
+            "phases": {name: dict(phase) for name, phase in self.phases.items()},
+            "degradation": {
+                name: self.degradation(name) for name in self.phases
+            },
+        }
+
+
+def _failure_phases(
+    world: World,
+    trace,
+    factory: Callable[[], Allocator],
+    failed: Tuple[int, ...],
+    outage_window_ms: Tuple[float, float],
+    seed: int,
+) -> Dict[str, float]:
+    """Run one mechanism under the outage schedule; mean response per phase."""
+    start_ms, end_ms = outage_window_ms
+    federation = build_federation(
+        world.specs,
+        world.placement,
+        world.classes,
+        world.cost_model,
+        factory(),
+        FederationConfig(seed=seed + 2, drain_ms=120_000.0),
+    )
+    for nid in failed:
+        federation.nodes[nid].schedule_outage(start_ms, end_ms)
+    metrics = federation.run(trace)
+    return _phase_means(metrics, start_ms, end_ms)
+
+
+def failures_cell(
+    mechanism: str,
+    failed_fraction: float,
+    point_index: int,
+    seed: int,
+    num_nodes: int = 40,
+    outage_window_ms: Tuple[float, float] = (20_000.0, 40_000.0),
+    horizon_ms: float = 60_000.0,
+    load_fraction: float = 0.6,
+    world: Optional[World] = None,
+) -> Dict[str, float]:
+    """One (mechanism, failed fraction, seed) sweep cell."""
+    world = world or two_query_world(num_nodes=num_nodes, seed=seed)
+    capacity = world.capacity_qpms([2.0, 1.0])
+    trace = build_trace(
+        {
+            0: PoissonArrivals(load_fraction * capacity * 2.0 / 3.0),
+            1: PoissonArrivals(load_fraction * capacity / 3.0),
+        },
+        horizon_ms=horizon_ms,
+        origin_nodes=world.placement.node_ids,
+        seed=seed + 1,
+    )
+    stride = max(1, int(1 / failed_fraction))
+    failed = tuple(nid for nid in world.placement.node_ids if nid % stride == 0)
+    factories = {"qa-nt": QantAllocator, "greedy": GreedyAllocator}
+    phases = _failure_phases(
+        world, trace, factories[mechanism], failed, outage_window_ms, seed
+    )
+    return {
+        "before_ms": phases["before"],
+        "during_ms": phases["during"],
+        "after_ms": phases["after"],
+        "degradation": phases["during"] / phases["before"],
+    }
+
 
 def run_failures(
     num_nodes: int = 40,
@@ -113,18 +187,9 @@ def run_failures(
     mechanisms = mechanisms or {"qa-nt": QantAllocator, "greedy": GreedyAllocator}
     phases: Dict[str, Dict[str, float]] = {}
     for name, factory in mechanisms.items():
-        federation = build_federation(
-            world.specs,
-            world.placement,
-            world.classes,
-            world.cost_model,
-            factory(),
-            FederationConfig(seed=seed + 2, drain_ms=120_000.0),
+        phases[name] = _failure_phases(
+            world, trace, factory, failed, outage_window_ms, seed
         )
-        for nid in failed:
-            federation.nodes[nid].schedule_outage(start_ms, end_ms)
-        metrics = federation.run(trace)
-        phases[name] = _phase_means(metrics, start_ms, end_ms)
     return FailureResult(
         outage_window_ms=outage_window_ms, failed_nodes=failed, phases=phases
     )
@@ -148,3 +213,19 @@ def _phase_means(
         phase: (sums[phase] / counts[phase]) if counts[phase] else math.nan
         for phase in sums
     }
+
+
+register(
+    ScenarioSpec(
+        name="failures",
+        title="F1 — response-time degradation under node failures",
+        cell=failures_cell,
+        axis="failed_fraction",
+        mechanisms=("qa-nt", "greedy"),
+        primary_metric="during_ms",
+        scales={
+            "small": ScalePreset(points=(0.3,), fixed={"num_nodes": 30}),
+            "paper": ScalePreset(points=(0.3,), fixed={"num_nodes": 100}),
+        },
+    )
+)

@@ -15,7 +15,7 @@ Pareto optimal.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import List, Sequence, Tuple
 
 from ..core import (
@@ -27,6 +27,7 @@ from ..core import (
 )
 from ..core.pareto import enumerate_allocations
 from .reporting import format_table
+from .spec import ScalePreset, ScenarioSpec, register
 
 __all__ = [
     "Fig1Result",
@@ -84,6 +85,12 @@ class Fig1Result:
             rows,
         )
         return "%s\nLB slowdown vs QA: %.0f%%" % (table, 100 * self.slowdown)
+
+    def to_dict(self) -> dict:
+        """JSON-ready form of the Figure 1 comparison."""
+        payload = asdict(self)
+        payload["slowdown"] = self.slowdown
+        return payload
 
 
 def _simulate_serial(
@@ -205,3 +212,18 @@ def run_fig1() -> Fig1Result:
         qa_dominates_lb=pareto_dominates(qa_alloc, lb_alloc),
         qa_is_pareto_optimal=is_pareto_optimal(qa_alloc, feasible),
     )
+
+
+def _fig1_scenario(seed: int = 0) -> Fig1Result:
+    """Registry adapter: the worked example is deterministic (no seed)."""
+    return run_fig1()
+
+
+register(
+    ScenarioSpec(
+        name="fig1",
+        title="Fig. 1 — the introduction's worked example",
+        runner=_fig1_scenario,
+        scales={"small": ScalePreset(), "paper": ScalePreset()},
+    )
+)

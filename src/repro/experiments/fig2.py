@@ -22,6 +22,7 @@ from .fig1 import (
     qa_schedule,
 )
 from .reporting import format_table
+from .spec import ScalePreset, ScenarioSpec, register
 
 __all__ = [
     "Fig2Result",
@@ -62,6 +63,22 @@ class Fig2Result:
             len(self.supply_region),
         )
 
+    def to_dict(self) -> dict:
+        """JSON-ready form of the aggregate vectors and supply region."""
+        return {
+            "aggregate_demand": list(self.aggregate_demand.components),
+            "lb_aggregate_consumption": list(
+                self.lb_aggregate_consumption.components
+            ),
+            "qa_aggregate_consumption": list(
+                self.qa_aggregate_consumption.components
+            ),
+            "lb_excess": list(self.lb_excess),
+            "qa_excess": list(self.qa_excess),
+            "supply_region": sorted(list(p) for p in self.supply_region),
+            "demand_is_infeasible": self.demand_is_infeasible,
+        }
+
 
 def run_fig2(period_ms: float = 500.0) -> Fig2Result:
     """Recompute the aggregate vectors of the example's first period."""
@@ -89,3 +106,18 @@ def run_fig2(period_ms: float = 500.0) -> Fig2Result:
         qa_excess=excess_demand(demand, qa_consumption),
         supply_region=frozenset(region),
     )
+
+
+def _fig2_scenario(seed: int = 0) -> Fig2Result:
+    """Registry adapter: the aggregate-vector example is deterministic."""
+    return run_fig2()
+
+
+register(
+    ScenarioSpec(
+        name="fig2",
+        title="Fig. 2 — aggregate vectors of the worked example",
+        runner=_fig2_scenario,
+        scales={"small": ScalePreset(), "paper": ScalePreset()},
+    )
+)

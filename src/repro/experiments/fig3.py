@@ -10,11 +10,12 @@ the two series of the figure.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import List
 
 from ..workload import two_class_sinusoid_trace
 from .reporting import format_series
+from .spec import ScalePreset, ScenarioSpec, register
 
 __all__ = [
     "Fig3Result",
@@ -42,6 +43,12 @@ class Fig3Result:
             format_series("Q2 arrivals per 500ms", self.times_s, self.q2_per_bucket),
         )
 
+    def to_dict(self) -> dict:
+        """JSON-ready form of both arrival series."""
+        payload = asdict(self)
+        payload["times_s"] = self.times_s
+        return payload
+
 
 def run_fig3(
     horizon_ms: float = 40_000.0,
@@ -68,3 +75,20 @@ def run_fig3(
         else:
             q2[bucket] += 1
     return Fig3Result(bucket_ms=bucket_ms, q1_per_bucket=q1, q2_per_bucket=q2)
+
+
+register(
+    ScenarioSpec(
+        name="fig3",
+        title="Fig. 3 — the two-query sinusoid workload",
+        runner=run_fig3,
+        scales={
+            "small": ScalePreset(
+                fixed={"horizon_ms": 40_000.0, "q1_peak_rate_per_ms": 0.05}
+            ),
+            "paper": ScalePreset(
+                fixed={"horizon_ms": 40_000.0, "q1_peak_rate_per_ms": 0.05}
+            ),
+        },
+    )
+)

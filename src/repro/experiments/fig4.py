@@ -17,16 +17,55 @@ from ..sim import FederationConfig
 from .reporting import format_table
 from .setups import (
     MechanismRun,
+    World,
     default_mechanism_factories,
+    run_mechanism,
     run_mechanisms,
     sinusoid_trace_for_load,
     two_query_world,
 )
+from .spec import ScalePreset, ScenarioSpec, register
 
 __all__ = [
     "Fig4Result",
+    "fig4_cell",
     "run_fig4",
 ]
+
+
+def fig4_cell(
+    mechanism: str,
+    load_fraction: float,
+    point_index: int,
+    seed: int,
+    num_nodes: int = 100,
+    horizon_ms: float = 120_000.0,
+    frequency_hz: float = 0.05,
+    world: Optional[World] = None,
+    config: Optional[FederationConfig] = None,
+) -> Dict[str, float]:
+    """One (mechanism, seed) cell of Figure 4.
+
+    The seed plumbing matches :func:`run_fig4` (world ``seed``, trace
+    ``seed + 1``, federation ``seed + 2``), so every mechanism of one
+    seed sees the same trace regardless of which process runs the cell.
+    """
+    world = world or two_query_world(num_nodes=num_nodes, seed=seed)
+    trace = sinusoid_trace_for_load(
+        world,
+        load_fraction=load_fraction,
+        horizon_ms=horizon_ms,
+        frequency_hz=frequency_hz,
+        seed=seed + 1,
+    )
+    run = run_mechanism(
+        world,
+        trace,
+        mechanism,
+        default_mechanism_factories()[mechanism],
+        config or FederationConfig(seed=seed + 2),
+    )
+    return run.metrics_dict()
 
 
 @dataclass
@@ -51,6 +90,13 @@ class Fig4Result:
             ("mechanism", "normalised response", "mean response (ms)", "messages"),
             rows,
         )
+
+    def to_dict(self) -> dict:
+        """JSON-ready summary: per-mechanism normalised response + runs."""
+        return {
+            "normalised": dict(self.normalised),
+            "runs": {name: run.to_dict() for name, run in self.runs.items()},
+        }
 
 
 def run_fig4(
@@ -86,3 +132,24 @@ def run_fig4(
         name: run.mean_response_ms / reference for name, run in runs.items()
     }
     return Fig4Result(runs=runs, normalised=normalised)
+
+
+register(
+    ScenarioSpec(
+        name="fig4",
+        title="Fig. 4 — normalised response of all six mechanisms",
+        axis="load_fraction",
+        mechanisms=tuple(default_mechanism_factories()),
+        cell=fig4_cell,
+        scales={
+            "small": ScalePreset(
+                points=(0.7,),
+                fixed={"num_nodes": 30, "horizon_ms": 60_000.0},
+            ),
+            "paper": ScalePreset(
+                points=(0.7,),
+                fixed={"num_nodes": 100, "horizon_ms": 120_000.0},
+            ),
+        },
+    )
+)

@@ -16,23 +16,27 @@ Three panels, all on the two-query world:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Sequence
 
 from ..allocation import GreedyAllocator, QantAllocator
 from ..sim import FederationConfig
 from .reporting import format_series
 from .setups import (
     World,
+    run_mechanism,
     run_mechanisms,
     sinusoid_trace_for_load,
     two_query_world,
 )
+from .spec import ScalePreset, ScenarioSpec, register
 
 __all__ = [
     "Fig5aResult",
     "Fig5bResult",
     "Fig5cResult",
+    "fig5a_cell",
+    "fig5b_cell",
     "run_fig5a",
     "run_fig5b",
     "run_fig5c",
@@ -40,6 +44,72 @@ __all__ = [
 
 #: Mechanism pair the panels compare.
 _PAIR = {"qa-nt": QantAllocator, "greedy": GreedyAllocator}
+
+
+def fig5a_cell(
+    mechanism: str,
+    load: float,
+    point_index: int,
+    seed: int,
+    num_nodes: int = 100,
+    horizon_ms: float = 20_000.0,
+    frequency_hz: float = 0.05,
+    world: Optional[World] = None,
+    config: Optional[FederationConfig] = None,
+) -> Dict[str, float]:
+    """One (mechanism, load, seed) cell of panel 5a.
+
+    The seed plumbing (world ``seed``, trace ``seed + 10 + point_index``,
+    federation ``seed + 2``) matches the legacy driver exactly, so a
+    single-seed sweep reproduces :func:`run_fig5a`'s numbers and the two
+    mechanisms of one point always see the same trace (paired ratios).
+    """
+    world = world or two_query_world(num_nodes=num_nodes, seed=seed)
+    trace = sinusoid_trace_for_load(
+        world,
+        load_fraction=load,
+        horizon_ms=horizon_ms,
+        frequency_hz=frequency_hz,
+        seed=seed + 10 + point_index,
+    )
+    run = run_mechanism(
+        world,
+        trace,
+        mechanism,
+        _PAIR[mechanism],
+        config or FederationConfig(seed=seed + 2),
+    )
+    return run.metrics_dict()
+
+
+def fig5b_cell(
+    mechanism: str,
+    frequency_hz: float,
+    point_index: int,
+    seed: int,
+    num_nodes: int = 100,
+    horizon_ms: float = 40_000.0,
+    load_fraction: float = 0.8,
+    world: Optional[World] = None,
+    config: Optional[FederationConfig] = None,
+) -> Dict[str, float]:
+    """One (mechanism, frequency, seed) cell of panel 5b."""
+    world = world or two_query_world(num_nodes=num_nodes, seed=seed)
+    trace = sinusoid_trace_for_load(
+        world,
+        load_fraction=load_fraction,
+        horizon_ms=horizon_ms,
+        frequency_hz=frequency_hz,
+        seed=seed + 10 + point_index,
+    )
+    run = run_mechanism(
+        world,
+        trace,
+        mechanism,
+        _PAIR[mechanism],
+        config or FederationConfig(seed=seed + 2),
+    )
+    return run.metrics_dict()
 
 
 @dataclass
@@ -57,6 +127,10 @@ class Fig5aResult:
             self.greedy_normalised,
         )
 
+    def to_dict(self) -> dict:
+        """JSON-ready form of the 5a series."""
+        return asdict(self)
+
 
 def run_fig5a(
     loads: Sequence[float] = (0.1, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0),
@@ -66,25 +140,31 @@ def run_fig5a(
     seed: int = 0,
     config: Optional[FederationConfig] = None,
 ) -> Fig5aResult:
-    """Sweep average load as a fraction of system capacity (panel 5a)."""
+    """Sweep average load as a fraction of system capacity (panel 5a).
+
+    Thin serial wrapper over :func:`fig5a_cell`; the world is built once
+    and shared across cells, which is behaviour-identical to rebuilding
+    it per cell from the same seed.
+    """
     world = two_query_world(num_nodes=num_nodes, seed=seed)
     ratios = []
     for index, load in enumerate(loads):
-        trace = sinusoid_trace_for_load(
-            world,
-            load_fraction=load,
-            horizon_ms=horizon_ms,
-            frequency_hz=frequency_hz,
-            seed=seed + 10 + index,
-        )
-        runs = run_mechanisms(
-            world,
-            trace,
-            mechanisms=dict(_PAIR),
-            config=config or FederationConfig(seed=seed + 2),
-        )
+        cells = {
+            mechanism: fig5a_cell(
+                mechanism,
+                load,
+                index,
+                seed,
+                horizon_ms=horizon_ms,
+                frequency_hz=frequency_hz,
+                world=world,
+                config=config,
+            )
+            for mechanism in _PAIR
+        }
         ratios.append(
-            runs["greedy"].mean_response_ms / runs["qa-nt"].mean_response_ms
+            cells["greedy"]["mean_response_ms"]
+            / cells["qa-nt"]["mean_response_ms"]
         )
     return Fig5aResult(loads=list(loads), greedy_normalised=ratios)
 
@@ -104,6 +184,10 @@ class Fig5bResult:
             self.greedy_normalised,
         )
 
+    def to_dict(self) -> dict:
+        """JSON-ready form of the 5b series."""
+        return asdict(self)
+
 
 def run_fig5b(
     frequencies_hz: Sequence[float] = (0.05, 0.1, 0.25, 0.5, 1.0, 2.0),
@@ -113,25 +197,29 @@ def run_fig5b(
     seed: int = 0,
     config: Optional[FederationConfig] = None,
 ) -> Fig5bResult:
-    """Sweep the sinusoid frequency at 80 % average load (panel 5b)."""
+    """Sweep the sinusoid frequency at 80 % average load (panel 5b).
+
+    Thin serial wrapper over :func:`fig5b_cell`.
+    """
     world = two_query_world(num_nodes=num_nodes, seed=seed)
     ratios = []
     for index, freq in enumerate(frequencies_hz):
-        trace = sinusoid_trace_for_load(
-            world,
-            load_fraction=load_fraction,
-            horizon_ms=horizon_ms,
-            frequency_hz=freq,
-            seed=seed + 10 + index,
-        )
-        runs = run_mechanisms(
-            world,
-            trace,
-            mechanisms=dict(_PAIR),
-            config=config or FederationConfig(seed=seed + 2),
-        )
+        cells = {
+            mechanism: fig5b_cell(
+                mechanism,
+                freq,
+                index,
+                seed,
+                horizon_ms=horizon_ms,
+                load_fraction=load_fraction,
+                world=world,
+                config=config,
+            )
+            for mechanism in _PAIR
+        }
         ratios.append(
-            runs["greedy"].mean_response_ms / runs["qa-nt"].mean_response_ms
+            cells["greedy"]["mean_response_ms"]
+            / cells["qa-nt"]["mean_response_ms"]
         )
     return Fig5bResult(
         frequencies_hz=list(frequencies_hz), greedy_normalised=ratios
@@ -171,6 +259,18 @@ class Fig5cResult:
                 ),
             )
         )
+
+    def to_dict(self) -> dict:
+        """JSON-ready form of the 5c series plus tracking errors."""
+        payload = asdict(self)
+        payload["times_s"] = self.times_s
+        payload["tracking_error_qant"] = self.tracking_error(
+            self.q1_executed_qant
+        )
+        payload["tracking_error_greedy"] = self.tracking_error(
+            self.q1_executed_greedy
+        )
+        return payload
 
 
 def run_fig5c(
@@ -215,3 +315,56 @@ def run_fig5c(
         q1_executed_qant=executed["qa-nt"],
         q1_executed_greedy=executed["greedy"],
     )
+
+
+register(
+    ScenarioSpec(
+        name="fig5a",
+        title="Fig. 5a — Greedy/QA-NT response ratio vs average load",
+        axis="load_fraction",
+        mechanisms=("qa-nt", "greedy"),
+        ratio_of=("greedy", "qa-nt"),
+        cell=fig5a_cell,
+        scales={
+            "small": ScalePreset(
+                points=(0.25, 0.75, 1.5, 3.0), fixed={"num_nodes": 30}
+            ),
+            "paper": ScalePreset(
+                points=(0.1, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0),
+                fixed={"num_nodes": 100},
+            ),
+        },
+    )
+)
+
+register(
+    ScenarioSpec(
+        name="fig5b",
+        title="Fig. 5b — Greedy/QA-NT response ratio vs sinusoid frequency",
+        axis="frequency_hz",
+        mechanisms=("qa-nt", "greedy"),
+        ratio_of=("greedy", "qa-nt"),
+        cell=fig5b_cell,
+        scales={
+            "small": ScalePreset(
+                points=(0.05, 0.5, 2.0), fixed={"num_nodes": 30}
+            ),
+            "paper": ScalePreset(
+                points=(0.05, 0.1, 0.25, 0.5, 1.0, 2.0),
+                fixed={"num_nodes": 100},
+            ),
+        },
+    )
+)
+
+register(
+    ScenarioSpec(
+        name="fig5c",
+        title="Fig. 5c — Q1 arrivals vs executions near capacity",
+        runner=run_fig5c,
+        scales={
+            "small": ScalePreset(fixed={"num_nodes": 30}),
+            "paper": ScalePreset(fixed={"num_nodes": 100}),
+        },
+    )
+)

@@ -12,23 +12,28 @@ the system stops being overloaded (≥17 s).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Sequence
 
 from ..allocation import GreedyAllocator, QantAllocator
 from ..sim import FederationConfig
 from .reporting import format_series
 from .setups import (
     World,
-    run_mechanisms,
+    run_mechanism,
     zipf_trace_for_world,
     zipf_world,
 )
+from .spec import ScalePreset, ScenarioSpec, register
 
 __all__ = [
     "Fig6Result",
+    "fig6_cell",
     "run_fig6",
 ]
+
+#: Mechanism pair the figure compares.
+_PAIR = {"qa-nt": QantAllocator, "greedy": GreedyAllocator}
 
 
 @dataclass
@@ -45,6 +50,57 @@ class Fig6Result:
             self.interarrivals_ms,
             self.greedy_normalised,
         )
+
+    def to_dict(self) -> dict:
+        """JSON-ready form of the Figure 6 series."""
+        return asdict(self)
+
+
+def fig6_cell(
+    mechanism: str,
+    interarrival_ms: float,
+    point_index: int,
+    seed: int,
+    num_nodes: int = 100,
+    num_relations: int = 1000,
+    num_classes: int = 100,
+    max_queries: int = 10_000,
+    horizon_ms: float = 300_000.0,
+    crossover_ms: Optional[float] = 17_000.0,
+    world: Optional[World] = None,
+    config: Optional[FederationConfig] = None,
+) -> Dict[str, float]:
+    """One (mechanism, inter-arrival, seed) cell of Figure 6.
+
+    When ``world`` is omitted the Zipf world is rebuilt (and crossover-
+    calibrated) from ``seed``, so parallel cells are self-contained;
+    a caller passing a prebuilt world must have applied the calibration
+    itself (the legacy driver does).
+    """
+    if world is None:
+        world = zipf_world(
+            num_nodes=num_nodes,
+            num_relations=num_relations,
+            num_classes=num_classes,
+            seed=seed,
+        )
+        if crossover_ms is not None:
+            world = _calibrate_crossover(world, crossover_ms)
+    trace = zipf_trace_for_world(
+        world,
+        mean_interarrival_ms=interarrival_ms,
+        horizon_ms=horizon_ms,
+        max_queries=max_queries,
+        seed=seed + 20 + point_index,
+    )
+    run = run_mechanism(
+        world,
+        trace,
+        mechanism,
+        _PAIR[mechanism],
+        config or FederationConfig(seed=seed + 2),
+    )
+    return run.metrics_dict()
 
 
 def run_fig6(
@@ -87,21 +143,22 @@ def run_fig6(
         world = _calibrate_crossover(world, crossover_ms)
     ratios = []
     for index, mean_gap in enumerate(interarrivals_ms):
-        trace = zipf_trace_for_world(
-            world,
-            mean_interarrival_ms=mean_gap,
-            horizon_ms=horizon_ms,
-            max_queries=max_queries,
-            seed=seed + 20 + index,
-        )
-        runs = run_mechanisms(
-            world,
-            trace,
-            mechanisms={"qa-nt": QantAllocator, "greedy": GreedyAllocator},
-            config=config or FederationConfig(seed=seed + 2),
-        )
+        cells = {
+            mechanism: fig6_cell(
+                mechanism,
+                mean_gap,
+                index,
+                seed,
+                max_queries=max_queries,
+                horizon_ms=horizon_ms,
+                world=world,
+                config=config,
+            )
+            for mechanism in _PAIR
+        }
         ratios.append(
-            runs["greedy"].mean_response_ms / runs["qa-nt"].mean_response_ms
+            cells["greedy"]["mean_response_ms"]
+            / cells["qa-nt"]["mean_response_ms"]
         )
     return Fig6Result(
         interarrivals_ms=list(interarrivals_ms), greedy_normalised=ratios
@@ -129,3 +186,39 @@ def _calibrate_crossover(world: World, crossover_ms: float) -> World:
         cost_model=model.rescaled(model.scale * factor),
         catalog=world.catalog,
     )
+
+
+register(
+    ScenarioSpec(
+        name="fig6",
+        title="Fig. 6 — Greedy/QA-NT response ratio vs Zipf inter-arrival",
+        axis="interarrival_ms",
+        mechanisms=("qa-nt", "greedy"),
+        ratio_of=("greedy", "qa-nt"),
+        cell=fig6_cell,
+        scales={
+            "small": ScalePreset(
+                points=(1_000.0, 10_000.0, 17_000.0),
+                fixed={
+                    "num_nodes": 30,
+                    "num_relations": 300,
+                    "num_classes": 30,
+                    "max_queries": 2_500,
+                    "horizon_ms": 200_000.0,
+                },
+            ),
+            "paper": ScalePreset(
+                points=(
+                    10.0,
+                    100.0,
+                    1_000.0,
+                    5_000.0,
+                    10_000.0,
+                    17_000.0,
+                    20_000.0,
+                ),
+                fixed={},
+            ),
+        },
+    )
+)

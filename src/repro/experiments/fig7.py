@@ -21,6 +21,7 @@ from typing import Dict, Sequence, Tuple
 
 from ..dbms import DbmsFederation, DbmsRunResult
 from .reporting import format_table
+from .spec import ScalePreset, ScenarioSpec, register
 
 __all__ = [
     "Fig7Result",
@@ -65,6 +66,22 @@ class Fig7Result:
             < self.runs[("greedy", gap_ms)].mean_total_ms
         )
 
+    def to_dict(self) -> dict:
+        """JSON-ready summary of every (mechanism, inter-arrival) run."""
+        return {
+            "runs": [
+                {
+                    "mechanism": mechanism,
+                    "mean_interarrival_ms": gap_ms,
+                    "queries": len(run.outcomes),
+                    "unserved": run.unserved,
+                    "mean_assign_ms": run.mean_assign_ms,
+                    "mean_total_ms": run.mean_total_ms,
+                }
+                for (mechanism, gap_ms), run in sorted(self.runs.items())
+            ]
+        }
+
 
 def run_fig7(
     num_queries: int = 300,
@@ -106,3 +123,16 @@ def run_fig7(
             finally:
                 federation.close()
     return Fig7Result(runs=runs)
+
+
+register(
+    ScenarioSpec(
+        name="fig7",
+        title="Fig. 7 — Greedy vs QA-NT on the SQLite federation",
+        runner=run_fig7,
+        scales={
+            "small": ScalePreset(fixed={"num_queries": 100}),
+            "paper": ScalePreset(fixed={"num_queries": 300}),
+        },
+    )
+)

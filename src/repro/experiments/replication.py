@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, List, Sequence
+from typing import Callable, Sequence
 
 __all__ = [
     "Replication",
@@ -61,6 +61,17 @@ class Replication:
             self.max,
             len(self.values),
         )
+
+    def to_dict(self) -> dict:
+        """JSON-ready form: raw values plus summary statistics."""
+        return {
+            "values": list(self.values),
+            "seeds": list(self.seeds),
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.min,
+            "max": self.max,
+        }
 
 
 def replicate(

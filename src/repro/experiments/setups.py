@@ -61,6 +61,7 @@ __all__ = [
     "MechanismRun",
     "two_query_world",
     "zipf_world",
+    "run_mechanism",
     "run_mechanisms",
     "default_mechanism_factories",
     "Q1_BASE_MS",
@@ -121,6 +122,25 @@ class MechanismRun:
     def mean_response_ms(self) -> float:
         """Mean query response time of the run."""
         return self.metrics.mean_response_ms()
+
+    def metrics_dict(self) -> Dict[str, float]:
+        """The run's headline numbers as a flat, picklable mapping.
+
+        This is the sweep-cell currency: parallel runners ship these
+        dicts across process boundaries instead of the full collector.
+        """
+        return {
+            "mean_response_ms": self.metrics.mean_response_ms(),
+            "messages": self.messages,
+            "completed": self.metrics.completed,
+            "dropped": self.metrics.dropped,
+        }
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready summary of the run."""
+        summary: Dict[str, object] = {"mechanism": self.mechanism}
+        summary.update(self.metrics_dict())
+        return summary
 
 
 def two_query_world(
@@ -258,6 +278,30 @@ def default_mechanism_factories() -> Dict[str, Callable[[], Allocator]]:
     }
 
 
+def run_mechanism(
+    world: World,
+    trace: Sequence[WorkloadEvent],
+    name: str,
+    factory: Callable[[], Allocator],
+    config: Optional[FederationConfig] = None,
+) -> MechanismRun:
+    """Run one mechanism on a fresh federation over ``trace``."""
+    federation = build_federation(
+        world.specs,
+        world.placement,
+        world.classes,
+        world.cost_model,
+        factory(),
+        config or FederationConfig(),
+    )
+    metrics = federation.run(trace)
+    return MechanismRun(
+        mechanism=name,
+        metrics=metrics,
+        messages=federation.network.messages_sent,
+    )
+
+
 def run_mechanisms(
     world: World,
     trace: Sequence[WorkloadEvent],
@@ -267,20 +311,7 @@ def run_mechanisms(
     """Run each mechanism on a fresh federation over the same trace."""
     mechanisms = mechanisms or default_mechanism_factories()
     config = config or FederationConfig()
-    results: Dict[str, MechanismRun] = {}
-    for name, factory in mechanisms.items():
-        federation = build_federation(
-            world.specs,
-            world.placement,
-            world.classes,
-            world.cost_model,
-            factory(),
-            config,
-        )
-        metrics = federation.run(trace)
-        results[name] = MechanismRun(
-            mechanism=name,
-            metrics=metrics,
-            messages=federation.network.messages_sent,
-        )
-    return results
+    return {
+        name: run_mechanism(world, trace, name, factory, config)
+        for name, factory in mechanisms.items()
+    }

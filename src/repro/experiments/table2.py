@@ -11,7 +11,7 @@ the table is regenerated rather than transcribed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import List, Optional
 
 from ..allocation import (
@@ -25,6 +25,7 @@ from ..allocation import (
 )
 from .fig4 import Fig4Result, run_fig4
 from .reporting import format_table
+from .spec import ScalePreset, ScenarioSpec, register
 
 __all__ = [
     "Table2Row",
@@ -108,6 +109,13 @@ class Table2Result:
             ],
         )
 
+    def to_dict(self) -> dict:
+        """JSON-ready form: the rows plus the measuring Fig. 4 run."""
+        return {
+            "rows": [asdict(row) for row in self.rows],
+            "fig4": self.fig4.to_dict() if self.fig4 is not None else None,
+        }
+
 
 def performance_grade(normalised_response: float) -> str:
     """Bucket a normalised response time into the paper's grades."""
@@ -165,3 +173,20 @@ def run_table2(
         )
     )
     return Table2Result(rows=rows, fig4=fig4)
+
+
+register(
+    ScenarioSpec(
+        name="table2",
+        title="Table 2 — qualitative mechanism comparison (measured)",
+        runner=run_table2,
+        scales={
+            "small": ScalePreset(
+                fixed={"num_nodes": 30, "horizon_ms": 60_000.0}
+            ),
+            "paper": ScalePreset(
+                fixed={"num_nodes": 100, "horizon_ms": 60_000.0}
+            ),
+        },
+    )
+)

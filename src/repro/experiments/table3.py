@@ -9,11 +9,12 @@ builds rather than merely restating constants.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Tuple
+from dataclasses import asdict, dataclass
+from typing import Optional, Tuple
 
 from .reporting import format_table
 from .setups import World, zipf_world
+from .spec import ScalePreset, ScenarioSpec, register
 
 __all__ = [
     "Table3Result",
@@ -66,8 +67,12 @@ class Table3Result:
         ]
         return format_table(("parameter", "value (measured)"), rows)
 
+    def to_dict(self) -> dict:
+        """JSON-ready form of the measured Table 3 parameters."""
+        return asdict(self)
 
-def run_table3(world: World = None, seed: int = 0) -> Table3Result:
+
+def run_table3(world: Optional[World] = None, seed: int = 0) -> Table3Result:
     """Measure the default Zipf world against Table 3."""
     world = world or zipf_world(seed=seed)
     if world.catalog is None:
@@ -100,3 +105,40 @@ def run_table3(world: World = None, seed: int = 0) -> Table3Result:
         io_range_mbps=(min(ios), max(ios)),
         buffer_range_mb=(min(buffers), max(buffers)),
     )
+
+
+def _table3_scenario(
+    seed: int = 0,
+    num_nodes: Optional[int] = None,
+    num_relations: Optional[int] = None,
+    num_classes: Optional[int] = None,
+) -> Table3Result:
+    """Registry adapter: measure a world at the preset's dimensions."""
+    if num_nodes is None:
+        return run_table3(seed=seed)
+    world = zipf_world(
+        num_nodes=num_nodes,
+        num_relations=num_relations or 1000,
+        num_classes=num_classes or 100,
+        seed=seed,
+    )
+    return run_table3(world=world)
+
+
+register(
+    ScenarioSpec(
+        name="table3",
+        title="Table 3 — measured simulation parameters",
+        runner=_table3_scenario,
+        scales={
+            "small": ScalePreset(
+                fixed={
+                    "num_nodes": 30,
+                    "num_relations": 300,
+                    "num_classes": 30,
+                }
+            ),
+            "paper": ScalePreset(),
+        },
+    )
+)

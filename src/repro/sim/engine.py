@@ -25,16 +25,22 @@ __all__ = [
 class EventHandle:
     """Handle to a scheduled event, usable for cancellation."""
 
-    __slots__ = ("time", "seq", "cancelled")
+    __slots__ = ("time", "seq", "cancelled", "fired", "_simulator")
 
-    def __init__(self, time: float, seq: int):
+    def __init__(self, time: float, seq: int, simulator: "Optional[Simulator]" = None):
         self.time = time
         self.seq = seq
         self.cancelled = False
+        self.fired = False
+        self._simulator = simulator
 
     def cancel(self) -> None:
-        """Prevent the event from firing (no-op if already fired)."""
+        """Prevent the event from firing (no-op if already fired/cancelled)."""
+        if self.cancelled or self.fired:
+            return
         self.cancelled = True
+        if self._simulator is not None:
+            self._simulator._on_cancel()
 
 
 class Simulator:
@@ -45,6 +51,8 @@ class Simulator:
         self._heap: List[Tuple[float, int, EventHandle, Callable[[], Any]]] = []
         self._seq = itertools.count()
         self._events_processed = 0
+        self._live = 0
+        self._cancelled_pending = 0
 
     @property
     def now(self) -> float:
@@ -58,8 +66,27 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still on the heap (including cancelled ones)."""
+        """Number of events still due to fire (cancelled ones excluded)."""
+        return self._live
+
+    @property
+    def heap_size(self) -> int:
+        """Physical heap length, including cancelled-but-uncompacted entries."""
         return len(self._heap)
+
+    def _on_cancel(self) -> None:
+        """Account for a live event turning cancelled; compact when stale
+        entries outnumber live ones (amortised O(1) per cancellation)."""
+        self._live -= 1
+        self._cancelled_pending += 1
+        if self._cancelled_pending > max(64, self._live):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries from the heap and restore the invariant."""
+        self._heap = [entry for entry in self._heap if not entry[2].cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled_pending = 0
 
     def schedule(self, delay_ms: float, callback: Callable[[], Any]) -> EventHandle:
         """Schedule ``callback`` to run ``delay_ms`` from now."""
@@ -74,8 +101,9 @@ class Simulator:
                 "cannot schedule at %.3f, current time is %.3f"
                 % (time_ms, self._now)
             )
-        handle = EventHandle(time_ms, next(self._seq))
+        handle = EventHandle(time_ms, next(self._seq), self)
         heapq.heappush(self._heap, (time_ms, handle.seq, handle, callback))
+        self._live += 1
         return handle
 
     def step(self) -> bool:
@@ -83,7 +111,10 @@ class Simulator:
         while self._heap:
             time_ms, __, handle, callback = heapq.heappop(self._heap)
             if handle.cancelled:
+                self._cancelled_pending -= 1
                 continue
+            handle.fired = True
+            self._live -= 1
             self._now = time_ms
             self._events_processed += 1
             callback()

@@ -15,7 +15,6 @@ from repro.allocation import (
     TwoRandomProbesAllocator,
     optimise_routing,
 )
-from repro.core import QantParameters
 from repro.experiments.setups import two_query_world
 from repro.query.model import Query
 from repro.sim import FederationConfig, build_federation

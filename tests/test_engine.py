@@ -70,6 +70,59 @@ class TestCancellation:
         handle = sim.schedule(1.0, lambda: None)
         sim.run()
         handle.cancel()  # should not raise
+        assert handle.fired
+        assert not handle.cancelled
+
+    def test_pending_events_excludes_cancelled(self):
+        sim = Simulator()
+        handles = [sim.schedule(float(i + 1), lambda: None) for i in range(5)]
+        assert sim.pending_events == 5
+        handles[0].cancel()
+        handles[3].cancel()
+        assert sim.pending_events == 3
+
+    def test_pending_events_decrements_on_fire(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.step()
+        assert sim.pending_events == 1
+        sim.run()
+        assert sim.pending_events == 0
+
+    def test_double_cancel_counted_once(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert sim.pending_events == 1
+
+    def test_mass_cancellation_compacts_heap(self):
+        sim = Simulator()
+        keeper = sim.schedule(1_000_000.0, lambda: None)
+        handles = [sim.schedule(float(i + 1), lambda: None) for i in range(500)]
+        for handle in handles:
+            handle.cancel()
+        # Lazy compaction: stale entries outnumber live ones, so the heap
+        # must have been rebuilt well below the 501 pushed entries.
+        assert sim.pending_events == 1
+        assert sim.heap_size < 100
+        assert not keeper.cancelled
+
+    def test_cancelled_events_skipped_after_compaction(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10.0, lambda: fired.append("keep"))
+        handles = [
+            sim.schedule(float(i + 1), lambda: fired.append("dropped"))
+            for i in range(200)
+        ]
+        for handle in handles:
+            handle.cancel()
+        sim.run()
+        assert fired == ["keep"]
+        assert sim.events_processed == 1
 
 
 class TestBoundedRuns:

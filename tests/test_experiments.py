@@ -10,7 +10,6 @@ from repro.experiments.fig3 import run_fig3
 from repro.experiments.fig4 import run_fig4
 from repro.experiments.fig5 import run_fig5a, run_fig5c
 from repro.experiments.reporting import format_series, format_table
-from repro.experiments.setups import two_query_world, zipf_world
 from repro.experiments.table2 import performance_grade, run_table2
 from repro.experiments.table3 import run_table3
 

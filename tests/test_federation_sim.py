@@ -8,7 +8,6 @@ from repro.experiments.setups import (
     two_query_world,
 )
 from repro.sim import FederationConfig, build_federation
-from repro.workload import WorkloadEvent
 
 
 @pytest.fixture(scope="module")

@@ -1,7 +1,5 @@
 """Property-based tests (hypothesis) on core data structures and invariants."""
 
-import math
-
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -21,11 +19,12 @@ paired_counts = st.integers(min_value=1, max_value=6).flatmap(
         st.lists(st.integers(0, 50), min_size=k, max_size=k),
     )
 )
-prices_for = lambda k: st.lists(
-    st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
-    min_size=k,
-    max_size=k,
-)
+def prices_for(k):
+    return st.lists(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        min_size=k,
+        max_size=k,
+    )
 
 
 class TestVectorAlgebra:

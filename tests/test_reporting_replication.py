@@ -3,7 +3,6 @@
 import pytest
 
 from repro.experiments.replication import (
-    Replication,
     ratio_confident,
     replicate,
 )

@@ -1,6 +1,5 @@
 """Unit tests for repro.core.supply (supply sets and eq. 4 solvers)."""
 
-import math
 
 import pytest
 

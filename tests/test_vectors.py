@@ -1,6 +1,5 @@
 """Unit tests for repro.core.vectors."""
 
-import math
 
 import pytest
 

@@ -1,6 +1,5 @@
 """Unit tests for repro.workload (arrival processes, traces)."""
 
-import math
 import random
 import statistics
 
@@ -13,7 +12,6 @@ from repro.workload.arrival import (
 )
 from repro.workload.sinusoid import SinusoidArrivals
 from repro.workload.trace import (
-    WorkloadEvent,
     build_trace,
     two_class_sinusoid_trace,
     zipf_trace,
