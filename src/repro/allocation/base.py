@@ -66,10 +66,10 @@ class AllocationContext:
         motivating scenario) affect all of them identically: a failed node
         is simply unreachable and the query negotiates with the rest.
         """
+        candidates = self.candidates_by_class.get(class_index, ())
+        nodes = self.nodes
         return tuple(
-            nid
-            for nid in self.candidates(class_index)
-            if self.nodes[nid].is_available()
+            [nid for nid in candidates if nodes[nid].is_available()]
         )
 
 

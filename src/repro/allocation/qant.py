@@ -148,21 +148,26 @@ class QantAllocator(Allocator):
         node with a committed queue does not sell time it no longer has,
         while an idle node can always admit its largest query.
         """
+        nodes = self.context.nodes
+        allowances = self._allowances
         for node_id, agent in self._agents.items():
-            node = self.context.nodes[node_id]
+            node = nodes[node_id]
             if agent.in_period:
                 # Steps 12-14: unsold supply lowers prices before the new
                 # period's supply vector is computed.
                 agent.end_period()
-            free_ms = max(
-                0.0, self._allowances[node_id] - node.current_load_ms()
-            )
+            free_ms = max(0.0, allowances[node_id] - node.current_load_ms())
             if isinstance(agent, PrivatelyClassifiedAgent):
                 agent.rebind_capacity(free_ms)
             else:
-                agent.rebind_supply_set(
-                    CapacitySupplySet(node.class_costs_ms, free_ms)
-                )
+                supply_set = agent.supply_set
+                if isinstance(supply_set, CapacitySupplySet):
+                    # Rebind in place of reconstructing: the cost row never
+                    # changes period to period, only the free capacity does.
+                    supply_set = supply_set.with_capacity(free_ms)
+                else:
+                    supply_set = CapacitySupplySet(node.class_costs_ms, free_ms)
+                agent.rebind_supply_set(supply_set)
             agent.begin_period()
 
     def assign(self, query: Query) -> AssignmentDecision:
@@ -172,28 +177,30 @@ class QantAllocator(Allocator):
         delay, messages = self._probe_all(candidates)
 
         offers = []
+        agents = self._agents
+        class_index = query.class_index
         for node_id in candidates:
-            agent = self._agents.get(node_id)
+            agent = agents.get(node_id)
             if agent is None:
                 # Non-adopting node: always offers (greedy behaviour).
                 offers.append(node_id)
                 continue
             # The price dynamics run unconditionally (refusals must keep
             # adjusting prices so the overload signal can form)...
-            offering = agent.would_offer(query.class_index)
+            offering = agent.would_offer(class_index)
             # ...but the supply vector is only *enforced* while the node's
             # prices signal overload (Section 5.1 threshold rule).
             if offering or not self._node_enforcing(agent):
                 offers.append(node_id)
-        offers = self._filter_premium(offers, candidates, query.class_index)
+        offers = self._filter_premium(offers, candidates, class_index)
         if not offers:
             return AssignmentDecision(
                 node_id=None, delay_ms=delay, messages=messages
             )
-        chosen = self._best_offer(offers, query.class_index)
-        agent = self._agents.get(chosen)
-        if agent is not None and agent.remaining_supply[query.class_index] >= 1:
-            agent.accept(query.class_index)
+        chosen = self._best_offer(offers, class_index)
+        agent = agents.get(chosen)
+        if agent is not None and agent.remaining_supply[class_index] >= 1:
+            agent.accept(class_index)
         return AssignmentDecision(chosen, delay_ms=delay, messages=messages)
 
     # -- internals ------------------------------------------------------------------
@@ -220,15 +227,14 @@ class QantAllocator(Allocator):
         if self._max_offer_premium is None or not offers:
             return offers
         nodes = self.context.nodes
-        best_exec = min(
-            nodes[nid].execution_time_ms(class_index) for nid in candidates
-        )
-        cap = best_exec * self._max_offer_premium
-        return [
-            nid
-            for nid in offers
-            if nodes[nid].execution_time_ms(class_index) <= cap
-        ]
+        # One estimate per candidate, reused for both the best-estimate
+        # baseline and the per-offer comparison.
+        exec_ms = {
+            nid: nodes[nid].execution_time_ms(class_index)
+            for nid in candidates
+        }
+        cap = min(exec_ms.values()) * self._max_offer_premium
+        return [nid for nid in offers if exec_ms[nid] <= cap]
 
     def _node_enforcing(self, agent: QantPricingAgent) -> bool:
         """Whether this node currently enforces its supply vector.
@@ -237,4 +243,4 @@ class QantAllocator(Allocator):
         """
         if self._activation_threshold is None:
             return True
-        return max(agent.prices.values) >= self._activation_threshold
+        return agent.max_price >= self._activation_threshold

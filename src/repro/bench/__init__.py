@@ -1,0 +1,44 @@
+"""Microbenchmark subsystem: registered kernels + timing harness.
+
+Run it through the CLI::
+
+    python -m repro.cli bench [--filter SUBSTR] [--repeat N] [--json]
+
+or programmatically::
+
+    from repro.bench import run_benchmarks, bench_payload
+    results = run_benchmarks(name_filter="supply", repeat=3)
+
+Artifacts land in ``benchmarks/results/BENCH_<label>.json`` and carry a
+``schema_version`` so later tooling can compare runs across commits.
+"""
+
+from .harness import (
+    BENCH_SCHEMA_VERSION,
+    DEFAULT_BENCH_DIR,
+    Measurement,
+    bench_payload,
+    compare_payloads,
+    load_baseline,
+    measure,
+    render_results,
+    run_benchmarks,
+    write_bench_artifact,
+)
+from .kernels import KERNELS, Kernel, register_kernel
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "DEFAULT_BENCH_DIR",
+    "KERNELS",
+    "Kernel",
+    "Measurement",
+    "bench_payload",
+    "compare_payloads",
+    "load_baseline",
+    "measure",
+    "register_kernel",
+    "render_results",
+    "run_benchmarks",
+    "write_bench_artifact",
+]

@@ -1,0 +1,287 @@
+"""Microbenchmark harness: calibrated timing loops and BENCH artifacts.
+
+The harness times registered kernels (see :mod:`repro.bench.kernels`) the
+way ``timeit`` does — an inner loop calibrated so one measurement round
+lasts long enough for the clock to resolve, repeated a few times, keeping
+the *best* round (background noise only ever slows a run down, so the
+minimum is the least-noisy estimate of the true cost).
+
+Results serialise into a versioned ``BENCH_<label>.json`` artifact next to
+the experiment artifacts under ``benchmarks/results/``, so every PR can
+record a perf datapoint and the repo accumulates a trajectory of ns/op
+per kernel over time.  Compare two artifacts with
+:func:`compare_payloads`.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import pathlib
+import platform
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Optional
+
+from .kernels import KERNELS, Kernel
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "DEFAULT_BENCH_DIR",
+    "Measurement",
+    "measure",
+    "run_benchmarks",
+    "bench_payload",
+    "write_bench_artifact",
+    "compare_payloads",
+    "render_results",
+]
+
+#: Version stamp of every BENCH artifact this module writes.
+BENCH_SCHEMA_VERSION = 1
+
+#: Default artifact directory (shared with the experiment JSON artifacts).
+DEFAULT_BENCH_DIR = "benchmarks/results"
+
+#: One measurement round aims to last this long (seconds); long enough to
+#: swamp timer resolution, short enough that a full sweep stays pleasant.
+_TARGET_ROUND_S = 0.2
+
+#: Calibration stops doubling once a probe run exceeds this (seconds).
+_CALIBRATION_FLOOR_S = 0.02
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """Timing result of one kernel."""
+
+    name: str
+    description: str
+    ns_per_op: float
+    repeat: int
+    inner_loops: int
+
+    @property
+    def ops_per_s(self) -> float:
+        """Operations per second implied by :attr:`ns_per_op`."""
+        if self.ns_per_op <= 0:
+            return math.inf
+        return 1e9 / self.ns_per_op
+
+    def to_dict(self) -> dict:
+        """JSON-ready form."""
+        return {
+            "description": self.description,
+            "ns_per_op": self.ns_per_op,
+            "ops_per_s": self.ops_per_s,
+            "repeat": self.repeat,
+            "inner_loops": self.inner_loops,
+        }
+
+
+def measure(
+    fn: Callable[[], object],
+    repeat: int = 3,
+    target_round_s: float = _TARGET_ROUND_S,
+) -> tuple:
+    """Time ``fn``: returns ``(best_ns_per_op, inner_loops)``.
+
+    The inner loop count is calibrated by doubling until one probe run
+    takes at least :data:`_CALIBRATION_FLOOR_S`, then scaled so one round
+    lasts about ``target_round_s``.  ``repeat`` rounds run and the best
+    (minimum) per-op time wins.
+    """
+    if repeat < 1:
+        raise ValueError("repeat must be >= 1")
+    perf_counter = time.perf_counter
+    inner = 1
+    while True:
+        started = perf_counter()
+        for __ in range(inner):
+            fn()
+        elapsed = perf_counter() - started
+        if elapsed >= _CALIBRATION_FLOOR_S or inner >= 1 << 20:
+            break
+        inner *= 2
+    if elapsed < target_round_s:
+        inner = max(1, int(inner * target_round_s / max(elapsed, 1e-9)))
+    best = math.inf
+    for __ in range(repeat):
+        started = perf_counter()
+        for __ in range(inner):
+            fn()
+        elapsed = perf_counter() - started
+        per_op = elapsed / inner
+        if per_op < best:
+            best = per_op
+    return best * 1e9, inner
+
+
+def run_benchmarks(
+    name_filter: Optional[str] = None,
+    repeat: int = 3,
+    kernels: Optional[Mapping[str, Kernel]] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, Measurement]:
+    """Run every registered kernel whose name contains ``name_filter``.
+
+    Returns measurements keyed by kernel name, in registration order.
+    Each kernel's ``setup`` runs exactly once (outside the timed region).
+    """
+    registry = KERNELS if kernels is None else kernels
+    selected = [
+        kernel
+        for name, kernel in registry.items()
+        if name_filter is None or name_filter in name
+    ]
+    if not selected:
+        raise ValueError(
+            "no benchmark kernel matches filter %r (have: %s)"
+            % (name_filter, ", ".join(registry))
+        )
+    results: Dict[str, Measurement] = {}
+    for kernel in selected:
+        if progress is not None:
+            progress(kernel.name)
+        fn = kernel.setup()
+        ns_per_op, inner = measure(fn, repeat=repeat)
+        results[kernel.name] = Measurement(
+            name=kernel.name,
+            description=kernel.description,
+            ns_per_op=ns_per_op,
+            repeat=repeat,
+            inner_loops=inner,
+        )
+    return results
+
+
+def _environment() -> dict:
+    """The machine/runtime fingerprint stored with every artifact."""
+    return {
+        "python_version": platform.python_version(),
+        "python_implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def bench_payload(
+    results: Mapping[str, Measurement], label: str = "local"
+) -> dict:
+    """Versioned, JSON-ready artifact payload for ``results``."""
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "kind": "bench",
+        "label": label,
+        "created_unix": time.time(),
+        "environment": _environment(),
+        "kernels": {
+            name: measurement.to_dict()
+            for name, measurement in results.items()
+        },
+    }
+
+
+def _check_label(label: str) -> None:
+    if not label or "/" in label or "\\" in label or label in (".", ".."):
+        raise ValueError(
+            "label must be a plain file-name fragment, got %r" % label
+        )
+
+
+def write_bench_artifact(
+    payload: Mapping,
+    label: str = "local",
+    directory: str = DEFAULT_BENCH_DIR,
+) -> pathlib.Path:
+    """Write ``payload`` as ``<directory>/BENCH_<label>.json``."""
+    _check_label(label)
+    target = pathlib.Path(directory)
+    target.mkdir(parents=True, exist_ok=True)
+    path = target / ("BENCH_%s.json" % label)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def compare_payloads(before: Mapping, after: Mapping) -> Dict[str, float]:
+    """Per-kernel speedup factors ``before_ns / after_ns`` (> 1 = faster).
+
+    Only kernels present in both artifacts are compared; schema versions
+    must match.
+    """
+    for payload in (before, after):
+        if payload.get("schema_version") != BENCH_SCHEMA_VERSION:
+            raise ValueError(
+                "unsupported schema version %r" % payload.get("schema_version")
+            )
+        if payload.get("kind") != "bench":
+            raise ValueError("not a bench payload: kind=%r" % payload.get("kind"))
+    speedups = {}
+    after_kernels = after["kernels"]
+    for name, entry in before["kernels"].items():
+        other = after_kernels.get(name)
+        if other is None or not other.get("ns_per_op"):
+            continue
+        speedups[name] = entry["ns_per_op"] / other["ns_per_op"]
+    return speedups
+
+
+def render_results(
+    results: Mapping[str, Measurement],
+    baseline: Optional[Mapping] = None,
+) -> str:
+    """Aligned text table of measurements (with optional baseline column)."""
+    headers = ["kernel", "ns/op", "ops/s"]
+    speedups: Mapping[str, float] = {}
+    if baseline is not None:
+        headers.append("vs baseline")
+        speedups = compare_payloads(
+            baseline, bench_payload(results, label="current")
+        )
+    rows = []
+    for name, measurement in results.items():
+        row = [
+            name,
+            _format_ns(measurement.ns_per_op),
+            _format_ops(measurement.ops_per_s),
+        ]
+        if baseline is not None:
+            factor = speedups.get(name)
+            row.append("%.2fx" % factor if factor is not None else "-")
+        rows.append(row)
+    widths = [
+        max(len(str(headers[col])), *(len(str(r[col])) for r in rows))
+        for col in range(len(headers))
+    ]
+    lines = [
+        "  ".join(str(h).ljust(w) for h, w in zip(headers, widths)).rstrip()
+    ]
+    for row in rows:
+        lines.append(
+            "  ".join(str(c).ljust(w) for c, w in zip(row, widths)).rstrip()
+        )
+    return "\n".join(lines)
+
+
+def _format_ns(value: float) -> str:
+    if value >= 1e6:
+        return "{:,.0f}".format(value)
+    if value >= 1000:
+        return "{:,.1f}".format(value)
+    return "%.1f" % value
+
+
+def _format_ops(value: float) -> str:
+    if value >= 1000:
+        return "{:,.0f}".format(value)
+    return "%.1f" % value
+
+
+def load_baseline(path: str) -> dict:
+    """Read a previously written BENCH artifact for comparison."""
+    return json.loads(pathlib.Path(path).read_text())
+
+
+__all__.append("load_baseline")

@@ -1,0 +1,207 @@
+"""Registered microbenchmark kernels for the simulation hot path.
+
+Each kernel names one operation whose cost dominates some experiment
+(solver calls, price-agent periods, vector arithmetic, event dispatch,
+and one end-to-end federation cell), paired with a ``setup`` that builds
+its fixtures *outside* the timed region and returns the no-argument
+callable the harness times.
+
+Fixtures are seeded so every run of the suite times the same workload —
+artifact-to-artifact comparisons across commits measure the code, not the
+random draw.  The fixture shapes (8 query classes, 10 s capacity budget,
+200-request period stream) match the scale one server node sees per
+period in the Figure 4/5 experiments.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+__all__ = [
+    "Kernel",
+    "KERNELS",
+    "register_kernel",
+]
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """One registered benchmark: ``setup()`` returns the timed callable."""
+
+    name: str
+    description: str
+    setup: Callable[[], Callable[[], object]]
+
+
+#: Registry in registration order (=: display order of every report).
+KERNELS: Dict[str, Kernel] = {}
+
+
+def register_kernel(
+    name: str, description: str
+) -> Callable[[Callable[[], Callable[[], object]]], Callable]:
+    """Decorator registering ``setup`` under ``name``."""
+
+    def decorate(setup: Callable[[], Callable[[], object]]) -> Callable:
+        if name in KERNELS:
+            raise ValueError("duplicate benchmark kernel %r" % name)
+        KERNELS[name] = Kernel(name=name, description=description, setup=setup)
+        return setup
+
+    return decorate
+
+
+# Shared fixture scale: one node pricing 8 query classes over a 10-second
+# capacity budget, as in the two-query-world experiments scaled up to a
+# richer classification.
+_NUM_CLASSES = 8
+_CAPACITY_MS = 10_000.0
+_SEED = 42
+
+
+def _supply_fixture():
+    """A seeded ``(supply_set, prices)`` pair shared by the solver kernels."""
+    from ..core.supply import CapacitySupplySet
+
+    rng = random.Random(_SEED)
+    costs = [rng.uniform(50.0, 2000.0) for __ in range(_NUM_CLASSES)]
+    prices = tuple(rng.uniform(0.5, 3.0) for __ in range(_NUM_CLASSES))
+    return CapacitySupplySet(costs, _CAPACITY_MS), prices
+
+
+@register_kernel(
+    "qant.run_period",
+    "QantPricingAgent full period over a 200-request stream (steady state)",
+)
+def _setup_qant_run_period() -> Callable[[], object]:
+    from ..core.qant import QantParameters, QantPricingAgent
+
+    supply_set, __ = _supply_fixture()
+    rng = random.Random(_SEED + 1)
+    requests = [rng.randrange(_NUM_CLASSES) for __ in range(200)]
+    agent = QantPricingAgent(supply_set, QantParameters())
+    agent.run_period(requests)  # warm: reach the steady-state price regime
+    return lambda: agent.run_period(requests)
+
+
+def _solver_kernel(method: str) -> Callable[[], object]:
+    supply_set, prices = _supply_fixture()
+    return lambda: supply_set.optimal_supply(prices, method)
+
+
+@register_kernel(
+    "supply.greedy", "CapacitySupplySet greedy solve, 8 classes (uncached)"
+)
+def _setup_supply_greedy() -> Callable[[], object]:
+    return _solver_kernel("greedy")
+
+
+@register_kernel(
+    "supply.fractional",
+    "CapacitySupplySet fractional solve, 8 classes (uncached)",
+)
+def _setup_supply_fractional() -> Callable[[], object]:
+    return _solver_kernel("fractional")
+
+
+@register_kernel(
+    "supply.proportional",
+    "CapacitySupplySet proportional solve, 8 classes (uncached)",
+)
+def _setup_supply_proportional() -> Callable[[], object]:
+    return _solver_kernel("proportional")
+
+
+@register_kernel(
+    "supply.exact", "CapacitySupplySet exact DP solve, 8 classes (uncached)"
+)
+def _setup_supply_exact() -> Callable[[], object]:
+    return _solver_kernel("exact")
+
+
+@register_kernel(
+    "vector.arith", "QueryVector add/sub/scale chain, 8 components"
+)
+def _setup_vector_arith() -> Callable[[], object]:
+    from ..core.vectors import QueryVector
+
+    rng = random.Random(_SEED + 2)
+    left = QueryVector([rng.uniform(0.0, 50.0) for __ in range(_NUM_CLASSES)])
+    right = QueryVector([rng.uniform(0.0, 50.0) for __ in range(_NUM_CLASSES)])
+    return lambda: ((left + right) - right) * 2.0
+
+
+@register_kernel(
+    "vector.aggregate", "aggregate() over 100 QueryVectors of 8 components"
+)
+def _setup_vector_aggregate() -> Callable[[], object]:
+    from ..core.vectors import QueryVector, aggregate
+
+    rng = random.Random(_SEED + 3)
+    vectors = [
+        QueryVector([rng.uniform(0.0, 50.0) for __ in range(_NUM_CLASSES)])
+        for __ in range(100)
+    ]
+    return lambda: aggregate(vectors)
+
+
+@register_kernel(
+    "sim.event_throughput",
+    "Simulator schedule + drain of 1,000 events (fresh engine per op)",
+)
+def _setup_sim_event_throughput() -> Callable[[], object]:
+    from ..sim.engine import Simulator
+
+    # Deterministic pseudo-shuffled delays exercise real heap reordering
+    # rather than the sorted-input best case.
+    delays = [float((i * 7919) % 1000) for i in range(1000)]
+
+    def noop() -> None:
+        return None
+
+    def run_once() -> int:
+        simulator = Simulator()
+        schedule = simulator.schedule
+        for delay in delays:
+            schedule(delay, noop)
+        simulator.run()
+        return simulator.events_processed
+
+    return run_once
+
+
+@register_kernel(
+    "e2e.federation_sweep",
+    "End-to-end fig5-style cell pair: qa-nt + greedy on a 20-node world, "
+    "1.5x load sinusoid, 5 s horizon",
+)
+def _setup_e2e_federation_sweep() -> Callable[[], object]:
+    from ..allocation import GreedyAllocator, QantAllocator
+    from ..experiments.setups import (
+        run_mechanism,
+        sinusoid_trace_for_load,
+        two_query_world,
+    )
+    from ..sim import FederationConfig
+
+    world = two_query_world(num_nodes=20, seed=0)
+    trace = sinusoid_trace_for_load(
+        world,
+        load_fraction=1.5,
+        horizon_ms=5_000.0,
+        frequency_hz=0.05,
+        seed=10,
+    )
+    pair = (("qa-nt", QantAllocator), ("greedy", GreedyAllocator))
+
+    def run_once():
+        return [
+            run_mechanism(
+                world, trace, name, factory, FederationConfig(seed=2)
+            ).metrics_dict()
+            for name, factory in pair
+        ]
+
+    return run_once

@@ -7,6 +7,8 @@ Usage::
     python -m repro run fig4 --scale paper --seed 3
     python -m repro run fig5a --seeds 3 --jobs 4 --json
     python -m repro run all --scale small --json
+    python -m repro bench --filter supply --repeat 5
+    python -m repro bench --json --label pr2
 
 Every experiment is a :class:`~repro.experiments.spec.ScenarioSpec` in
 the global registry; the CLI is a thin shell over
@@ -20,6 +22,11 @@ full dimensions (100 nodes, 10,000 queries) and can take much longer.
 ``--seed`` itself), ``--jobs N`` fans sweep cells out over N worker
 processes (results are byte-identical to a serial run), and ``--json``
 writes a versioned artifact under ``benchmarks/results/``.
+
+``bench`` times the registered microbenchmark kernels
+(:mod:`repro.bench`) and optionally writes a ``BENCH_<label>.json``
+artifact next to the experiment artifacts; ``--baseline`` adds a speedup
+column against a previously written artifact.
 """
 
 from __future__ import annotations
@@ -116,6 +123,48 @@ def _run_one(
     print()
 
 
+def _run_bench(args: argparse.Namespace) -> int:
+    """Handle the ``bench`` subcommand."""
+    from .bench import (
+        bench_payload,
+        load_baseline,
+        render_results,
+        run_benchmarks,
+        write_bench_artifact,
+    )
+    from .bench.harness import _check_label
+
+    if args.json:
+        try:
+            _check_label(args.label)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+    baseline = None
+    if args.baseline:
+        try:
+            baseline = load_baseline(args.baseline)
+        except (OSError, ValueError) as exc:
+            print("cannot read baseline %s: %s" % (args.baseline, exc), file=sys.stderr)
+            return 2
+    try:
+        results = run_benchmarks(
+            name_filter=args.filter,
+            repeat=args.repeat,
+            progress=lambda name: _progress("bench: %s" % name),
+        )
+        rendered = render_results(results, baseline=baseline)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(rendered)
+    if args.json:
+        payload = bench_payload(results, label=args.label)
+        path = write_bench_artifact(payload, label=args.label, directory=args.out)
+        print("wrote %s" % path)
+    return 0
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -158,6 +207,42 @@ def _build_parser() -> argparse.ArgumentParser:
         default=DEFAULT_RESULTS_DIR,
         help="artifact directory (default: %s)" % DEFAULT_RESULTS_DIR,
     )
+    bench = commands.add_parser(
+        "bench", help="time the hot-path microbenchmark kernels"
+    )
+    bench.add_argument(
+        "--filter",
+        default=None,
+        metavar="SUBSTR",
+        help="only run kernels whose name contains SUBSTR",
+    )
+    bench.add_argument(
+        "--repeat",
+        type=int,
+        default=3,
+        help="timing rounds per kernel; the best round wins (default: 3)",
+    )
+    bench.add_argument(
+        "--json",
+        action="store_true",
+        help="write a BENCH_<label>.json artifact",
+    )
+    bench.add_argument(
+        "--label",
+        default="local",
+        help="artifact label: BENCH_<label>.json (default: local)",
+    )
+    bench.add_argument(
+        "--out",
+        default=DEFAULT_RESULTS_DIR,
+        help="artifact directory (default: %s)" % DEFAULT_RESULTS_DIR,
+    )
+    bench.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="earlier BENCH_*.json to show per-kernel speedups against",
+    )
     return parser
 
 
@@ -168,6 +253,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         for name in REGISTRY.names():
             print(name)
         return 0
+    if args.command == "bench":
+        if args.repeat < 1:
+            print("--repeat must be >= 1", file=sys.stderr)
+            return 2
+        return _run_bench(args)
 
     if args.seeds < 1:
         print("--seeds must be >= 1", file=sys.stderr)

@@ -141,10 +141,15 @@ class PrivatelyClassifiedAgent:
     ):
         self._scheme = scheme
         self._global_costs = list(global_costs_ms)
+        # The bucket cost row never changes; computing it once lets the
+        # per-period capacity rebind share it (and the solver cache) via
+        # `with_capacity` instead of rebuilding the supply set.
+        self._bucket_costs = scheme.bucket_costs(global_costs_ms)
+        self._bucket_of = tuple(
+            scheme.bucket_of(k) for k in range(scheme.num_global_classes)
+        )
         self._agent = QantPricingAgent(
-            CapacitySupplySet(
-                scheme.bucket_costs(global_costs_ms), capacity_ms
-            ),
+            CapacitySupplySet(self._bucket_costs, capacity_ms),
             parameters=parameters,
         )
 
@@ -174,6 +179,11 @@ class PrivatelyClassifiedAgent:
         return self._agent.prices
 
     @property
+    def max_price(self) -> float:
+        """The largest current bucket price (overload signal)."""
+        return self._agent.max_price
+
+    @property
     def planned_supply(self) -> QueryVector:
         """The period's planned supply over the *private* bucket space.
 
@@ -192,17 +202,17 @@ class PrivatelyClassifiedAgent:
         """
         bucket_remaining = self._agent.remaining_supply
         return tuple(
-            bucket_remaining[self._scheme.bucket_of(k)]
-            for k in range(self.num_classes)
+            bucket_remaining[bucket] for bucket in self._bucket_of
         )
 
     def rebind_capacity(self, capacity_ms: float) -> None:
-        """Rebuild the bucket supply set for a new free-capacity budget."""
-        self._agent.rebind_supply_set(
-            CapacitySupplySet(
-                self._scheme.bucket_costs(self._global_costs), capacity_ms
-            )
-        )
+        """Rebind the bucket supply set to a new free-capacity budget."""
+        supply_set = self._agent.supply_set
+        if isinstance(supply_set, CapacitySupplySet):
+            supply_set = supply_set.with_capacity(capacity_ms)
+        else:
+            supply_set = CapacitySupplySet(self._bucket_costs, capacity_ms)
+        self._agent.rebind_supply_set(supply_set)
 
     def begin_period(self) -> QueryVector:
         """Step 2 of QA-NT over the private bucket space."""
@@ -216,11 +226,11 @@ class PrivatelyClassifiedAgent:
         """
         if math.isinf(self._global_costs[global_class]):
             return False
-        return self._agent.would_offer(self._scheme.bucket_of(global_class))
+        return self._agent.would_offer(self._bucket_of[global_class])
 
     def accept(self, global_class: int) -> None:
         """Consume one unit of the class's bucket supply."""
-        self._agent.accept(self._scheme.bucket_of(global_class))
+        self._agent.accept(self._bucket_of[global_class])
 
     def end_period(self) -> QantPeriodStats:
         """Steps 12–14 over the private bucket space."""

@@ -49,6 +49,18 @@ class PriceVector:
         self._prices = values
 
     @classmethod
+    def _from_trusted_tuple(cls, prices: Tuple[float, ...]) -> "PriceVector":
+        """Wrap an already-validated tuple of floats without re-checking.
+
+        Internal fast path for the QA-NT agent, whose mutable price list
+        maintains the finite/non-negative/non-empty invariant itself and
+        only materialises a :class:`PriceVector` when ``.prices`` is read.
+        """
+        self = object.__new__(cls)
+        self._prices = prices
+        return self
+
+    @classmethod
     def uniform(cls, num_classes: int, price: float = 1.0) -> "PriceVector":
         """All classes priced at ``price`` — the usual starting point."""
         return cls((price,) * num_classes)

@@ -22,12 +22,18 @@ prices rather than waiting for an umpire to clear the market.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from .market import PriceVector
 from .supply import SupplySet, solve_supply
 from .vectors import QueryVector
+
+#: Process-wide agent identifiers, combined with the per-agent price epoch
+#: into the cache tokens handed to the supply solvers — two agents sharing
+#: a supply set can therefore never collide in its memo.
+_AGENT_TOKENS = itertools.count(1)
 
 __all__ = [
     "QantParameters",
@@ -117,9 +123,19 @@ class QantPricingAgent:
         self._supply_set = supply_set
         self._params = parameters or QantParameters()
         num_classes = supply_set.num_classes
-        self._prices = initial_prices or PriceVector.uniform(num_classes)
-        if self._prices.num_classes != num_classes:
+        initial = initial_prices or PriceVector.uniform(num_classes)
+        if initial.num_classes != num_classes:
             raise ValueError("initial prices cover the wrong number of classes")
+        # Price state lives in a mutable list so the per-refusal updates
+        # are in-place; the immutable PriceVector is materialised lazily
+        # when `.prices` is read.  `_price_epoch` counts actual changes and
+        # keys the supply solvers' memo (see CapacitySupplySet).
+        self._price_values: List[float] = list(initial.values)
+        self._prices_cache: Optional[PriceVector] = initial
+        self._price_epoch = 0
+        self._max_price = max(self._price_values)
+        self._token_base = next(_AGENT_TOKENS)
+        self._num_classes = num_classes
         self._remaining: List[float] = [0.0] * num_classes
         self._credit: List[float] = [0.0] * num_classes
         self._planned = QueryVector.zeros(num_classes)
@@ -132,12 +148,34 @@ class QantPricingAgent:
     @property
     def num_classes(self) -> int:
         """Number of query classes this agent prices."""
-        return self._supply_set.num_classes
+        return self._num_classes
 
     @property
     def prices(self) -> PriceVector:
         """The node's *private* price vector (never shared on the wire)."""
-        return self._prices
+        cached = self._prices_cache
+        if cached is None:
+            cached = PriceVector._from_trusted_tuple(tuple(self._price_values))
+            self._prices_cache = cached
+        return cached
+
+    @property
+    def max_price(self) -> float:
+        """The largest current class price (the overload signal).
+
+        Maintained incrementally so per-request threshold checks (the
+        Section 5.1 activation rule) do not rescan all K prices.
+        """
+        value = self._max_price
+        if value is None:
+            value = max(self._price_values)
+            self._max_price = value
+        return value
+
+    @property
+    def price_epoch(self) -> int:
+        """Counter of actual price changes (solver-cache invalidation key)."""
+        return self._price_epoch
 
     @property
     def supply_set(self) -> SupplySet:
@@ -186,22 +224,26 @@ class QantPricingAgent:
         """
         optimal = solve_supply(
             self._supply_set,
-            self._prices.values,
+            self._price_values,
             method=self._params.supply_method,
+            cache_token=(self._token_base, self._price_epoch),
         )
         if self._params.carry_over:
+            credit = self._credit
             planned_counts = []
             for k, amount in enumerate(optimal):
-                self._credit[k] += amount
-                whole = float(int(self._credit[k] + 1e-9))
-                self._credit[k] -= whole
+                credit[k] += amount
+                whole = float(int(credit[k] + 1e-9))
+                credit[k] -= whole
                 planned_counts.append(whole)
-            self._planned = QueryVector(planned_counts)
+            self._planned = QueryVector._from_trusted_tuple(
+                tuple(planned_counts)
+            )
         else:
             self._planned = optimal.rounded()
         self._remaining = list(self._planned.components)
-        self._accepted = [0] * self.num_classes
-        self._refused = [0] * self.num_classes
+        self._accepted = [0] * self._num_classes
+        self._refused = [0] * self._num_classes
         self._in_period = True
         return self._planned
 
@@ -213,8 +255,11 @@ class QantPricingAgent:
         immediately (step 9) — a refusal is a trading failure and therefore
         a price signal.
         """
-        self._require_period()
-        self._check_class(class_index)
+        # Guards inlined: this runs once per client request.
+        if not self._in_period:
+            self._require_period()
+        if not 0 <= class_index < self._num_classes:
+            self._check_class(class_index)
         if self._remaining[class_index] >= 1.0:
             return True
         self._refused[class_index] += 1
@@ -223,8 +268,10 @@ class QantPricingAgent:
 
     def accept(self, class_index: int) -> None:
         """Step 6: a previously made offer was accepted; consume supply."""
-        self._require_period()
-        self._check_class(class_index)
+        if not self._in_period:
+            self._require_period()
+        if not 0 <= class_index < self._num_classes:
+            self._check_class(class_index)
         if self._remaining[class_index] < 1.0:
             raise RuntimeError(
                 "node accepted a class-%d query without remaining supply"
@@ -256,33 +303,48 @@ class QantPricingAgent:
         market runner.
         """
         self.begin_period()
+        would_offer = self.would_offer
+        accept = self.accept
         for class_index in requests:
-            if self.would_offer(class_index):
-                self.accept(class_index)
+            if would_offer(class_index):
+                accept(class_index)
         return self.end_period()
 
     # -- price updates --------------------------------------------------------
 
     def _raise_price(self, class_index: int) -> None:
-        factor = 1.0 + self._params.adjustment
-        self._prices = self._prices.scaled_class(
-            class_index, factor, floor=self._params.price_floor
-        )
-        self._clamp_cap(class_index)
+        values = self._price_values
+        old = values[class_index]
+        new = old * (1.0 + self._params.adjustment)
+        if new < self._params.price_floor:
+            new = self._params.price_floor
+        if new > self._params.price_cap:
+            new = self._params.price_cap
+        if new != old:
+            values[class_index] = new
+            self._price_epoch += 1
+            self._prices_cache = None
+            # A raise can only grow the maximum.
+            if self._max_price is not None and new > self._max_price:
+                self._max_price = new
 
     def _lower_price(self, class_index: int, leftover: float) -> None:
         # p_k -= s_ik * lambda * p_k, clamped so the price stays positive
         # even when s_ik * lambda >= 1 (large unsold surpluses).
         factor = max(0.0, 1.0 - leftover * self._params.adjustment)
-        self._prices = self._prices.scaled_class(
-            class_index, factor, floor=self._params.price_floor
-        )
-
-    def _clamp_cap(self, class_index: int) -> None:
-        if self._prices[class_index] > self._params.price_cap:
-            values = list(self._prices.values)
-            values[class_index] = self._params.price_cap
-            self._prices = PriceVector(values)
+        values = self._price_values
+        old = values[class_index]
+        new = old * factor
+        if new < self._params.price_floor:
+            new = self._params.price_floor
+        if new != old:
+            values[class_index] = new
+            self._price_epoch += 1
+            self._prices_cache = None
+            # Lowering the current maximum invalidates it (recomputed
+            # lazily on the next `max_price` read).
+            if old == self._max_price:
+                self._max_price = None
 
     # -- guards ----------------------------------------------------------------
 

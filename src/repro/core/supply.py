@@ -135,6 +135,30 @@ class CapacitySupplySet(SupplySet):
                 )
         self._costs = costs
         self._capacity = float(capacity_ms)
+        # Single-token memo shared across `with_capacity` rebinds (see
+        # `_cache_lookup`): density orderings and solved vectors only
+        # depend on prices (identified by the caller's token) and, for
+        # whole solves, the capacity — never on which rebind computed them.
+        self._cache: dict = {}
+
+    def with_capacity(self, capacity_ms: float) -> "CapacitySupplySet":
+        """A supply set with the same cost row but a new capacity budget.
+
+        This is the per-period rebind: a node's free capacity changes every
+        period while its cost row never does, so the rebind shares the
+        costs tuple *and* the price-density cache with the original
+        instead of re-validating K costs each time.
+        """
+        if capacity_ms < 0:
+            raise ValueError("capacity must be non-negative")
+        capacity_ms = float(capacity_ms)
+        if capacity_ms == self._capacity:
+            return self
+        clone = object.__new__(CapacitySupplySet)
+        clone._costs = self._costs
+        clone._capacity = capacity_ms
+        clone._cache = self._cache
+        return clone
 
     @property
     def num_classes(self) -> int:
@@ -175,7 +199,10 @@ class CapacitySupplySet(SupplySet):
     # -- solvers -------------------------------------------------------------
 
     def optimal_supply(
-        self, prices: Sequence[float], method: str = "greedy"
+        self,
+        prices: Sequence[float],
+        method: str = "greedy",
+        cache_token: Optional[Tuple[int, int]] = None,
     ) -> QueryVector:
         """Solve eq. 4 with the requested ``method``.
 
@@ -185,33 +212,79 @@ class CapacitySupplySet(SupplySet):
         fill with the residual capacity assigned fractionally to the best
         remaining class — the natural input for QA-NT's carry-over
         accounting (see :class:`repro.core.qant.QantPricingAgent`).
-        """
-        _check_prices(prices, self.num_classes)
-        if method == "fractional":
-            return self._solve_fractional(prices)
-        if method == "greedy":
-            return self._solve_greedy(prices)
-        if method == "greedy-fractional":
-            return self._solve_greedy(prices, fractional_tail=True)
-        if method == "proportional":
-            return self._solve_proportional(prices)
-        if method == "exact":
-            return self._solve_exact(prices)
-        raise ValueError("unknown supply solver %r" % (method,))
 
-    def _densities(self, prices: Sequence[float]) -> List[Tuple[float, int]]:
+        ``cache_token`` is an opaque identifier of ``prices``: a caller
+        that re-solves at unchanged prices (QA-NT solves every period but
+        only moves prices on trading failures) passes the same token and
+        gets the memoised density ordering — or, at unchanged capacity,
+        the previously solved vector — back without recomputing.  Callers
+        must change the token whenever the prices they pass change.
+        """
+        _check_prices(prices, len(self._costs))
+        if cache_token is not None:
+            solved = self._cache_lookup(cache_token, ("solve", method, self._capacity))
+            if solved is not None:
+                return solved
+        if method == "fractional":
+            result = self._solve_fractional(prices, cache_token)
+        elif method == "greedy":
+            result = self._solve_greedy(prices, cache_token=cache_token)
+        elif method == "greedy-fractional":
+            result = self._solve_greedy(
+                prices, fractional_tail=True, cache_token=cache_token
+            )
+        elif method == "proportional":
+            result = self._solve_proportional(prices, cache_token=cache_token)
+        elif method == "exact":
+            result = self._solve_exact(prices, cache_token=cache_token)
+        else:
+            raise ValueError("unknown supply solver %r" % (method,))
+        if cache_token is not None:
+            self._cache[("solve", method, self._capacity)] = result
+        return result
+
+    def _cache_lookup(self, cache_token, key):
+        """Value memoised under ``key`` for ``cache_token``, else None.
+
+        A mismatched token empties the memo (single-token cache): QA-NT
+        prices move forward in epochs, so only the latest epoch's entries
+        can ever be asked for again.
+        """
+        cache = self._cache
+        if cache.get("token") != cache_token:
+            cache.clear()
+            cache["token"] = cache_token
+            return None
+        return cache.get(key)
+
+    def _densities(
+        self,
+        prices: Sequence[float],
+        cache_token: Optional[Tuple[int, int]] = None,
+    ) -> List[Tuple[float, int]]:
         """(density, class) pairs for evaluable classes with positive price,
         sorted by decreasing price density ``p_k / cost_k``."""
+        if cache_token is not None:
+            pairs = self._cache_lookup(cache_token, "pairs")
+            if pairs is not None:
+                return pairs
+        costs = self._costs
         pairs = [
-            (prices[k] / self._costs[k], k)
-            for k in range(self.num_classes)
-            if not math.isinf(self._costs[k]) and prices[k] > 0
+            (prices[k] / costs[k], k)
+            for k in range(len(costs))
+            if not math.isinf(costs[k]) and prices[k] > 0
         ]
         pairs.sort(key=lambda pair: (-pair[0], pair[1]))
+        if cache_token is not None:
+            self._cache["pairs"] = pairs
         return pairs
 
-    def _solve_fractional(self, prices: Sequence[float]) -> QueryVector:
-        pairs = self._densities(prices)
+    def _solve_fractional(
+        self,
+        prices: Sequence[float],
+        cache_token: Optional[Tuple[int, int]] = None,
+    ) -> QueryVector:
+        pairs = self._densities(prices, cache_token)
         if not pairs:
             return QueryVector.zeros(self.num_classes)
         __, best_class = pairs[0]
@@ -219,27 +292,34 @@ class CapacitySupplySet(SupplySet):
         return QueryVector.unit(self.num_classes, best_class, amount)
 
     def _solve_greedy(
-        self, prices: Sequence[float], fractional_tail: bool = False
+        self,
+        prices: Sequence[float],
+        fractional_tail: bool = False,
+        cache_token: Optional[Tuple[int, int]] = None,
     ) -> QueryVector:
+        costs = self._costs
         remaining = self._capacity
-        counts = [0.0] * self.num_classes
-        densities = self._densities(prices)
+        counts = [0.0] * len(costs)
+        densities = self._densities(prices, cache_token)
         for __, k in densities:
-            if remaining < self._costs[k]:
+            if remaining < costs[k]:
                 continue
-            fit = math.floor(remaining / self._costs[k] + 1e-9)
+            fit = math.floor(remaining / costs[k] + 1e-9)
             counts[k] = float(fit)
-            remaining -= fit * self._costs[k]
+            remaining -= fit * costs[k]
         if fractional_tail and remaining > 0 and densities:
             # Sell the leftover capacity as a fraction of the best class
             # not yet saturated — QA-NT's carry-over accounting converts
             # these fractions into whole queries across periods.
             __, best = densities[0]
             counts[best] += remaining / self._costs[best]
-        return QueryVector(counts)
+        return QueryVector._from_trusted_tuple(tuple(counts))
 
     def _solve_proportional(
-        self, prices: Sequence[float], sharpness: float = 2.0
+        self,
+        prices: Sequence[float],
+        sharpness: float = 2.0,
+        cache_token: Optional[Tuple[int, int]] = None,
     ) -> QueryVector:
         """Capacity split across classes in proportion to price density.
 
@@ -253,7 +333,7 @@ class CapacitySupplySet(SupplySet):
         most valuable classes.  As ``sharpness`` grows this converges to
         the corner solution; the returned vector is fractional.
         """
-        pairs = self._densities(prices)
+        pairs = self._densities(prices, cache_token)
         if not pairs:
             return QueryVector.zeros(self.num_classes)
         top = pairs[0][0]
@@ -261,18 +341,35 @@ class CapacitySupplySet(SupplySet):
             # Densities can underflow to zero for subnormal prices; with
             # no measurable value anywhere, supply nothing.
             return QueryVector.zeros(self.num_classes)
-        weights = [
-            ((density / top) ** sharpness, k) for density, k in pairs
-        ]
-        total = sum(w for w, __ in weights)
+        cached = (
+            self._cache_lookup(cache_token, ("prop", sharpness))
+            if cache_token is not None
+            else None
+        )
+        if cached is not None:
+            weights, total = cached
+        else:
+            weights = []
+            total = 0.0
+            for density, k in pairs:
+                weight = (density / top) ** sharpness
+                weights.append((weight, k))
+                total += weight
+            if cache_token is not None:
+                self._cache[("prop", sharpness)] = (weights, total)
         counts = [0.0] * self.num_classes
+        capacity = self._capacity
+        costs = self._costs
         for weight, k in weights:
-            share_ms = self._capacity * weight / total
-            counts[k] = share_ms / self._costs[k]
-        return QueryVector(counts)
+            share_ms = capacity * weight / total
+            counts[k] = share_ms / costs[k]
+        return QueryVector._from_trusted_tuple(tuple(counts))
 
     def _solve_exact(
-        self, prices: Sequence[float], granularity_ms: Optional[float] = None
+        self,
+        prices: Sequence[float],
+        granularity_ms: Optional[float] = None,
+        cache_token: Optional[Tuple[int, int]] = None,
     ) -> QueryVector:
         """Unbounded-knapsack DP on a discretised capacity grid.
 
@@ -296,7 +393,7 @@ class CapacitySupplySet(SupplySet):
                 min(10.0, min(finite_costs) / 10.0),
                 self._capacity / 50_000.0,
             )
-        greedy = self._solve_greedy(prices)
+        greedy = self._solve_greedy(prices, cache_token=cache_token)
         cells = int(self._capacity / granularity_ms + 1e-9)
         if cells <= 0:
             return greedy
@@ -331,21 +428,27 @@ class CapacitySupplySet(SupplySet):
                 continue
             counts[k] += 1
             budget -= max(1, math.ceil(self._costs[k] / granularity_ms - 1e-9))
-        dp_result = QueryVector(counts)
+        dp_result = QueryVector._from_trusted_tuple(tuple(counts))
         if dp_result.dot(prices) >= greedy.dot(prices):
             return dp_result
         return greedy
 
 
 def solve_supply(
-    supply_set: SupplySet, prices: Sequence[float], method: str = "greedy"
+    supply_set: SupplySet,
+    prices: Sequence[float],
+    method: str = "greedy",
+    cache_token: Optional[Tuple[int, int]] = None,
 ) -> QueryVector:
     """Convenience dispatcher for eq. 4 over any supply-set type.
 
-    Explicit sets ignore ``method`` (enumeration is already exact).
+    Explicit sets ignore ``method`` (enumeration is already exact) and
+    ``cache_token`` (see :meth:`CapacitySupplySet.optimal_supply`).
     """
     if isinstance(supply_set, CapacitySupplySet):
-        return supply_set.optimal_supply(prices, method=method)
+        return supply_set.optimal_supply(
+            prices, method=method, cache_token=cache_token
+        )
     return supply_set.optimal_supply(prices)
 
 

@@ -67,11 +67,24 @@ class QueryVector:
     # -- constructors ------------------------------------------------------
 
     @classmethod
+    def _from_trusted_tuple(cls, components: Tuple[float, ...]) -> "QueryVector":
+        """Wrap an already-validated tuple of floats without re-checking.
+
+        Internal fast path: callers must guarantee every component is a
+        finite, non-negative ``float``.  All arithmetic on validated
+        vectors preserves that invariant, which is what makes skipping the
+        per-component re-validation safe on the hot path.
+        """
+        self = object.__new__(cls)
+        self._components = components
+        return self
+
+    @classmethod
     def zeros(cls, num_classes: int) -> "QueryVector":
         """The all-zero vector over ``num_classes`` classes."""
         if num_classes < 0:
             raise ValueError("num_classes must be non-negative")
-        return cls((0.0,) * num_classes)
+        return cls._from_trusted_tuple((0.0,) * num_classes)
 
     @classmethod
     def unit(cls, num_classes: int, index: int, amount: Number = 1) -> "QueryVector":
@@ -136,8 +149,8 @@ class QueryVector:
 
     def __add__(self, other: "QueryVector") -> "QueryVector":
         self._check_compatible(other)
-        return QueryVector(
-            a + b for a, b in zip(self._components, other._components)
+        return QueryVector._from_trusted_tuple(
+            tuple(a + b for a, b in zip(self._components, other._components))
         )
 
     def __sub__(self, other: "QueryVector") -> "QueryVector":
@@ -149,8 +162,11 @@ class QueryVector:
         (Definition 2, excess demand).
         """
         self._check_compatible(other)
-        return QueryVector(
-            max(0.0, a - b) for a, b in zip(self._components, other._components)
+        return QueryVector._from_trusted_tuple(
+            tuple(
+                max(0.0, a - b)
+                for a, b in zip(self._components, other._components)
+            )
         )
 
     def signed_difference(self, other: "QueryVector") -> Tuple[float, ...]:
@@ -166,7 +182,12 @@ class QueryVector:
     def __mul__(self, scalar: Number) -> "QueryVector":
         if scalar < 0:
             raise ValueError("cannot scale a query vector by a negative factor")
-        return QueryVector(a * scalar for a in self._components)
+        if not math.isfinite(scalar):
+            raise ValueError("query vector components must be finite")
+        scalar = float(scalar)
+        return QueryVector._from_trusted_tuple(
+            tuple(a * scalar for a in self._components)
+        )
 
     __rmul__ = __mul__
 
@@ -229,7 +250,9 @@ class QueryVector:
         continuous supply solution to integer query counts (the rounding
         error the paper blames for Greedy's small-load advantage, Fig. 5a).
         """
-        return QueryVector(float(math.floor(a + 1e-9)) for a in self._components)
+        return QueryVector._from_trusted_tuple(
+            tuple(float(math.floor(a + 1e-9)) for a in self._components)
+        )
 
     def as_int_tuple(self) -> Tuple[int, ...]:
         """Components as integers; raises if the vector is not integral."""
@@ -249,12 +272,23 @@ def aggregate(vectors: Iterable[QueryVector]) -> QueryVector:
     An empty iterable is rejected because the number of classes would be
     unknown; callers aggregating a possibly-empty federation should pass an
     explicit zero vector.
+
+    The sum accumulates into a single component list rather than chaining
+    ``+`` (which would allocate one intermediate vector per element).
     """
     iterator = iter(vectors)
     try:
-        result = next(iterator)
+        first = next(iterator)
     except StopIteration:
         raise ValueError("cannot aggregate an empty collection of vectors")
+    totals = list(first._components)
+    length = len(totals)
     for vector in iterator:
-        result = result + vector
-    return result
+        comps = vector._components
+        if len(comps) != length:
+            raise ValueError(
+                "incompatible vector lengths: %d vs %d" % (length, len(comps))
+            )
+        for k, value in enumerate(comps):
+            totals[k] += value
+    return QueryVector._from_trusted_tuple(tuple(totals))

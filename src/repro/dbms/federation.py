@@ -350,8 +350,7 @@ class DbmsFederation:
                         # overload (Section 5.1 threshold rule).
                         offering = agent.would_offer(qc.index)
                         enforcing = (
-                            max(agent.prices.values)
-                            >= self.ACTIVATION_THRESHOLD
+                            agent.max_price >= self.ACTIVATION_THRESHOLD
                         )
                         if offering or not enforcing:
                             offers.append(nid)

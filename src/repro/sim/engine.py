@@ -108,8 +108,11 @@ class Simulator:
 
     def step(self) -> bool:
         """Execute the next event.  Returns False when the heap is empty."""
+        # `self._heap` is re-read per iteration on purpose: `_compact`
+        # (triggered by cancellations inside callbacks) rebinds it.
+        heappop = heapq.heappop
         while self._heap:
-            time_ms, __, handle, callback = heapq.heappop(self._heap)
+            time_ms, __, handle, callback = heappop(self._heap)
             if handle.cancelled:
                 self._cancelled_pending -= 1
                 continue
@@ -128,14 +131,20 @@ class Simulator:
         still fire, and afterwards the clock is advanced to ``until_ms`` so
         a bounded run always ends at a well-defined time.
         """
+        step = self.step
+        if until_ms is None and max_events is None:
+            # Unbounded drain: the common case, free of per-event bound
+            # checks.
+            while step():
+                pass
+            return
         executed = 0
         while self._heap:
-            next_time = self._heap[0][0]
-            if until_ms is not None and next_time > until_ms:
+            if until_ms is not None and self._heap[0][0] > until_ms:
                 break
             if max_events is not None and executed >= max_events:
                 return
-            if self.step():
+            if step():
                 executed += 1
         if until_ms is not None and self._now < until_ms:
             self._now = until_ms

@@ -128,6 +128,10 @@ class SimulatedNode:
 
     def is_available(self, now_ms: Optional[float] = None) -> bool:
         """True iff the node accepts new work at ``now_ms`` (default: now)."""
+        if not self._outages:
+            # Fast path: most nodes never schedule an outage, and this is
+            # probed for every candidate of every arriving query.
+            return True
         now = self._sim.now if now_ms is None else now_ms
         return not any(start <= now < end for start, end in self._outages)
 
@@ -161,11 +165,18 @@ class SimulatedNode:
         queue monitor.
         """
         now = self._sim.now
+        if self._exec_slots == 1:
+            # The paper's serial-node common case.
+            remaining = self._slot_free_at[0] - now
+            return remaining if remaining > 0.0 else 0.0
         return sum(max(0.0, free_at - now) for free_at in self._slot_free_at)
 
     def estimated_completion_ms(self, class_index: int) -> float:
         """When a class-``class_index`` query enqueued now would finish."""
-        start = max(self._sim.now, min(self._slot_free_at))
+        slot_free = self._slot_free_at
+        earliest = slot_free[0] if self._exec_slots == 1 else min(slot_free)
+        now = self._sim.now
+        start = now if now >= earliest else earliest
         return start + self.execution_time_ms(class_index)
 
     @property
@@ -201,7 +212,12 @@ class SimulatedNode:
         """
         exec_ms = self.execution_time_ms(query.class_index)
         now = self._sim.now
-        slot = min(range(self._exec_slots), key=lambda i: self._slot_free_at[i])
+        if self._exec_slots == 1:
+            slot = 0
+        else:
+            slot = min(
+                range(self._exec_slots), key=lambda i: self._slot_free_at[i]
+            )
         start = max(now, self._slot_free_at[slot])
         finish = start + exec_ms
         self._slot_free_at[slot] = finish

@@ -1,0 +1,185 @@
+"""Tests for the microbenchmark subsystem (:mod:`repro.bench`)."""
+
+import json
+
+import pytest
+
+from repro import cli
+from repro.bench import (
+    BENCH_SCHEMA_VERSION,
+    KERNELS,
+    bench_payload,
+    compare_payloads,
+    measure,
+    render_results,
+    run_benchmarks,
+    write_bench_artifact,
+)
+
+#: Kernels ISSUE-level tooling relies on being present.
+REQUIRED_KERNELS = {
+    "qant.run_period",
+    "supply.greedy",
+    "supply.proportional",
+    "supply.exact",
+    "vector.arith",
+    "vector.aggregate",
+    "sim.event_throughput",
+    "e2e.federation_sweep",
+}
+
+
+class TestRegistry:
+    def test_at_least_six_kernels_registered(self):
+        assert len(KERNELS) >= 6
+
+    def test_required_kernels_present(self):
+        assert REQUIRED_KERNELS <= set(KERNELS)
+
+    def test_every_kernel_setup_returns_callable(self):
+        # Exclude the expensive end-to-end kernel; its setup builds a
+        # 20-node world and is covered by the CLI smoke in CI.
+        for name, kernel in KERNELS.items():
+            if name.startswith("e2e."):
+                continue
+            fn = kernel.setup()
+            assert callable(fn)
+            fn()  # one untimed execution must not raise
+
+    def test_duplicate_registration_rejected(self):
+        from repro.bench.kernels import register_kernel
+
+        with pytest.raises(ValueError):
+            register_kernel("vector.arith", "dup")(lambda: (lambda: None))
+
+
+class TestHarness:
+    def test_measure_reports_positive_time(self):
+        ns_per_op, inner = measure(lambda: sum(range(50)), repeat=1)
+        assert ns_per_op > 0
+        assert inner >= 1
+
+    def test_measure_rejects_zero_repeat(self):
+        with pytest.raises(ValueError):
+            measure(lambda: None, repeat=0)
+
+    def test_unknown_filter_raises(self):
+        with pytest.raises(ValueError, match="no benchmark kernel matches"):
+            run_benchmarks(name_filter="definitely-not-a-kernel", repeat=1)
+
+    def test_run_filtered_and_payload_schema(self, tmp_path):
+        fast = {
+            "vector.arith": KERNELS["vector.arith"],
+            "vector.aggregate": KERNELS["vector.aggregate"],
+        }
+        results = run_benchmarks(
+            name_filter="vector", repeat=1, kernels=fast
+        )
+        assert set(results) == set(fast)
+        for measurement in results.values():
+            assert measurement.ns_per_op > 0
+            assert measurement.ops_per_s > 0
+            assert measurement.repeat == 1
+
+        payload = bench_payload(results, label="unit")
+        assert payload["schema_version"] == BENCH_SCHEMA_VERSION
+        assert payload["kind"] == "bench"
+        assert payload["label"] == "unit"
+        assert "python_version" in payload["environment"]
+        assert set(payload["kernels"]) == set(fast)
+        entry = payload["kernels"]["vector.arith"]
+        assert {"description", "ns_per_op", "ops_per_s", "repeat"} <= set(
+            entry
+        )
+
+        path = write_bench_artifact(payload, "unit", directory=str(tmp_path))
+        assert path.name == "BENCH_unit.json"
+        on_disk = json.loads(path.read_text())
+        assert on_disk["kernels"].keys() == payload["kernels"].keys()
+
+    def test_compare_payloads_speedup_factors(self):
+        def entry(ns):
+            return {"description": "", "ns_per_op": ns, "ops_per_s": 1e9 / ns}
+
+        before = {
+            "schema_version": BENCH_SCHEMA_VERSION,
+            "kind": "bench",
+            "kernels": {"a": entry(200.0), "b": entry(100.0)},
+        }
+        after = {
+            "schema_version": BENCH_SCHEMA_VERSION,
+            "kind": "bench",
+            "kernels": {"a": entry(100.0)},
+        }
+        speedups = compare_payloads(before, after)
+        assert speedups == {"a": 2.0}
+
+    def test_compare_rejects_wrong_schema(self):
+        good = {"schema_version": BENCH_SCHEMA_VERSION, "kind": "bench", "kernels": {}}
+        bad = {"schema_version": 999, "kind": "bench", "kernels": {}}
+        with pytest.raises(ValueError):
+            compare_payloads(good, bad)
+
+    def test_render_results_table(self):
+        results = run_benchmarks(
+            name_filter="vector.arith", repeat=1
+        )
+        table = render_results(results)
+        assert "kernel" in table and "ns/op" in table
+        assert "vector.arith" in table
+
+
+class TestCli:
+    def test_bench_subcommand_writes_artifact(self, tmp_path, capsys):
+        rc = cli.main(
+            [
+                "bench",
+                "--filter",
+                "vector",
+                "--repeat",
+                "1",
+                "--json",
+                "--label",
+                "clitest",
+                "--out",
+                str(tmp_path),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "vector.arith" in out
+        artifact = tmp_path / "BENCH_clitest.json"
+        assert artifact.exists()
+        payload = json.loads(artifact.read_text())
+        assert payload["schema_version"] == BENCH_SCHEMA_VERSION
+        assert "vector.aggregate" in payload["kernels"]
+
+    def test_bench_subcommand_bad_filter_fails(self, capsys):
+        rc = cli.main(["bench", "--filter", "nope-nothing", "--repeat", "1"])
+        assert rc == 2
+        assert "no benchmark kernel" in capsys.readouterr().err
+
+    def test_bench_subcommand_rejects_zero_repeat(self, capsys):
+        rc = cli.main(["bench", "--repeat", "0"])
+        assert rc == 2
+        assert "--repeat" in capsys.readouterr().err
+
+    def test_bench_subcommand_rejects_path_label(self, capsys):
+        rc = cli.main(
+            ["bench", "--filter", "vector.arith", "--repeat", "1", "--json",
+             "--label", "bad/label"]
+        )
+        assert rc == 2
+        assert "label" in capsys.readouterr().err
+
+    def test_bench_subcommand_rejects_missing_baseline(self, capsys):
+        rc = cli.main(
+            ["bench", "--filter", "vector.arith", "--repeat", "1",
+             "--baseline", "/definitely/not/there.json"]
+        )
+        assert rc == 2
+        assert "cannot read baseline" in capsys.readouterr().err
+
+    def test_write_artifact_rejects_path_label(self, tmp_path):
+        with pytest.raises(ValueError, match="file-name fragment"):
+            write_bench_artifact({}, "../escape", directory=str(tmp_path))

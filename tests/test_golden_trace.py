@@ -1,0 +1,51 @@
+"""Golden-trace regression tests for the hot-path optimisations.
+
+The files under ``tests/golden/`` were captured from the *pre-optimisation*
+code (PR 1 tree) via::
+
+    json.dumps(_json_safe(run_sweep(REGISTRY.get(name), scale="small",
+               seeds=(0,)).to_dict()), indent=2, sort_keys=True) + "\n"
+
+The perf work (price-epoch solver caching, in-place price updates, trusted
+vector constructors, network/node fast paths) must not change a single
+simulated decision, so the serialized sweep results have to stay
+*byte-identical*.  Any diff here means an optimisation reordered floating-
+point arithmetic or consumed RNG draws differently — a correctness bug,
+not a tolerance issue.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.experiments.runner import _json_safe, run_sweep
+from repro.experiments.spec import REGISTRY
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+
+def _serialize(name: str) -> str:
+    result = run_sweep(REGISTRY.get(name), scale="small", seeds=(0,))
+    return (
+        json.dumps(_json_safe(result.to_dict()), indent=2, sort_keys=True)
+        + "\n"
+    )
+
+
+def _golden(name: str) -> str:
+    return (GOLDEN_DIR / name).read_text()
+
+
+def test_fig4_small_seed0_matches_golden():
+    """All six mechanisms on the fig4 sweep reproduce the stored trace."""
+    assert _serialize("fig4") == _golden("fig4_small_seed0.json")
+
+
+@pytest.mark.slow
+def test_ablation_rounding_small_seed0_matches_golden():
+    """The supply-method ablation (exercises every solver + carry-over
+    variant) reproduces the stored trace."""
+    assert _serialize("ablation-rounding") == _golden(
+        "ablation_rounding_small_seed0.json"
+    )
