@@ -10,8 +10,13 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
+# Time the registered microbenchmark kernels (src/repro/bench/).
 bench:
-	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+	$(PYTHON) -m repro bench
+
+# Same, but gate against the committed PR baseline like CI does.
+bench-gate:
+	$(PYTHON) -m repro bench --baseline BENCH_pr3.json --fail-above 50
 
 bench-full:
 	REPRO_BENCH_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -55,6 +55,17 @@ class AllocationContext:
     period_ms: float
     rng: random.Random
 
+    def __post_init__(self) -> None:
+        # Availability fast path: while no node of this federation has an
+        # outage scheduled, per-query filtering is a no-op and the static
+        # candidate tuple can be returned as-is.  The process-wide
+        # OUTAGE_EPOCH cell (see repro.sim.node) tells us when to recheck;
+        # it is resolved lazily because importing repro.sim at module
+        # import time would close a package cycle.
+        self._outage_epoch_cell: Optional[list] = None
+        self._outage_checked_epoch = -1
+        self._outage_free = False
+
     def candidates(self, class_index: int) -> Tuple[int, ...]:
         """Candidate server ids for ``class_index`` (may be empty)."""
         return self.candidates_by_class.get(class_index, ())
@@ -65,8 +76,26 @@ class AllocationContext:
         Every mechanism routes through this so node failures (Section 1's
         motivating scenario) affect all of them identically: a failed node
         is simply unreachable and the query negotiates with the rest.
+
+        This is called once per allocation attempt (paper scale: hundreds
+        of thousands of times), so the no-outage common case skips the
+        per-node availability scan entirely and returns the registry
+        tuple; the scan only runs while some node actually has outages.
         """
         candidates = self.candidates_by_class.get(class_index, ())
+        cell = self._outage_epoch_cell
+        if cell is None:
+            from ..sim.node import OUTAGE_EPOCH
+
+            cell = self._outage_epoch_cell = OUTAGE_EPOCH
+        epoch = cell[0]
+        if epoch != self._outage_checked_epoch:
+            self._outage_checked_epoch = epoch
+            self._outage_free = not any(
+                node.has_outages for node in self.nodes.values()
+            )
+        if self._outage_free:
+            return candidates
         nodes = self.nodes
         return tuple(
             [nid for nid in candidates if nodes[nid].is_available()]

@@ -27,7 +27,7 @@ Two paper-motivated options are exposed:
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, Optional, Set
+from typing import Dict, Iterable, Optional, Set, Tuple
 
 from ..core.classification import (
     PrivatelyClassifiedAgent,
@@ -99,6 +99,23 @@ class QantAllocator(Allocator):
         self._private_buckets = private_buckets
         self._agents: Dict[int, object] = {}
         self._allowances: Dict[int, float] = {}
+        #: Per class, the candidate fan-out as precompiled 5-slot bidder
+        #: tuples — the request-for-bid loop iterates this instead of
+        #: re-resolving every node's agent per query (see `_after_bind`).
+        self._bidders_by_class: Dict[int, Tuple] = {}
+        #: Serial number of the current period, bumped by
+        #: `on_period_start`; keys the per-class saturation fast path.
+        self._period_serial = 0
+        #: ``class_index -> period serial`` recording that every bidder of
+        #: the class was observed *saturated* this period: zero remaining
+        #: supply, class price pinned at the cap, and (with an activation
+        #: threshold) the enforce latch set.  A request-for-bid against a
+        #: fully saturated class is then an all-refuse exchange whose only
+        #: agent-side effect is one refusal count per node, so `assign`
+        #: skips the fan-out loop and defers those counts (flushed at the
+        #: next period tick, before any period stats are computed).
+        self._saturated_in: Dict[int, int] = {}
+        self._deferred_refusals: Dict[int, int] = {}
 
     @property
     def agents(self) -> Dict[int, QantPricingAgent]:
@@ -138,7 +155,39 @@ class QantAllocator(Allocator):
                     self.context.period_ms,
                     parameters=self._params,
                 )
+        # Candidate sets and agent bindings are both fixed for the life of
+        # the federation, so the request-for-bid fan-out can be compiled
+        # once per class.  Each bidder is a 5-slot tuple
+        # ``(node_id, agent, remaining, price_values, refused)``:
+        #
+        # * a non-adopter is ``(nid, None, None, None, None)`` — it always
+        #   offers (greedy behaviour);
+        # * a plain pricing agent carries its live per-period state lists
+        #   (see ``QantPricingAgent.bid_state``), letting ``assign`` mirror
+        #   ``quote`` inline with no per-node call frame;
+        # * a privately-classifying agent carries ``None`` state (its
+        #   global→bucket mapping makes inlining not worth it) and is
+        #   quoted through the method call.
+        self._bidders_by_class = {
+            class_index: tuple(
+                self._compile_bidder(node_id) for node_id in candidates
+            )
+            for class_index, candidates in
+            self.context.candidates_by_class.items()
+        }
+        # All agents share `self._params`, so the raise arithmetic the
+        # inlined loop mirrors can be hoisted once.
+        self._raise_factor = 1.0 + self._params.adjustment
+        self._price_floor = self._params.price_floor
+        self._price_cap = self._params.price_cap
         self.on_period_start()
+
+    def _compile_bidder(self, node_id: int):
+        agent = self._agents.get(node_id)
+        if isinstance(agent, QantPricingAgent):
+            remaining, values, refused = agent.bid_state()
+            return (node_id, agent, remaining, values, refused)
+        return (node_id, agent, None, None, None)
 
     def on_period_start(self) -> None:
         """Step 2 of QA-NT at every node: re-solve eq. 4.
@@ -148,6 +197,8 @@ class QantAllocator(Allocator):
         node with a committed queue does not sell time it no longer has,
         while an idle node can always admit its largest query.
         """
+        self._flush_deferred_refusals()
+        self._period_serial += 1
         nodes = self.context.nodes
         allowances = self._allowances
         for node_id, agent in self._agents.items():
@@ -170,36 +221,152 @@ class QantAllocator(Allocator):
                 agent.rebind_supply_set(supply_set)
             agent.begin_period()
 
+    def _flush_deferred_refusals(self) -> None:
+        """Apply refusal counts deferred by the saturation fast path.
+
+        Runs before any period-closing bookkeeping (``end_period`` stats)
+        so every agent's ``refused`` counters are exact whenever period
+        statistics are derived from them.
+        """
+        deferred = self._deferred_refusals
+        if not deferred:
+            return
+        for class_index, count in deferred.items():
+            if not count:
+                continue
+            # Saturation is only ever recorded for classes whose bidders
+            # are all plain pricing agents, so every slot carries state.
+            for bidder in self._bidders_by_class[class_index]:
+                bidder[4][class_index] += count
+        deferred.clear()
+
     def assign(self, query: Query) -> AssignmentDecision:
-        candidates = self.context.available_candidates(query.class_index)
+        class_index = query.class_index
+        context = self.context
+        candidates = context.available_candidates(class_index)
         if not candidates:
             return AssignmentDecision(node_id=None)
-        delay, messages = self._probe_all(candidates)
+        num_candidates = len(candidates)
+        delay = context.network.round_trip_ms(num_candidates)
+        messages = 2 * num_candidates
 
+        # Single-pass bid collection over the precompiled fan-out.  Each
+        # bidder answers the request-for-bid with `quote` semantics: the
+        # unconditional price dynamics (refusals must keep adjusting prices
+        # so the overload signal can form) plus the Section 5.1 activation
+        # rule (the supply vector is only enforced while the node's prices
+        # signal overload).  For plain pricing agents the whole exchange is
+        # inlined here against the agent's live state lists — this loop
+        # runs nodes x requests times and dominates paper-scale wall-clock,
+        # so it trades one method call per node for direct list reads.
+        # Any change here must stay in lock-step with
+        # `QantPricingAgent.quote` (same arithmetic, same clamp order) or
+        # golden traces will move.
+        bidders = self._bidders_by_class[class_index]
+        full_fanout = len(bidders) == num_candidates
+        if full_fanout:
+            if self._saturated_in.get(class_index) == self._period_serial:
+                # Every bidder is saturated (no supply, price at the cap,
+                # latch set): the exchange is an all-refuse no-op except
+                # for one refusal count per node, deferred to the next
+                # period tick.  Latency/messages above were charged — and
+                # the RNG drawn — exactly as for the explicit fan-out.
+                deferred = self._deferred_refusals
+                deferred[class_index] = deferred.get(class_index, 0) + 1
+                return AssignmentDecision(
+                    node_id=None, delay_ms=delay, messages=messages
+                )
+            saturated = True
+        else:
+            # Some candidate is in an outage window: run the fan-out over
+            # the filtered bidders for this query only (failure
+            # experiments), and never record saturation from a partial
+            # exchange.
+            live = set(candidates)
+            bidders = [b for b in bidders if b[0] in live]
+            saturated = False
+        threshold = self._activation_threshold
+        factor = self._raise_factor
+        floor = self._price_floor
+        cap = self._price_cap
         offers = []
-        agents = self._agents
-        class_index = query.class_index
-        for node_id in candidates:
-            agent = agents.get(node_id)
+        append = offers.append
+        for node_id, agent, remaining, values, refused in bidders:
             if agent is None:
-                # Non-adopting node: always offers (greedy behaviour).
-                offers.append(node_id)
+                append(node_id)
+                saturated = False
                 continue
-            # The price dynamics run unconditionally (refusals must keep
-            # adjusting prices so the overload signal can form)...
-            offering = agent.would_offer(class_index)
-            # ...but the supply vector is only *enforced* while the node's
-            # prices signal overload (Section 5.1 threshold rule).
-            if offering or not self._node_enforcing(agent):
-                offers.append(node_id)
-        offers = self._filter_premium(offers, candidates, class_index)
+            if remaining is None:
+                # Privately-classifying agent: quote through the method.
+                saturated = False
+                if agent.quote(class_index, threshold):
+                    append(node_id)
+                continue
+            if remaining[class_index] >= 1.0:
+                append(node_id)
+                saturated = False
+                continue
+            # Refusal: raise the class price (steps 8-9), then apply the
+            # activation rule — mirrors `QantPricingAgent.quote` exactly.
+            refused[class_index] += 1
+            old = values[class_index]
+            new = old * factor
+            if new < floor:
+                new = floor
+            elif new > cap:
+                new = cap
+            if new != old:
+                values[class_index] = new
+                agent._price_epoch += 1
+                agent._prices_cache = None
+                if agent._max_price is not None and new > agent._max_price:
+                    agent._max_price = new
+            if new != cap:
+                # Price still below the cap: the next refusal will move it
+                # again, so this bidder is not yet a no-op.
+                saturated = False
+            if threshold is None:
+                continue
+            if agent._enforce_locked_at is not None:
+                # The allocator quotes one fixed threshold, so the latch
+                # value can only be `threshold` itself: still locked.
+                continue
+            max_price = agent._max_price
+            if max_price is None:
+                max_price = max(values)
+                agent._max_price = max_price
+            if max_price < threshold:
+                append(node_id)
+                saturated = False
+            else:
+                agent._enforce_locked_at = threshold
+        if offers and self._max_offer_premium is not None:
+            offers = self._filter_premium(offers, candidates, class_index)
         if not offers:
+            if saturated:
+                self._saturated_in[class_index] = self._period_serial
             return AssignmentDecision(
                 node_id=None, delay_ms=delay, messages=messages
             )
-        chosen = self._best_offer(offers, class_index)
-        agent = agents.get(chosen)
-        if agent is not None and agent.remaining_supply[class_index] >= 1:
+        # Earliest-estimated-completion winner, inlined (node-id ascending,
+        # strict `<`, so ties resolve to the lowest id — the same order
+        # `_best_offer` produces).  `estimated_completion_ms` is unrolled
+        # for the serial-node common case.
+        nodes = context.nodes
+        now = context.simulator.now
+        chosen = -1
+        best = float("inf")
+        for nid in offers:
+            node = nodes[nid]
+            slot_free = node._slot_free_at
+            earliest = slot_free[0] if len(slot_free) == 1 else min(slot_free)
+            start = now if now >= earliest else earliest
+            estimate = start + node._costs[class_index]
+            if estimate < best:
+                best = estimate
+                chosen = nid
+        agent = self._agents.get(chosen)
+        if agent is not None and agent.supply_left(class_index) >= 1:
             agent.accept(class_index)
         return AssignmentDecision(chosen, delay_ms=delay, messages=messages)
 

@@ -19,6 +19,7 @@ from .harness import (
     Measurement,
     bench_payload,
     compare_payloads,
+    find_regressions,
     load_baseline,
     measure,
     render_results,
@@ -35,6 +36,7 @@ __all__ = [
     "Measurement",
     "bench_payload",
     "compare_payloads",
+    "find_regressions",
     "load_baseline",
     "measure",
     "register_kernel",

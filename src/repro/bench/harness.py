@@ -35,6 +35,7 @@ __all__ = [
     "bench_payload",
     "write_bench_artifact",
     "compare_payloads",
+    "find_regressions",
     "render_results",
 ]
 
@@ -226,6 +227,33 @@ def compare_payloads(before: Mapping, after: Mapping) -> Dict[str, float]:
             continue
         speedups[name] = entry["ns_per_op"] / other["ns_per_op"]
     return speedups
+
+
+def find_regressions(
+    baseline: Mapping,
+    results: Mapping[str, Measurement],
+    threshold_pct: float,
+) -> Dict[str, float]:
+    """Kernels slower than ``baseline`` by more than ``threshold_pct``.
+
+    Returns ``{kernel: regression_pct}`` where the regression percentage
+    is ``(after_ns / before_ns - 1) * 100`` — e.g. 50.0 means the kernel
+    now takes 1.5x its baseline time.  Kernels missing from either side
+    are ignored (new kernels have no baseline to regress against).  This
+    backs ``repro bench --baseline ... --fail-above PCT``, the CI gate
+    that keeps the hot paths from quietly decaying.
+    """
+    if threshold_pct < 0:
+        raise ValueError("threshold must be non-negative")
+    speedups = compare_payloads(
+        baseline, bench_payload(results, label="current")
+    )
+    regressions = {}
+    for name, speedup in speedups.items():
+        regression_pct = (1.0 / speedup - 1.0) * 100.0
+        if regression_pct > threshold_pct:
+            regressions[name] = regression_pct
+    return regressions
 
 
 def render_results(

@@ -173,6 +173,18 @@ def _setup_sim_event_throughput() -> Callable[[], object]:
 
 
 @register_kernel(
+    "net.broadcast",
+    "Network round_trip_ms over a 100-peer request-for-bid fan-out",
+)
+def _setup_net_broadcast() -> Callable[[], object]:
+    from ..sim.engine import Simulator
+    from ..sim.network import Network
+
+    network = Network(Simulator(), seed=_SEED)
+    return lambda: network.round_trip_ms(100)
+
+
+@register_kernel(
     "e2e.federation_sweep",
     "End-to-end fig5-style cell pair: qa-nt + greedy on a 20-node world, "
     "1.5x load sinusoid, 5 s horizon",
@@ -191,6 +203,44 @@ def _setup_e2e_federation_sweep() -> Callable[[], object]:
         world,
         load_fraction=1.5,
         horizon_ms=5_000.0,
+        frequency_hz=0.05,
+        seed=10,
+    )
+    pair = (("qa-nt", QantAllocator), ("greedy", GreedyAllocator))
+
+    def run_once():
+        return [
+            run_mechanism(
+                world, trace, name, factory, FederationConfig(seed=2)
+            ).metrics_dict()
+            for name, factory in pair
+        ]
+
+    return run_once
+
+
+@register_kernel(
+    "fed.fig5a_paper_short",
+    "Paper-scale fig5a cell pair: qa-nt + greedy on a 100-node world, "
+    "1.5x load sinusoid, 2 s horizon (the PR 3 optimisation target)",
+)
+def _setup_fed_fig5a_paper_short() -> Callable[[], object]:
+    from ..allocation import GreedyAllocator, QantAllocator
+    from ..experiments.setups import (
+        run_mechanism,
+        sinusoid_trace_for_load,
+        two_query_world,
+    )
+    from ..sim import FederationConfig
+
+    # Same fixture as tests/golden/fig5a_paper_short_seed0.json: the
+    # 100-node short-horizon slice of the fig5a qa-nt cell whose full
+    # 20 s version is the paper-scale wall-clock benchmark.
+    world = two_query_world(num_nodes=100, seed=0)
+    trace = sinusoid_trace_for_load(
+        world,
+        load_fraction=1.5,
+        horizon_ms=2_000.0,
         frequency_hz=0.05,
         seed=10,
     )

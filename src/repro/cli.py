@@ -9,6 +9,8 @@ Usage::
     python -m repro run all --scale small --json
     python -m repro bench --filter supply --repeat 5
     python -m repro bench --json --label pr2
+    python -m repro bench --baseline BENCH_pr2.json --fail-above 50
+    python -m repro profile fig5a --scale paper
 
 Every experiment is a :class:`~repro.experiments.spec.ScenarioSpec` in
 the global registry; the CLI is a thin shell over
@@ -26,7 +28,13 @@ writes a versioned artifact under ``benchmarks/results/``.
 ``bench`` times the registered microbenchmark kernels
 (:mod:`repro.bench`) and optionally writes a ``BENCH_<label>.json``
 artifact next to the experiment artifacts; ``--baseline`` adds a speedup
-column against a previously written artifact.
+column against a previously written artifact, and ``--fail-above PCT``
+turns the comparison into a regression gate (exit code 1 when any kernel
+is more than PCT percent slower than its baseline — the CI bench-smoke
+check runs with a generous tolerance to absorb shared-runner noise).
+
+``profile`` runs one experiment under cProfile and prints the hottest
+functions — the first stop when a paper-scale run feels slow.
 """
 
 from __future__ import annotations
@@ -48,6 +56,10 @@ from .experiments.runner import (
 from .experiments.spec import REGISTRY, SCALES, ScenarioSpec
 
 __all__ = ["main", "EXPERIMENTS"]
+
+#: Mirrors :data:`repro.profiling.SORT_KEYS` without importing cProfile
+#: machinery at CLI-parse time.
+_PROFILE_SORT_KEYS = ("tottime", "cumtime", "ncalls")
 
 
 def _legacy_entry(name: str) -> Callable[[str, int], object]:
@@ -127,6 +139,7 @@ def _run_bench(args: argparse.Namespace) -> int:
     """Handle the ``bench`` subcommand."""
     from .bench import (
         bench_payload,
+        find_regressions,
         load_baseline,
         render_results,
         run_benchmarks,
@@ -140,6 +153,12 @@ def _run_bench(args: argparse.Namespace) -> int:
         except ValueError as exc:
             print(str(exc), file=sys.stderr)
             return 2
+    if args.fail_above is not None and not args.baseline:
+        print("--fail-above requires --baseline", file=sys.stderr)
+        return 2
+    if args.fail_above is not None and args.fail_above < 0:
+        print("--fail-above must be non-negative", file=sys.stderr)
+        return 2
     baseline = None
     if args.baseline:
         try:
@@ -162,6 +181,45 @@ def _run_bench(args: argparse.Namespace) -> int:
         payload = bench_payload(results, label=args.label)
         path = write_bench_artifact(payload, label=args.label, directory=args.out)
         print("wrote %s" % path)
+    if args.fail_above is not None:
+        regressions = find_regressions(baseline, results, args.fail_above)
+        if regressions:
+            print(
+                "FAIL: %d kernel(s) regressed more than %.0f%% vs %s"
+                % (len(regressions), args.fail_above, args.baseline),
+                file=sys.stderr,
+            )
+            for name, pct in sorted(regressions.items()):
+                print("  %s: +%.1f%%" % (name, pct), file=sys.stderr)
+            return 1
+        print(
+            "OK: no kernel regressed more than %.0f%% vs %s"
+            % (args.fail_above, args.baseline)
+        )
+    return 0
+
+
+def _run_profile(args: argparse.Namespace) -> int:
+    """Handle the ``profile`` subcommand."""
+    from .profiling import profile_experiment
+
+    started = time.time()
+    try:
+        report = profile_experiment(
+            args.experiment,
+            scale=args.scale,
+            seed=args.seed,
+            sort=args.sort,
+            limit=args.limit,
+        )
+    except (KeyError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(
+        "=== profile: %s --scale %s --seed %d (%.1fs wall) ==="
+        % (args.experiment, args.scale, args.seed, time.time() - started)
+    )
+    print(report)
     return 0
 
 
@@ -243,6 +301,42 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="earlier BENCH_*.json to show per-kernel speedups against",
     )
+    bench.add_argument(
+        "--fail-above",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="exit non-zero if any kernel is more than PCT%% slower than "
+        "the --baseline artifact (the CI regression gate)",
+    )
+    profile = commands.add_parser(
+        "profile",
+        help="run one experiment under cProfile and print the hot spots",
+    )
+    profile.add_argument(
+        "experiment",
+        choices=REGISTRY.names(),
+        help="experiment id (see 'list')",
+    )
+    profile.add_argument(
+        "--scale",
+        choices=SCALES,
+        default="small",
+        help="federation/workload size (default: small)",
+    )
+    profile.add_argument("--seed", type=int, default=0, help="base random seed")
+    profile.add_argument(
+        "--sort",
+        choices=_PROFILE_SORT_KEYS,
+        default="tottime",
+        help="pstats sort key (default: tottime)",
+    )
+    profile.add_argument(
+        "--limit",
+        type=int,
+        default=25,
+        help="number of rows to print (default: 25)",
+    )
     return parser
 
 
@@ -258,6 +352,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print("--repeat must be >= 1", file=sys.stderr)
             return 2
         return _run_bench(args)
+    if args.command == "profile":
+        return _run_profile(args)
 
     if args.seeds < 1:
         print("--seeds must be >= 1", file=sys.stderr)

@@ -228,6 +228,27 @@ class PrivatelyClassifiedAgent:
             return False
         return self._agent.would_offer(self._bucket_of[global_class])
 
+    def quote(
+        self, global_class: int, activation_threshold: Optional[float] = None
+    ) -> bool:
+        """Fused would-offer + activation check over the private buckets.
+
+        Mirrors :meth:`QantPricingAgent.quote`: the fan-out fast path the
+        federation allocator drives, translated to this node's buckets.
+        An inevaluable class is refused without a price signal — and
+        without consulting the activation threshold, since no price level
+        can make the missing data appear.
+        """
+        if math.isinf(self._global_costs[global_class]):
+            return False
+        return self._agent.quote(
+            self._bucket_of[global_class], activation_threshold
+        )
+
+    def supply_left(self, global_class: int) -> float:
+        """Remaining supply of the class's bucket (fungible members)."""
+        return self._agent.supply_left(self._bucket_of[global_class])
+
     def accept(self, global_class: int) -> None:
         """Consume one unit of the class's bucket supply."""
         self._agent.accept(self._bucket_of[global_class])

@@ -1,0 +1,74 @@
+"""Profiling entry point: cProfile any registered experiment.
+
+``python -m repro profile <scenario> --scale paper`` runs one scenario
+under :mod:`cProfile` and prints the hottest functions, which is how the
+paper-scale optimisation targets of this repo were found (the QA-NT
+request-for-bid fan-out, the network latency sampling, the per-period
+supply solves).  The profile is collected around exactly the code path
+``python -m repro run`` executes for a single seed, serially — worker
+processes would escape the profiler.
+
+Profiler note: cProfile's tracing typically inflates this simulator's
+wall-clock ~3x and overstates Python-level call overhead relative to
+C-level work (RNG draws, heap operations); treat the ranking as the
+signal, not the absolute numbers, and confirm wins with
+``python -m repro bench``.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from typing import Optional
+
+__all__ = [
+    "SORT_KEYS",
+    "profile_experiment",
+]
+
+#: pstats sort keys exposed on the CLI.
+SORT_KEYS = ("tottime", "cumtime", "ncalls")
+
+
+def profile_experiment(
+    name: str,
+    scale: str = "small",
+    seed: int = 0,
+    sort: str = "tottime",
+    limit: int = 25,
+    stream: Optional[io.TextIOBase] = None,
+) -> str:
+    """Run one registered experiment under cProfile; return the report.
+
+    ``sort`` is a :mod:`pstats` sort key (see :data:`SORT_KEYS`);
+    ``limit`` bounds the number of rows.  The rendered report is returned
+    and, when ``stream`` is given, also written there incrementally.
+    """
+    from .experiments.runner import run_single, run_sweep
+    from .experiments.spec import REGISTRY
+
+    if sort not in SORT_KEYS:
+        raise ValueError(
+            "unknown sort key %r (expected one of %s)"
+            % (sort, ", ".join(SORT_KEYS))
+        )
+    if limit < 1:
+        raise ValueError("limit must be >= 1")
+    spec = REGISTRY.get(name)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        if spec.sweepable:
+            run_sweep(spec, scale=scale, seeds=(seed,))
+        else:
+            run_single(spec, scale, seed)
+    finally:
+        profiler.disable()
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats(sort).print_stats(limit)
+    report = buffer.getvalue()
+    if stream is not None:
+        stream.write(report)
+    return report

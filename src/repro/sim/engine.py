@@ -1,9 +1,12 @@
 """Discrete-event simulation kernel.
 
-A minimal, deterministic event-heap simulator: events are ``(time, seq,
-callback)`` triples ordered by time with FIFO tie-breaking, so two runs with
-the same seeds produce identical traces.  All simulation modules measure
-time in **milliseconds** (matching the paper's reporting units).
+A minimal, deterministic event-heap simulator: events are slim
+``(time, seq, handle, callback, args)`` slots ordered by time with FIFO
+tie-breaking, so two runs with the same seeds produce identical traces.
+Passing callback arguments through the slot (instead of closing over them)
+keeps the hot deliver path free of per-event closure allocation.  All
+simulation modules measure time in **milliseconds** (matching the paper's
+reporting units).
 
 The kernel is deliberately tiny — scheduling, cancellation, bounded runs —
 because everything domain-specific (nodes, networks, markets) is built on
@@ -88,21 +91,33 @@ class Simulator:
         heapq.heapify(self._heap)
         self._cancelled_pending = 0
 
-    def schedule(self, delay_ms: float, callback: Callable[[], Any]) -> EventHandle:
-        """Schedule ``callback`` to run ``delay_ms`` from now."""
+    def schedule(
+        self, delay_ms: float, callback: Callable[..., Any], *args: Any
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` to run ``delay_ms`` from now.
+
+        Extra positional ``args`` are stored in the event slot and passed
+        to ``callback`` when it fires — the slim-dispatch alternative to
+        allocating a closure per event on hot paths (message deliveries,
+        query completions).
+        """
         if delay_ms < 0:
             raise ValueError("cannot schedule an event in the past")
-        return self.schedule_at(self._now + delay_ms, callback)
+        return self.schedule_at(self._now + delay_ms, callback, *args)
 
-    def schedule_at(self, time_ms: float, callback: Callable[[], Any]) -> EventHandle:
-        """Schedule ``callback`` at absolute time ``time_ms``."""
+    def schedule_at(
+        self, time_ms: float, callback: Callable[..., Any], *args: Any
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute time ``time_ms``."""
         if time_ms < self._now:
             raise ValueError(
                 "cannot schedule at %.3f, current time is %.3f"
                 % (time_ms, self._now)
             )
         handle = EventHandle(time_ms, next(self._seq), self)
-        heapq.heappush(self._heap, (time_ms, handle.seq, handle, callback))
+        heapq.heappush(
+            self._heap, (time_ms, handle.seq, handle, callback, args)
+        )
         self._live += 1
         return handle
 
@@ -112,7 +127,7 @@ class Simulator:
         # (triggered by cancellations inside callbacks) rebinds it.
         heappop = heapq.heappop
         while self._heap:
-            time_ms, __, handle, callback = heappop(self._heap)
+            time_ms, __, handle, callback, args = heappop(self._heap)
             if handle.cancelled:
                 self._cancelled_pending -= 1
                 continue
@@ -120,7 +135,7 @@ class Simulator:
             self._live -= 1
             self._now = time_ms
             self._events_processed += 1
-            callback()
+            callback(*args)
             return True
         return False
 
@@ -128,24 +143,63 @@ class Simulator:
         """Run until the heap empties, ``until_ms`` passes, or ``max_events``.
 
         ``until_ms`` is inclusive: events scheduled exactly at ``until_ms``
-        still fire, and afterwards the clock is advanced to ``until_ms`` so
-        a bounded run always ends at a well-defined time.
+        still fire.  The final clock value is well-defined either way:
+
+        * when every event due by ``until_ms`` has fired (the heap drained
+          or only later events remain), the clock advances to ``until_ms``
+          so a time-bounded run always ends at its bound;
+        * when ``max_events`` stops the run with due events still pending,
+          the clock stays at the last executed event's time, so a
+          subsequent :meth:`run` resumes exactly where this one stopped
+          (it is *not* advanced to ``until_ms`` — time that was never
+          simulated must not be claimed).
+
+        Cancelled entries at the front of the heap are discarded before the
+        bounds are checked, so a stale entry inside the window can neither
+        fire an event beyond ``until_ms`` nor consume ``max_events`` budget.
         """
-        step = self.step
+        heappop = heapq.heappop
         if until_ms is None and max_events is None:
-            # Unbounded drain: the common case, free of per-event bound
-            # checks.
-            while step():
-                pass
+            # Unbounded drain: the common case.  The pop/dispatch loop is
+            # inlined (no per-event `step()` frame), which also serves as
+            # the batched delivery path — consecutive same-timestamp
+            # events (a period tick's retry burst, simultaneous message
+            # deliveries) dispatch back-to-back in FIFO seq order with no
+            # per-event bound checks.  `self._heap` is re-read every
+            # iteration because `_compact` may rebind it inside a callback.
+            while self._heap:
+                time_ms, __, handle, callback, args = heappop(self._heap)
+                if handle.cancelled:
+                    self._cancelled_pending -= 1
+                    continue
+                handle.fired = True
+                self._live -= 1
+                self._now = time_ms
+                self._events_processed += 1
+                callback(*args)
             return
         executed = 0
-        while self._heap:
-            if until_ms is not None and self._heap[0][0] > until_ms:
+        while True:
+            heap = self._heap  # re-read: `_compact` rebinds it
+            while heap and heap[0][2].cancelled:
+                heappop(heap)
+                self._cancelled_pending -= 1
+            if not heap:
+                break
+            if until_ms is not None and heap[0][0] > until_ms:
                 break
             if max_events is not None and executed >= max_events:
+                # Budget exhausted with due events pending: leave the
+                # clock at the last executed event (resumable), per the
+                # docstring contract.
                 return
-            if step():
-                executed += 1
+            time_ms, __, handle, callback, args = heappop(heap)
+            handle.fired = True
+            self._live -= 1
+            self._now = time_ms
+            self._events_processed += 1
+            callback(*args)
+            executed += 1
         if until_ms is not None and self._now < until_ms:
             self._now = until_ms
 

@@ -145,10 +145,12 @@ class FederationSimulation:
             start_ms=self._config.period_ms,
             until_ms=end_of_run,
         )
+        # Arrivals are scheduled as slim (callback, args) event slots — no
+        # per-event closure allocation for the whole trace.
+        schedule_at = self._sim.schedule_at
+        on_arrival = self._on_arrival
         for event in trace:
-            self._sim.schedule_at(
-                event.time_ms, lambda ev=event: self._on_arrival(ev)
-            )
+            schedule_at(event.time_ms, on_arrival, event)
         self._sim.run(until_ms=end_of_run)
         for __ in self._pending:
             self._metrics.record_drop()
@@ -182,20 +184,22 @@ class FederationSimulation:
             self._pending.append(query)
             return
         node = self._nodes[decision.node_id]
-        assigned_at = self._sim.now + decision.delay_ms
-
-        def enqueue() -> None:
-            record = node.enqueue(query)
-            self._sim.schedule_at(
-                record.finish_ms,
-                lambda: self._on_completion(query, node.node_id, record),
-            )
-
-        query.assigned_ms = assigned_at
+        query.assigned_ms = self._sim.now + decision.delay_ms
         if decision.delay_ms > 0:
-            self._sim.schedule(decision.delay_ms, enqueue)
+            self._sim.schedule(decision.delay_ms, self._enqueue, query, node)
         else:
-            enqueue()
+            self._enqueue(query, node)
+
+    def _enqueue(self, query: Query, node: SimulatedNode) -> None:
+        """Commit an assigned query to its node; schedule the completion.
+
+        Both this and the completion event travel as slim (callback, args)
+        slots — the per-query deliver path allocates no closures.
+        """
+        record = node.enqueue(query)
+        self._sim.schedule_at(
+            record.finish_ms, self._on_completion, query, node.node_id, record
+        )
 
     def _on_completion(self, query: Query, node_id: int, record) -> None:
         outcome = QueryOutcome(

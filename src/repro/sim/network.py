@@ -16,6 +16,11 @@ from typing import Callable, Optional
 
 from .engine import Simulator
 
+try:  # NumPy ships with the repo's scientific stack; see Network below.
+    import numpy as _np
+except ImportError:  # pragma: no cover - the pure-Python path covers this
+    _np = None
+
 __all__ = [
     "LatencyModel",
     "Network",
@@ -38,10 +43,15 @@ class LatencyModel:
             raise ValueError("latency components must be non-negative")
 
     def sample(self, rng: random.Random) -> float:
-        """Draw a one-way latency in milliseconds."""
+        """Draw a one-way latency in milliseconds.
+
+        ``jitter * random()`` is bit-for-bit what ``uniform(0.0, jitter)``
+        computes, minus the Python-level call frame (see
+        :meth:`Network.round_trip_ms`).
+        """
         if self.jitter_ms == 0:
             return self.base_ms
-        return self.base_ms + rng.uniform(0.0, self.jitter_ms)
+        return self.base_ms + self.jitter_ms * rng.random()
 
 
 class Network:
@@ -60,6 +70,24 @@ class Network:
         self._sim = simulator
         self._latency = latency or LatencyModel()
         self._rng = random.Random(seed)
+        # NumPy's legacy RandomState is the same MT19937 generator with
+        # the same 53-bit double construction as CPython's `random`, so
+        # transplanting the seeded state yields a stream that is
+        # bit-identical draw for draw *and* stays in lockstep (each double
+        # consumes two 32-bit words in both implementations).  Large
+        # request-for-bid fan-outs can then sample all their latencies in
+        # one C-level call instead of 2*num_peers Python-loop iterations —
+        # the single largest RNG cost at paper scale.  When NumPy is
+        # unavailable every draw falls back to `self._rng`; either way all
+        # draws come from one stream, so traces are identical.
+        self._np_sample = None
+        if _np is not None:
+            internal = self._rng.getstate()[1]
+            state = _np.random.RandomState()
+            state.set_state(
+                ("MT19937", _np.array(internal[:-1], dtype=_np.uint64), internal[-1])
+            )
+            self._np_sample = state.random_sample
         self._messages_sent = 0
 
     @property
@@ -79,7 +107,13 @@ class Network:
         exchanges can account for it synchronously.
         """
         self._messages_sent += 1
-        delay = self._latency.sample(self._rng)
+        latency = self._latency
+        if self._np_sample is None or latency.jitter_ms == 0:
+            delay = latency.sample(self._rng)
+        else:
+            # Same draw, same arithmetic as `sample`, from the NumPy-side
+            # stream (the only stream once NumPy is in play).
+            delay = latency.base_ms + latency.jitter_ms * float(self._np_sample())
         self._sim.schedule(delay, deliver)
         return delay
 
@@ -99,14 +133,40 @@ class Network:
         jitter = latency.jitter_ms
         if jitter == 0:
             return base + base
-        # Unrolled equivalent of max((sample + sample) for each peer): the
-        # draw order and the per-pair summation order are preserved
-        # exactly, so traces stay byte-identical to the pre-optimisation
-        # implementation while skipping 2*num_peers method dispatches.
-        uniform = self._rng.uniform
-        worst = (base + uniform(0.0, jitter)) + (base + uniform(0.0, jitter))
+        sample = self._np_sample
+        if sample is not None and num_peers >= 8:
+            # Bulk path: one C-level call for all 2*num_peers draws, then
+            # vectorised per-pair sums.  Element-wise IEEE arithmetic and
+            # `max` are bit-identical to the scalar loop below, and the
+            # draws land in the same order (peer i's two legs are entries
+            # 2i and 2i+1), so traces do not move.
+            legs = base + jitter * sample(2 * num_peers)
+            trips = legs[0::2] + legs[1::2]
+            return float(trips.max())
+        # Scalar path (small fan-outs, or no NumPy): unrolled equivalent
+        # of max((sample + sample) for each peer).  ``jitter * random()``
+        # is bit-identical to ``uniform(0.0, jitter)`` (which computes
+        # ``0.0 + (jitter - 0.0) * random()``) and consumes exactly one
+        # Mersenne draw either way, so the draw order, the per-pair
+        # summation order and every result bit are preserved — while
+        # replacing 2*num_peers Python-level ``uniform`` frames with
+        # direct C ``random()`` calls.
+        if sample is not None:
+            # Stay on the NumPy-side stream (it is the only stream).
+            worst = (base + jitter * float(sample())) + (
+                base + jitter * float(sample())
+            )
+            for __ in range(num_peers - 1):
+                trip = (base + jitter * float(sample())) + (
+                    base + jitter * float(sample())
+                )
+                if trip > worst:
+                    worst = trip
+            return worst
+        rnd = self._rng.random
+        worst = (base + jitter * rnd()) + (base + jitter * rnd())
         for __ in range(num_peers - 1):
-            trip = (base + uniform(0.0, jitter)) + (base + uniform(0.0, jitter))
+            trip = (base + jitter * rnd()) + (base + jitter * rnd())
             if trip > worst:
                 worst = trip
         return worst

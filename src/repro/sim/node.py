@@ -30,7 +30,16 @@ from .engine import Simulator
 __all__ = [
     "ExecutionRecord",
     "SimulatedNode",
+    "OUTAGE_EPOCH",
 ]
+
+#: Process-wide count of :meth:`SimulatedNode.schedule_outage` calls.
+#: Availability caches (see ``AllocationContext.available_candidates``) key
+#: on it: while it is unchanged and no node of a federation has outages,
+#: the per-class candidate tuple can be reused verbatim instead of being
+#: re-filtered for every arriving query.  A one-element list so readers
+#: can hold the cell itself rather than re-importing the module.
+OUTAGE_EPOCH: List[int] = [0]
 
 
 @dataclass(frozen=True)
@@ -125,6 +134,12 @@ class SimulatedNode:
         if start_ms < 0:
             raise ValueError("outage start must be non-negative")
         self._outages.append((start_ms, end_ms))
+        OUTAGE_EPOCH[0] += 1
+
+    @property
+    def has_outages(self) -> bool:
+        """True iff any outage was ever scheduled on this node."""
+        return bool(self._outages)
 
     def is_available(self, now_ms: Optional[float] = None) -> bool:
         """True iff the node accepts new work at ``now_ms`` (default: now)."""
@@ -235,5 +250,5 @@ class SimulatedNode:
         self._history.append(record)
         heapq.heappush(self._open_finishes, finish)
         if on_complete is not None:
-            self._sim.schedule_at(finish, lambda: on_complete(query, record))
+            self._sim.schedule_at(finish, on_complete, query, record)
         return record

@@ -8,8 +8,10 @@ from repro import cli
 from repro.bench import (
     BENCH_SCHEMA_VERSION,
     KERNELS,
+    Measurement,
     bench_payload,
     compare_payloads,
+    find_regressions,
     measure,
     render_results,
     run_benchmarks,
@@ -120,6 +122,42 @@ class TestHarness:
         with pytest.raises(ValueError):
             compare_payloads(good, bad)
 
+    def test_find_regressions_flags_only_kernels_over_threshold(self):
+        def entry(ns):
+            return {"description": "", "ns_per_op": ns, "ops_per_s": 1e9 / ns}
+
+        def measurement(name, ns):
+            return Measurement(
+                name=name, description="", ns_per_op=ns, repeat=1, inner_loops=1
+            )
+
+        baseline = {
+            "schema_version": BENCH_SCHEMA_VERSION,
+            "kind": "bench",
+            "kernels": {
+                "fast": entry(100.0),
+                "slow": entry(100.0),
+                "gone": entry(100.0),
+            },
+        }
+        results = {
+            "fast": measurement("fast", 120.0),  # +20%: under threshold
+            "slow": measurement("slow", 200.0),  # +100%: regression
+            "new": measurement("new", 50.0),  # no baseline: ignored
+        }
+        regressions = find_regressions(baseline, results, threshold_pct=50.0)
+        assert set(regressions) == {"slow"}
+        assert regressions["slow"] == pytest.approx(100.0)
+
+    def test_find_regressions_rejects_negative_threshold(self):
+        baseline = {
+            "schema_version": BENCH_SCHEMA_VERSION,
+            "kind": "bench",
+            "kernels": {},
+        }
+        with pytest.raises(ValueError):
+            find_regressions(baseline, {}, threshold_pct=-1.0)
+
     def test_render_results_table(self):
         results = run_benchmarks(
             name_filter="vector.arith", repeat=1
@@ -179,6 +217,60 @@ class TestCli:
         )
         assert rc == 2
         assert "cannot read baseline" in capsys.readouterr().err
+
+    def test_fail_above_requires_baseline(self, capsys):
+        rc = cli.main(
+            ["bench", "--filter", "vector.arith", "--repeat", "1",
+             "--fail-above", "50"]
+        )
+        assert rc == 2
+        assert "--fail-above requires --baseline" in capsys.readouterr().err
+
+    @staticmethod
+    def _baseline_artifact(tmp_path, ns_per_op):
+        payload = {
+            "schema_version": BENCH_SCHEMA_VERSION,
+            "kind": "bench",
+            "kernels": {
+                "vector.arith": {
+                    "description": "",
+                    "ns_per_op": ns_per_op,
+                    "ops_per_s": 1e9 / ns_per_op,
+                }
+            },
+        }
+        path = tmp_path / "BENCH_gate.json"
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_fail_above_passes_against_slow_baseline(self, tmp_path, capsys):
+        baseline = self._baseline_artifact(tmp_path, ns_per_op=1e12)
+        rc = cli.main(
+            ["bench", "--filter", "vector.arith", "--repeat", "1",
+             "--baseline", baseline, "--fail-above", "50"]
+        )
+        assert rc == 0
+        assert "OK: no kernel regressed" in capsys.readouterr().out
+
+    def test_fail_above_trips_against_fast_baseline(self, tmp_path, capsys):
+        baseline = self._baseline_artifact(tmp_path, ns_per_op=1e-3)
+        rc = cli.main(
+            ["bench", "--filter", "vector.arith", "--repeat", "1",
+             "--baseline", baseline, "--fail-above", "50"]
+        )
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "FAIL: 1 kernel(s) regressed" in err
+        assert "vector.arith" in err
+
+    def test_fail_above_rejects_negative_threshold(self, tmp_path, capsys):
+        baseline = self._baseline_artifact(tmp_path, ns_per_op=1e12)
+        rc = cli.main(
+            ["bench", "--filter", "vector.arith", "--repeat", "1",
+             "--baseline", baseline, "--fail-above", "-5"]
+        )
+        assert rc == 2
+        assert "non-negative" in capsys.readouterr().err
 
     def test_write_artifact_rejects_path_label(self, tmp_path):
         with pytest.raises(ValueError, match="file-name fragment"):

@@ -167,6 +167,54 @@ class TestBoundedRuns:
     def test_step_returns_false_when_empty(self):
         assert not Simulator().step()
 
+    def test_cancelled_head_cannot_fire_event_past_until(self):
+        # Regression: a cancelled entry at the heap front inside the
+        # window used to slip past the bound check, letting the *next*
+        # live event fire even when it lay beyond until_ms.
+        sim = Simulator()
+        fired = []
+        inside = sim.schedule(5.0, lambda: fired.append("inside"))
+        sim.schedule(20.0, lambda: fired.append("outside"))
+        inside.cancel()
+        sim.run(until_ms=10.0)
+        assert fired == []
+        assert sim.now == 10.0
+        sim.run()
+        assert fired == ["outside"]
+        assert sim.now == 20.0
+
+    def test_cancelled_head_does_not_consume_max_events_budget(self):
+        sim = Simulator()
+        fired = []
+        stale = sim.schedule(1.0, lambda: fired.append("stale"))
+        sim.schedule(2.0, lambda: fired.append("live"))
+        stale.cancel()
+        sim.run(max_events=1)
+        assert fired == ["live"]
+
+    def test_max_events_leaves_clock_at_last_executed_event(self):
+        # Documented contract: exhausting max_events with due events still
+        # pending must NOT advance the clock to until_ms — the clock stays
+        # at the last executed event so a later run() resumes seamlessly.
+        sim = Simulator()
+        fired = []
+        for i in range(4):
+            sim.schedule(float(i + 1), lambda i=i: fired.append(i))
+        sim.run(until_ms=10.0, max_events=2)
+        assert fired == [0, 1]
+        assert sim.now == 2.0
+        sim.run(until_ms=10.0)
+        assert fired == [0, 1, 2, 3]
+        assert sim.now == 10.0
+
+    def test_until_reached_with_max_events_to_spare_advances_clock(self):
+        # The flip side: when every due event fired within budget, a
+        # time-bounded run still ends at its bound.
+        sim = Simulator()
+        sim.schedule(3.0, lambda: None)
+        sim.run(until_ms=10.0, max_events=5)
+        assert sim.now == 10.0
+
 
 class TestRecurrence:
     def test_every_fires_periodically(self):

@@ -1,0 +1,94 @@
+"""Property test: heap compaction under interleaved schedule/cancel/step.
+
+The simulator lazily discards cancelled heap entries and compacts the
+heap once stale entries outnumber live ones.  This drives the engine
+through arbitrary interleavings of scheduling, cancellation (including
+mass cancellation, which is what triggers compaction) and stepping, and
+checks the bookkeeping invariants the rest of the simulator relies on:
+
+* ``pending_events`` always equals the number of scheduled-but-unfired,
+  uncancelled events;
+* ``heap_size`` never undercounts them (stale entries may pad it);
+* cancelled events never fire, and live events fire exactly once, in
+  (time, seq) FIFO order;
+* a final unbounded ``run()`` drains everything.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Simulator
+
+# An operation stream: each element either schedules a new event with the
+# given delay, cancels a previously scheduled one (index modulo the number
+# of handles so far), or steps the simulator once.
+ops = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("schedule"),
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        ),
+        st.tuples(st.just("cancel"), st.integers(min_value=0, max_value=10_000)),
+        st.tuples(st.just("step"), st.just(0)),
+    ),
+    min_size=1,
+    max_size=200,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(ops)
+def test_compaction_keeps_bookkeeping_and_fire_order_consistent(stream):
+    sim = Simulator()
+    handles = []  # handles[tag] — the list index doubles as the event tag
+    fired = []
+
+    for op, value in stream:
+        if op == "schedule":
+            handles.append(sim.schedule(value, fired.append, len(handles)))
+        elif op == "cancel" and handles:
+            handles[value % len(handles)].cancel()
+        elif op == "step":
+            sim.step()
+        # Invariants hold after *every* operation, not just at the end.
+        live = sum(1 for h in handles if not h.cancelled and not h.fired)
+        assert sim.pending_events == live
+        assert sim.heap_size >= live
+
+    sim.run()
+    assert sim.pending_events == 0
+    assert sim.heap_size == 0
+
+    # Cancelled events never fire; live ones fire exactly once.
+    cancelled_tags = {tag for tag, h in enumerate(handles) if h.cancelled}
+    expected_tags = [tag for tag, h in enumerate(handles) if not h.cancelled]
+    assert set(fired).isdisjoint(cancelled_tags)
+    assert sorted(fired) == sorted(expected_tags)
+
+    # Fire order respects (time, seq): among fired events, times are
+    # non-decreasing, and equal times fire in scheduling (seq) order.
+    keys = [(handles[tag].time, handles[tag].seq) for tag in fired]
+    assert keys == sorted(keys)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.integers(min_value=65, max_value=400),
+    st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+)
+def test_mass_cancellation_compacts_and_survivors_fire(count, survivor_delay):
+    # The compaction trigger needs > max(64, live) stale entries: cancel
+    # a large block at once and check the physical heap shrinks while the
+    # survivors still fire in order.
+    sim = Simulator()
+    doomed = [sim.schedule(float(i % 50), lambda: None) for i in range(count)]
+    fired = []
+    sim.schedule(survivor_delay, fired.append, "a")
+    sim.schedule(survivor_delay, fired.append, "b")
+    for handle in doomed:
+        handle.cancel()
+    assert sim.pending_events == 2
+    assert sim.heap_size < count + 2  # compaction dropped stale entries
+    sim.run()
+    assert fired == ["a", "b"]
+    assert sim.heap_size == 0

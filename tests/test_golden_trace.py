@@ -14,13 +14,21 @@ point arithmetic or consumed RNG draws differently — a correctness bug,
 not a tolerance issue.
 """
 
+import hashlib
 import json
 import pathlib
 
 import pytest
 
+from repro.allocation import GreedyAllocator, QantAllocator
 from repro.experiments.runner import _json_safe, run_sweep
+from repro.experiments.setups import (
+    run_mechanism,
+    sinusoid_trace_for_load,
+    two_query_world,
+)
 from repro.experiments.spec import REGISTRY
+from repro.sim import FederationConfig
 
 GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
 
@@ -33,6 +41,76 @@ def _serialize(name: str) -> str:
     )
 
 
+def _outcome_digest(outcomes) -> str:
+    """SHA-256 over every field of every outcome, in completion order.
+
+    ``%r`` of a float is its shortest round-trip repr, so two runs hash
+    equal iff every recorded bit is equal — a far stronger pin than the
+    summary means alone.
+    """
+    digest = hashlib.sha256()
+    for o in outcomes:
+        digest.update(
+            (
+                "%d,%d,%d,%r,%r,%d,%r,%r,%d;"
+                % (
+                    o.qid,
+                    o.class_index,
+                    o.origin_node,
+                    o.arrival_ms,
+                    o.assigned_ms,
+                    o.node_id,
+                    o.start_ms,
+                    o.finish_ms,
+                    o.resubmissions,
+                )
+            ).encode()
+        )
+    return digest.hexdigest()
+
+
+def paper_short_payload() -> str:
+    """The 100-node short-horizon golden payload (fig5a's 1.5x-load cell).
+
+    Seed plumbing matches ``fig5a_cell("qa-nt"/"greedy", 1.5, 0, 0,
+    num_nodes=100)`` exactly (world seed 0, trace seed 10, federation
+    seed 2) with the horizon cut to 2 s so the trace stays test-sized.
+    Every per-query record is pinned via :func:`_outcome_digest`.
+    """
+    world = two_query_world(num_nodes=100, seed=0)
+    trace = sinusoid_trace_for_load(
+        world,
+        load_fraction=1.5,
+        horizon_ms=2_000.0,
+        frequency_hz=0.05,
+        seed=10,
+    )
+    payload = {}
+    for mechanism, factory in (
+        ("qa-nt", QantAllocator),
+        ("greedy", GreedyAllocator),
+    ):
+        run = run_mechanism(
+            world, trace, mechanism, factory, FederationConfig(seed=2)
+        )
+        metrics = run.metrics
+        payload[mechanism] = {
+            "completed": metrics.completed,
+            "dropped": metrics.dropped,
+            "messages": run.messages,
+            "mean_response_ms": metrics.mean_response_ms(),
+            "mean_assign_ms": metrics.mean_assign_ms(),
+            "mean_resubmissions": metrics.mean_resubmissions(),
+            "p95_response_ms": metrics.percentile_response_ms(0.95),
+            "last_finish_ms": metrics.last_finish_ms(),
+            "executed_per_period": metrics.executed_per_period(
+                500.0, 2_000.0
+            ),
+            "outcome_digest": _outcome_digest(metrics.outcomes),
+        }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
 def _golden(name: str) -> str:
     return (GOLDEN_DIR / name).read_text()
 
@@ -40,6 +118,12 @@ def _golden(name: str) -> str:
 def test_fig4_small_seed0_matches_golden():
     """All six mechanisms on the fig4 sweep reproduce the stored trace."""
     assert _serialize("fig4") == _golden("fig4_small_seed0.json")
+
+
+def test_fig5a_paper_short_matches_golden():
+    """The 100-node short-horizon qa-nt/greedy pair (the PR 3 bidding-path
+    optimisation target) reproduces the stored per-query digests."""
+    assert paper_short_payload() == _golden("fig5a_paper_short_seed0.json")
 
 
 @pytest.mark.slow
