@@ -31,6 +31,7 @@ from ..query.model import Query, QueryClass
 
 if TYPE_CHECKING:  # imported lazily to avoid a package-level cycle
     from ..sim.engine import Simulator
+    from ..sim.faults import FaultInjector
     from ..sim.network import Network
     from ..sim.node import SimulatedNode
 
@@ -54,6 +55,10 @@ class AllocationContext:
     candidates_by_class: Dict[int, Tuple[int, ...]]
     period_ms: float
     rng: random.Random
+    #: Fault injector when *message-level* faults are active; ``None``
+    #: otherwise, in which case every allocator follows exactly its
+    #: fault-free code path (and RNG draw sequence).
+    faults: Optional["FaultInjector"] = None
 
     def __post_init__(self) -> None:
         # Availability fast path: while no node of this federation has an
@@ -171,3 +176,40 @@ class Allocator(abc.ABC):
         """
         delay = self.context.network.round_trip_ms(len(candidates))
         return delay, 2 * len(candidates)
+
+    def _faulty_probe_all(
+        self, origin: int, candidates: Sequence[int]
+    ) -> Tuple[float, int, Tuple[int, ...]]:
+        """Fault-aware counterpart of :meth:`_probe_all`.
+
+        Only valid while the context carries a fault injector.  Returns
+        ``(delay_ms, messages, replied)`` — the peers whose reply beat the
+        bid timeout are the only ones the client may choose from.
+        """
+        delay, messages, _delivered, replied = (
+            self.context.network.faulty_fanout(origin, candidates)
+        )
+        return delay, messages, replied
+
+    def _faulty_dispatch(
+        self, origin: int, node_id: int, extra_delay_ms: float = 0.0,
+        extra_messages: int = 0,
+    ) -> "AssignmentDecision":
+        """Send the query to one already-chosen server over a faulty wire.
+
+        Used by the single-target mechanisms (random, round-robin, markov)
+        and for the dispatch leg of the centralised ones: when the
+        request or its ack is lost, late, or partitioned away, the client
+        cannot confirm the assignment — the decision becomes a refusal
+        and the federation's backoff machinery paces the resubmission.
+        """
+        delay, messages, _delivered, replied = (
+            self.context.network.faulty_fanout(origin, (node_id,))
+        )
+        delay += extra_delay_ms
+        messages += extra_messages
+        if not replied:
+            return AssignmentDecision(
+                node_id=None, delay_ms=delay, messages=messages
+            )
+        return AssignmentDecision(node_id, delay_ms=delay, messages=messages)

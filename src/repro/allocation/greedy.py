@@ -40,7 +40,20 @@ class GreedyAllocator(Allocator):
         candidates = self.context.available_candidates(query.class_index)
         if not candidates:
             return AssignmentDecision(node_id=None)
-        delay, messages = self._probe_all(candidates)
+        if self.context.faults is not None:
+            # Under message faults the probe round honours the bid
+            # timeout: only nodes whose estimate actually came back can be
+            # chosen; total silence is a refusal the client backs off on.
+            delay, messages, replied = self._faulty_probe_all(
+                query.origin_node, candidates
+            )
+            if not replied:
+                return AssignmentDecision(
+                    node_id=None, delay_ms=delay, messages=messages
+                )
+            candidates = replied
+        else:
+            delay, messages = self._probe_all(candidates)
         nodes = self.context.nodes
         completions = [
             (nodes[nid].estimated_completion_ms(query.class_index), nid)

@@ -116,6 +116,10 @@ class QantAllocator(Allocator):
         #: next period tick, before any period stats are computed).
         self._saturated_in: Dict[int, int] = {}
         self._deferred_refusals: Dict[int, int] = {}
+        #: Per class, the nodes that offered on the last successful
+        #: exchange — the stale cache graceful degradation falls back to
+        #: when a faulted fan-out yields total silence (fault runs only).
+        self._last_good: Dict[int, Tuple[int, ...]] = {}
 
     @property
     def agents(self) -> Dict[int, QantPricingAgent]:
@@ -243,6 +247,8 @@ class QantAllocator(Allocator):
     def assign(self, query: Query) -> AssignmentDecision:
         class_index = query.class_index
         context = self.context
+        if context.faults is not None:
+            return self._assign_faulty(query)
         candidates = context.available_candidates(class_index)
         if not candidates:
             return AssignmentDecision(node_id=None)
@@ -369,6 +375,66 @@ class QantAllocator(Allocator):
         if agent is not None and agent.supply_left(class_index) >= 1:
             agent.accept(class_index)
         return AssignmentDecision(chosen, delay_ms=delay, messages=messages)
+
+    def _assign_faulty(self, query: Query) -> AssignmentDecision:
+        """The request-for-bid exchange under message-level faults.
+
+        Requests and replies travel through
+        :meth:`repro.sim.network.Network.faulty_fanout`, which models the
+        bid timeout: a server whose *request* arrived runs its full quote
+        dynamics (prices move even when the client never hears back — the
+        stale-price regime partitioned markets exhibit), but only servers
+        whose *reply* beat the timeout can win.  On total silence the
+        client degrades gracefully: it falls back to the reachable subset
+        of the last nodes known to offer for this class rather than
+        stalling, counting the assignment as degraded.
+        """
+        class_index = query.class_index
+        context = self.context
+        faults = context.faults
+        candidates = context.available_candidates(class_index)
+        if not candidates:
+            return AssignmentDecision(node_id=None)
+        delay, messages, delivered, replied = context.network.faulty_fanout(
+            query.origin_node, candidates
+        )
+        threshold = self._activation_threshold
+        agents = self._agents
+        offered = set()
+        for nid in delivered:
+            agent = agents.get(nid)
+            if agent is None or agent.quote(class_index, threshold):
+                offered.add(nid)
+        offers = [nid for nid in replied if nid in offered]
+        if offers and self._max_offer_premium is not None:
+            offers = self._filter_premium(offers, candidates, class_index)
+        if offers:
+            chosen = self._best_offer(offers, class_index)
+            self._last_good[class_index] = tuple(offers)
+            agent = agents.get(chosen)
+            if agent is not None and agent.supply_left(class_index) >= 1:
+                agent.accept(class_index)
+            return AssignmentDecision(chosen, delay_ms=delay, messages=messages)
+        if not replied:
+            # Total silence (every reply lost, late, or partitioned away):
+            # fall back to the stale cache instead of stalling.
+            cached = self._last_good.get(class_index, ())
+            live = set(candidates)
+            reachable = faults.reachable(
+                query.origin_node,
+                [nid for nid in cached if nid in live],
+                context.simulator.now,
+            )
+            if reachable:
+                chosen = self._best_offer(reachable, class_index)
+                faults.note_degraded()
+                agent = agents.get(chosen)
+                if agent is not None and agent.supply_left(class_index) >= 1:
+                    agent.accept(class_index)
+                return AssignmentDecision(
+                    chosen, delay_ms=delay, messages=messages
+                )
+        return AssignmentDecision(node_id=None, delay_ms=delay, messages=messages)
 
     # -- internals ------------------------------------------------------------------
 

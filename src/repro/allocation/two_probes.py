@@ -34,7 +34,17 @@ class TwoRandomProbesAllocator(Allocator):
             probes = pool
         else:
             probes = rng.sample(pool, 2)
-        delay, messages = self._probe_all(probes)
+        if self.context.faults is not None:
+            delay, messages, replied = self._faulty_probe_all(
+                query.origin_node, probes
+            )
+            if not replied:
+                return AssignmentDecision(
+                    node_id=None, delay_ms=delay, messages=messages
+                )
+            probes = list(replied)
+        else:
+            delay, messages = self._probe_all(probes)
         nodes = self.context.nodes
         # Probes return a queue-length count — cheap to serve, but blind
         # to how expensive the queued work (or this query) is on the

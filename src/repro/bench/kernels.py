@@ -220,6 +220,55 @@ def _setup_e2e_federation_sweep() -> Callable[[], object]:
 
 
 @register_kernel(
+    "fed.fig5a_chaos_short",
+    "Fig5a-style cell pair under active faults (5% drops, spikes, "
+    "half-partition, 2/min churn) on a 20-node world, 2 s horizon",
+)
+def _setup_fed_fig5a_chaos_short() -> Callable[[], object]:
+    from ..allocation import GreedyAllocator, QantAllocator
+    from ..experiments.setups import (
+        run_mechanism,
+        sinusoid_trace_for_load,
+        two_query_world,
+    )
+    from ..sim import FederationConfig
+    from ..sim.faults import FaultSpec, half_partition
+
+    world = two_query_world(num_nodes=20, seed=0)
+    trace = sinusoid_trace_for_load(
+        world,
+        load_fraction=1.5,
+        horizon_ms=2_000.0,
+        frequency_hz=0.05,
+        seed=10,
+    )
+    spec = FaultSpec(
+        drop_probability=0.05,
+        spike_probability=0.05,
+        partitions=(
+            half_partition(world.placement.node_ids, 800.0, 1_200.0),
+        ),
+        crash_rate_per_min=2.0,
+        fault_seed=7,
+    )
+    pair = (("qa-nt", QantAllocator), ("greedy", GreedyAllocator))
+
+    def run_once():
+        return [
+            run_mechanism(
+                world,
+                trace,
+                name,
+                factory,
+                FederationConfig(seed=2, faults=spec),
+            ).metrics_dict()
+            for name, factory in pair
+        ]
+
+    return run_once
+
+
+@register_kernel(
     "fed.fig5a_paper_short",
     "Paper-scale fig5a cell pair: qa-nt + greedy on a 100-node world, "
     "1.5x load sinusoid, 2 s horizon (the PR 3 optimisation target)",

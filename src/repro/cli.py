@@ -105,13 +105,19 @@ def _run_one(
     jobs: int,
     as_json: bool,
     out_dir: str,
+    fault_seed: Optional[int] = None,
 ) -> None:
     """Run one registered experiment and print/persist its results."""
     spec: ScenarioSpec = REGISTRY.get(name)
     started = time.time()
     if spec.sweepable:
         result = run_sweep(
-            spec, scale=scale, seeds=seeds, jobs=jobs, progress=_sweep_progress(name)
+            spec,
+            scale=scale,
+            seeds=seeds,
+            jobs=jobs,
+            progress=_sweep_progress(name),
+            fault_seed=fault_seed if spec.fault_aware else None,
         )
         rendered = result.render()
         payload = result.to_dict()
@@ -244,6 +250,14 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--seed", type=int, default=0, help="base random seed")
     run.add_argument(
+        "--fault-seed",
+        type=int,
+        default=None,
+        metavar="N",
+        help="base seed of the fault streams of fault-aware experiments "
+        "(e.g. chaos); independent of --seed, default 0",
+    )
+    run.add_argument(
         "--seeds",
         type=int,
         default=1,
@@ -363,8 +377,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 2
     seeds = replicate_seeds(args.seed, args.seeds)
     names = REGISTRY.names() if args.experiment == "all" else [args.experiment]
+    if args.fault_seed is not None and args.experiment != "all":
+        if not REGISTRY.get(args.experiment).fault_aware:
+            print(
+                "--fault-seed only applies to fault-aware experiments",
+                file=sys.stderr,
+            )
+            return 2
     for name in names:
-        _run_one(name, args.scale, seeds, args.jobs, args.json, args.out)
+        _run_one(
+            name,
+            args.scale,
+            seeds,
+            args.jobs,
+            args.json,
+            args.out,
+            fault_seed=args.fault_seed,
+        )
     return 0
 
 

@@ -11,6 +11,7 @@ from .ablations import (
     run_rounding_ablation,
     run_static_markov,
 )
+from .chaos import CHAOS_GRID, chaos_cell
 from .failures import FailureResult, run_failures
 from .runner import (
     CellResult,
@@ -59,8 +60,10 @@ from .table2 import Table2Result, run_table2
 from .table3 import Table3Result, run_table3
 
 __all__ = [
+    "CHAOS_GRID",
     "CellResult",
     "ExperimentRegistry",
+    "chaos_cell",
     "FailureResult",
     "Fig1Result",
     "MetricStats",

@@ -19,6 +19,8 @@ from typing import Callable, Dict, Optional, Tuple
 
 from ..allocation import Allocator, GreedyAllocator, QantAllocator
 from ..sim import FederationConfig, build_federation
+from ..sim.faults import FaultSpec
+from ..sim.metrics import recovery_time_ms
 from ..workload import PoissonArrivals, build_trace
 from .reporting import format_table
 from .setups import World, two_query_world
@@ -54,6 +56,7 @@ class FailureResult:
                 phase["during"],
                 phase["after"],
                 self.degradation(mechanism),
+                phase.get("recovery_ms", math.nan),
             )
             for mechanism, phase in sorted(self.phases.items())
         ]
@@ -64,6 +67,7 @@ class FailureResult:
                 "during outage (ms)",
                 "after (ms)",
                 "degradation",
+                "recovery (ms)",
             ),
             rows,
         )
@@ -93,7 +97,15 @@ def _failure_phases(
     outage_window_ms: Tuple[float, float],
     seed: int,
 ) -> Dict[str, float]:
-    """Run one mechanism under the outage schedule; mean response per phase."""
+    """Run one mechanism under the outage schedule; mean response per phase.
+
+    The outage window is expressed as a scripted :class:`FaultSpec` and
+    driven through the fault scheduler — the same fail/drain semantics the
+    old ad-hoc per-node toggling had, now sharing the chaos experiments'
+    machinery.  A node-fault-only spec leaves the network and allocator
+    message paths untouched, so results match the pre-fault-layer runs
+    exactly.
+    """
     start_ms, end_ms = outage_window_ms
     federation = build_federation(
         world.specs,
@@ -101,12 +113,20 @@ def _failure_phases(
         world.classes,
         world.cost_model,
         factory(),
-        FederationConfig(seed=seed + 2, drain_ms=120_000.0),
+        FederationConfig(
+            seed=seed + 2,
+            drain_ms=120_000.0,
+            faults=FaultSpec(
+                scripted_outages={nid: ((start_ms, end_ms),) for nid in failed}
+            ),
+        ),
     )
-    for nid in failed:
-        federation.nodes[nid].schedule_outage(start_ms, end_ms)
     metrics = federation.run(trace)
-    return _phase_means(metrics, start_ms, end_ms)
+    phases = _phase_means(metrics, start_ms, end_ms)
+    phases["recovery_ms"] = recovery_time_ms(
+        metrics, baseline_ms=phases["before"], from_ms=end_ms
+    )
+    return phases
 
 
 def failures_cell(
@@ -143,6 +163,7 @@ def failures_cell(
         "during_ms": phases["during"],
         "after_ms": phases["after"],
         "degradation": phases["during"] / phases["before"],
+        "recovery_ms": phases["recovery_ms"],
     }
 
 

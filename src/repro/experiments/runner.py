@@ -123,10 +123,22 @@ class CellResult:
 
 
 def _execute_cell(payload) -> CellResult:
-    """Run one cell (top-level so process pools can pickle it)."""
-    cell_fn, cell, fixed = payload
+    """Run one cell (top-level so process pools can pickle it).
+
+    ``extra`` carries per-cell keyword arguments derived in the parent
+    process (currently the fault-aware scenarios' ``fault_seed``), so
+    worker processes never re-derive anything.
+    """
+    cell_fn, cell, fixed, extra = payload
     metrics = dict(
-        cell_fn(cell.mechanism, cell.point, cell.point_index, cell.seed, **fixed)
+        cell_fn(
+            cell.mechanism,
+            cell.point,
+            cell.point_index,
+            cell.seed,
+            **fixed,
+            **extra,
+        )
     )
     return CellResult(cell=cell, metrics=metrics)
 
@@ -169,6 +181,10 @@ class SweepResult:
     primary_metric: str
     cells: Tuple[CellResult, ...]
     ratio_of: Optional[Tuple[str, str]] = None
+    #: Sweep-level fault seed (fault-aware scenarios only).  ``None`` for
+    #: fault-free sweeps — and then omitted from the JSON payload, so
+    #: pre-existing artifacts stay byte-identical.
+    fault_seed: Optional[int] = None
 
     # -- lookups -----------------------------------------------------------
 
@@ -307,6 +323,8 @@ class SweepResult:
             ],
             "summary": summary,
         }
+        if self.fault_seed is not None:
+            payload["fault_seed"] = self.fault_seed
         if self.ratio_of is not None:
             payload["ratio_summary"] = [
                 {
@@ -354,6 +372,7 @@ class SweepResult:
             primary_metric=payload["primary_metric"],
             cells=cells,
             ratio_of=tuple(ratio_of) if ratio_of else None,
+            fault_seed=payload.get("fault_seed"),
         )
 
 
@@ -372,6 +391,7 @@ def run_sweep(
     seeds: Sequence[int] = (0,),
     jobs: int = 1,
     progress: Optional[Callable[[int, int, CellResult], None]] = None,
+    fault_seed: Optional[int] = None,
 ) -> SweepResult:
     """Expand ``spec`` at ``scale`` and execute every cell.
 
@@ -379,15 +399,42 @@ def run_sweep(
     collected in grid order either way, so the aggregate is byte-identical
     to a serial run.  ``progress(done, total, cell_result)`` is invoked
     after each cell completes.
+
+    ``fault_seed`` seeds the fault streams of fault-aware scenarios
+    (default 0): each cell receives a sha-derived per-cell child of it —
+    derived here, in the parent process — so fault schedules are
+    reproducible independently of the workload ``seeds`` and identical
+    across serial and parallel executions.  Fault-free scenarios reject a
+    fault seed to catch mistargeted invocations.
     """
     if jobs < 1:
         raise ValueError("jobs must be positive")
     seeds = tuple(int(s) for s in seeds)
     if not seeds:
         raise ValueError("need at least one seed")
+    if fault_seed is not None and not spec.fault_aware:
+        raise ValueError(
+            "scenario %r is not fault-aware; --fault-seed does not apply"
+            % spec.name
+        )
     cells = expand_cells(spec, scale, seeds)
     fixed = dict(spec.preset(scale).fixed)
-    payloads = [(spec.cell, cell, fixed) for cell in cells]
+    fault_base = None
+    if spec.fault_aware:
+        fault_base = 0 if fault_seed is None else int(fault_seed)
+    payloads = [
+        (
+            spec.cell,
+            cell,
+            fixed,
+            (
+                {"fault_seed": derive_cell_seed(fault_base, ("fault",) + cell.cell_key)}
+                if fault_base is not None
+                else {}
+            ),
+        )
+        for cell in cells
+    ]
     results: List[CellResult] = []
     if jobs > 1 and len(payloads) > 1:
         with ProcessPoolExecutor(max_workers=min(jobs, len(payloads))) as pool:
@@ -412,6 +459,7 @@ def run_sweep(
         primary_metric=spec.primary_metric,
         cells=tuple(results),
         ratio_of=spec.ratio_of,
+        fault_seed=fault_base,
     )
 
 

@@ -113,6 +113,12 @@ class ScenarioSpec:
     mechanisms: Tuple[str, ...] = ()
     primary_metric: str = "mean_response_ms"
     ratio_of: Optional[Tuple[str, str]] = None
+    #: Sweepable scenarios that inject faults set this; the runner then
+    #: derives a per-cell ``fault_seed`` keyword (from the sweep-level
+    #: fault seed) in the parent process, so fault streams are
+    #: reproducible independently of workload seeds and identical across
+    #: serial and ``--jobs N`` runs.
+    fault_aware: bool = False
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -134,6 +140,10 @@ class ScenarioSpec:
                         "sweepable scenario %r has no points at scale %r"
                         % (self.name, scale)
                     )
+        if self.fault_aware and self.cell is None:
+            raise ValueError(
+                "fault-aware scenario %r must be sweepable" % self.name
+            )
         if self.ratio_of is not None:
             for mechanism in self.ratio_of:
                 if mechanism not in self.mechanisms:

@@ -2,6 +2,13 @@
 
 from .capacity import system_capacity_qpms
 from .engine import EventHandle, Simulator
+from .faults import (
+    FaultInjector,
+    FaultSpec,
+    PartitionWindow,
+    derive_fault_seed,
+    half_partition,
+)
 from .federation import (
     DEFAULT_PERIOD_MS,
     FederationConfig,
@@ -9,7 +16,12 @@ from .federation import (
     build_federation,
     generate_machine_specs,
 )
-from .metrics import MetricsCollector, QueryOutcome, normalised_response_times
+from .metrics import (
+    MetricsCollector,
+    QueryOutcome,
+    normalised_response_times,
+    recovery_time_ms,
+)
 from .network import LatencyModel, Network
 from .node import ExecutionRecord, SimulatedNode
 
@@ -17,16 +29,22 @@ __all__ = [
     "DEFAULT_PERIOD_MS",
     "EventHandle",
     "ExecutionRecord",
+    "FaultInjector",
+    "FaultSpec",
     "FederationConfig",
     "FederationSimulation",
     "LatencyModel",
     "MetricsCollector",
     "Network",
+    "PartitionWindow",
     "QueryOutcome",
     "SimulatedNode",
     "Simulator",
     "build_federation",
+    "derive_fault_seed",
     "generate_machine_specs",
+    "half_partition",
     "normalised_response_times",
+    "recovery_time_ms",
     "system_capacity_qpms",
 ]

@@ -32,6 +32,7 @@ from ..query.cost import CostModel, MachineSpec
 from ..query.model import Query, QueryClass
 from ..workload.trace import WorkloadEvent
 from .engine import Simulator
+from .faults import FaultInjector, FaultSpec
 from .metrics import MetricsCollector, QueryOutcome
 from .network import LatencyModel, Network
 from .node import SimulatedNode
@@ -56,6 +57,10 @@ class FederationConfig:
     drain_ms: float = 60_000.0
     latency: LatencyModel = field(default_factory=LatencyModel)
     seed: int = 0
+    #: Optional fault schedule (see :mod:`repro.sim.faults`).  ``None``
+    #: or an inactive spec leaves every code path — and every RNG draw —
+    #: exactly as without the fault layer.
+    faults: Optional[FaultSpec] = None
 
     def __post_init__(self) -> None:
         if self.period_ms <= 0:
@@ -76,6 +81,7 @@ class FederationSimulation:
         simulator: Simulator,
         network: Network,
         config: FederationConfig,
+        faults: Optional[FaultInjector] = None,
     ):
         self._nodes = nodes
         self._classes = classes
@@ -87,6 +93,10 @@ class FederationSimulation:
         self._metrics = MetricsCollector()
         self._pending: List[Query] = []
         self._next_qid = 0
+        self._faults = faults
+        #: Queries waiting on a backoff-scheduled retry (fault runs only);
+        #: whatever is still here when the run ends counts as dropped.
+        self._backoff_pending: Dict[int, Query] = {}
         context = AllocationContext(
             simulator=simulator,
             network=network,
@@ -95,6 +105,7 @@ class FederationSimulation:
             candidates_by_class=candidates_by_class,
             period_ms=config.period_ms,
             rng=random.Random(config.seed + 1),
+            faults=faults if faults is not None and faults.message_faults else None,
         )
         allocator.bind(context)
 
@@ -128,7 +139,12 @@ class FederationSimulation:
     @property
     def pending_queries(self) -> int:
         """Queries currently refused and awaiting resubmission."""
-        return len(self._pending)
+        return len(self._pending) + len(self._backoff_pending)
+
+    @property
+    def fault_injector(self) -> Optional[FaultInjector]:
+        """The run's fault injector (None on fault-free runs)."""
+        return self._faults
 
     # -- driving ------------------------------------------------------------------
 
@@ -139,6 +155,11 @@ class FederationSimulation:
         horizon = max(e.time_ms for e in trace)
         end_of_run = horizon + self._config.drain_ms
 
+        faults = self._faults
+        if faults is not None and faults.spec.node_faults:
+            # Scripted outages and churn windows go through the node's
+            # existing fail/drain machinery before any event fires.
+            faults.install_node_faults(self._nodes, horizon)
         self._sim.every(
             self._config.period_ms,
             self._on_period_tick,
@@ -154,6 +175,17 @@ class FederationSimulation:
         self._sim.run(until_ms=end_of_run)
         for __ in self._pending:
             self._metrics.record_drop()
+        for __ in self._backoff_pending:
+            self._metrics.record_drop()
+        if faults is not None:
+            self._metrics.apply_fault_stats(
+                timeouts=faults.timeouts,
+                lost_messages=faults.lost_messages,
+                degraded_assignments=faults.degraded_assignments,
+                fault_retries=faults.backoff_retries,
+                crash_count=faults.crash_count,
+                partition_ms=faults.partition_ms(),
+            )
         return self._metrics
 
     # -- event handlers ---------------------------------------------------------------
@@ -181,6 +213,19 @@ class FederationSimulation:
     def _try_assign(self, query: Query) -> None:
         decision = self._allocator.assign(query)
         if decision.node_id is None:
+            faults = self._faults
+            if faults is not None and faults.message_faults:
+                # Under message faults a refusal (or total silence) is
+                # resubmitted through capped exponential backoff instead
+                # of the plain next-period retry — the client cannot tell
+                # a refusal from a lost reply, so it paces itself.
+                delay = decision.delay_ms + faults.backoff_ms(
+                    query.resubmissions
+                )
+                faults.note_backoff()
+                self._backoff_pending[query.qid] = query
+                self._sim.schedule(delay, self._retry, query)
+                return
             self._pending.append(query)
             return
         node = self._nodes[decision.node_id]
@@ -189,6 +234,12 @@ class FederationSimulation:
             self._sim.schedule(decision.delay_ms, self._enqueue, query, node)
         else:
             self._enqueue(query, node)
+
+    def _retry(self, query: Query) -> None:
+        """A backoff timer fired: resubmit the query (fault runs only)."""
+        self._backoff_pending.pop(query.qid, None)
+        query.resubmissions += 1
+        self._try_assign(query)
 
     def _enqueue(self, query: Query, node: SimulatedNode) -> None:
         """Commit an assigned query to its node; schedule the completion.
@@ -273,6 +324,14 @@ def build_federation(
         raise ValueError("one machine spec per placed node is required")
     simulator = Simulator()
     network = Network(simulator, latency=config.latency, seed=config.seed + 2)
+    injector: Optional[FaultInjector] = None
+    if config.faults is not None and config.faults.active:
+        injector = FaultInjector(config.faults)
+        if config.faults.message_faults:
+            # Message-level faults hook the network; pure node-fault specs
+            # (scripted outages, churn) leave the wire untouched so the
+            # message paths stay byte-identical to a fault-free run.
+            network.attach_faults(injector)
 
     candidates_by_class: Dict[int, Tuple[int, ...]] = {
         qc.index: tuple(sorted(qc.candidate_nodes(placement)))
@@ -302,4 +361,5 @@ def build_federation(
         simulator=simulator,
         network=network,
         config=config,
+        faults=injector,
     )

@@ -17,6 +17,7 @@ __all__ = [
     "QueryOutcome",
     "MetricsCollector",
     "normalised_response_times",
+    "recovery_time_ms",
 ]
 
 
@@ -65,6 +66,14 @@ class MetricsCollector:
         self._sum_assign_ms = 0.0
         self._sum_resubmissions = 0
         self._max_finish_ms = 0.0
+        # Fault-layer counters (all zero unless a fault injector ran; see
+        # repro.sim.faults).  Snapshotted once at the end of a faulted run.
+        self._timeouts = 0
+        self._lost_messages = 0
+        self._degraded_assignments = 0
+        self._fault_retries = 0
+        self._crash_count = 0
+        self._partition_ms = 0.0
 
     # -- recording ---------------------------------------------------------------
 
@@ -80,6 +89,28 @@ class MetricsCollector:
     def record_drop(self) -> None:
         """Record a query that never completed within the simulation."""
         self._dropped += 1
+
+    def apply_fault_stats(
+        self,
+        timeouts: int = 0,
+        lost_messages: int = 0,
+        degraded_assignments: int = 0,
+        fault_retries: int = 0,
+        crash_count: int = 0,
+        partition_ms: float = 0.0,
+    ) -> None:
+        """Snapshot the fault injector's counters into this collector.
+
+        Called once by the federation at the end of a faulted run, so the
+        fault metrics travel with the query metrics (and through the
+        sweep runner's flat cell dicts).
+        """
+        self._timeouts += int(timeouts)
+        self._lost_messages += int(lost_messages)
+        self._degraded_assignments += int(degraded_assignments)
+        self._fault_retries += int(fault_retries)
+        self._crash_count += int(crash_count)
+        self._partition_ms += float(partition_ms)
 
     # -- raw access ----------------------------------------------------------------
 
@@ -97,6 +128,49 @@ class MetricsCollector:
     def dropped(self) -> int:
         """Number of queries still unserved when the simulation ended."""
         return self._dropped
+
+    # -- fault metrics -------------------------------------------------------------
+
+    @property
+    def timeouts(self) -> int:
+        """Bid-reply timeouts clients experienced (fault runs only)."""
+        return self._timeouts
+
+    @property
+    def lost_messages(self) -> int:
+        """Messages lost to drops and partitions (fault runs only)."""
+        return self._lost_messages
+
+    @property
+    def degraded_assignments(self) -> int:
+        """Assignments made from stale cached info under total silence."""
+        return self._degraded_assignments
+
+    @property
+    def fault_retries(self) -> int:
+        """Resubmissions scheduled through the backoff policy."""
+        return self._fault_retries
+
+    @property
+    def crash_count(self) -> int:
+        """Churn-induced node crashes injected during the run."""
+        return self._crash_count
+
+    @property
+    def partition_ms(self) -> float:
+        """Total time during which any network partition was active."""
+        return self._partition_ms
+
+    def fault_summary(self) -> Dict[str, float]:
+        """The fault counters as one flat mapping (sweep-cell currency)."""
+        return {
+            "timeouts": float(self._timeouts),
+            "lost_messages": float(self._lost_messages),
+            "degraded_assignments": float(self._degraded_assignments),
+            "fault_retries": float(self._fault_retries),
+            "crash_count": float(self._crash_count),
+            "partition_ms": self._partition_ms,
+        }
 
     # -- headline metrics -------------------------------------------------------------
 
@@ -186,3 +260,40 @@ def normalised_response_times(
         name: collector.mean_response_ms() / reference
         for name, collector in collectors.items()
     }
+
+
+def recovery_time_ms(
+    collector: MetricsCollector,
+    baseline_ms: float,
+    from_ms: float,
+    window_ms: float = 2_000.0,
+    factor: float = 1.5,
+) -> float:
+    """Time after ``from_ms`` until response times return to baseline.
+
+    Buckets the responses of queries *arriving* at or after ``from_ms``
+    (the end of an outage or partition window) into ``window_ms`` bins
+    and returns the end of the first non-empty bin whose mean response is
+    within ``factor`` times ``baseline_ms`` — the per-phase recovery time
+    the failure and chaos experiments report.  NaN when the system never
+    recovers within the recorded horizon (or the baseline is unusable).
+    """
+    if window_ms <= 0:
+        raise ValueError("window must be positive")
+    if factor <= 0:
+        raise ValueError("factor must be positive")
+    if not baseline_ms or math.isnan(baseline_ms):
+        return math.nan
+    sums: Dict[int, float] = {}
+    counts: Dict[int, int] = {}
+    for outcome in collector.outcomes:
+        if outcome.arrival_ms < from_ms:
+            continue
+        bucket = int((outcome.arrival_ms - from_ms) // window_ms)
+        sums[bucket] = sums.get(bucket, 0.0) + outcome.response_ms
+        counts[bucket] = counts.get(bucket, 0) + 1
+    threshold = factor * baseline_ms
+    for bucket in sorted(counts):
+        if sums[bucket] / counts[bucket] <= threshold:
+            return (bucket + 1) * window_ms
+    return math.nan

@@ -12,9 +12,12 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional, Sequence, Tuple
 
 from .engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .faults import FaultInjector
 
 try:  # NumPy ships with the repo's scientific stack; see Network below.
     import numpy as _np
@@ -89,6 +92,19 @@ class Network:
             )
             self._np_sample = state.random_sample
         self._messages_sent = 0
+        #: Optional fault injector (see :mod:`repro.sim.faults`).  While
+        #: None — the default — every code path below is exactly the
+        #: pre-fault implementation: same arithmetic, same RNG draws.
+        self._faults: Optional["FaultInjector"] = None
+
+    def attach_faults(self, injector: "FaultInjector") -> None:
+        """Engage a fault injector for every subsequent message."""
+        self._faults = injector
+
+    @property
+    def faults(self) -> Optional["FaultInjector"]:
+        """The attached fault injector, if any."""
+        return self._faults
 
     @property
     def messages_sent(self) -> int:
@@ -100,22 +116,105 @@ class Network:
         """The latency model in effect."""
         return self._latency
 
-    def send(self, deliver: Callable[[], None]) -> float:
+    def _leg(self) -> float:
+        """One one-way latency draw from the (single) latency stream.
+
+        Bit-identical to the draw ``send`` always performed: the NumPy
+        stream when available, the Python ``random`` stream otherwise.
+        """
+        latency = self._latency
+        if self._np_sample is None or latency.jitter_ms == 0:
+            return latency.sample(self._rng)
+        # Same draw, same arithmetic as `sample`, from the NumPy-side
+        # stream (the only stream once NumPy is in play).
+        return latency.base_ms + latency.jitter_ms * float(self._np_sample())
+
+    def send(self, deliver: Callable[[], None]) -> Optional[float]:
         """Send one message; ``deliver`` runs after the sampled latency.
 
         Returns the sampled latency so callers composing multi-message
-        exchanges can account for it synchronously.
+        exchanges can account for it synchronously — or ``None`` when an
+        attached fault injector dropped the message (``deliver`` then
+        never fires).
         """
         self._messages_sent += 1
-        latency = self._latency
-        if self._np_sample is None or latency.jitter_ms == 0:
-            delay = latency.sample(self._rng)
+        faults = self._faults
+        if faults is not None:
+            if faults.drop_message():
+                faults.note_lost()
+                return None
+            delay = self._leg() + faults.spike_penalty_ms()
         else:
-            # Same draw, same arithmetic as `sample`, from the NumPy-side
-            # stream (the only stream once NumPy is in play).
-            delay = latency.base_ms + latency.jitter_ms * float(self._np_sample())
+            delay = self._leg()
         self._sim.schedule(delay, deliver)
         return delay
+
+    def faulty_fanout(
+        self, origin: int, peers: Sequence[int]
+    ) -> Tuple[float, int, Tuple[int, ...], Tuple[int, ...]]:
+        """A request/reply fan-out under the attached fault injector.
+
+        Models the client at ``origin`` sending a request to every peer
+        and waiting up to the spec's ``bid_timeout_ms`` for replies.
+        Each leg can be severed by a partition, dropped, or delayed by a
+        latency spike; a reply that would land after the timeout counts
+        as a timeout (the client has already moved on).
+
+        Returns ``(delay_ms, messages, delivered, replied)``:
+
+        * ``delivered`` — peers whose *request* arrived.  Server-side
+          effects (QA-NT's refusal price dynamics) happen for these even
+          when the client never hears back — exactly the stale-price
+          regime partitioned markets exhibit;
+        * ``replied`` — the subset whose reply the client received in
+          time; only these can win the allocation;
+        * ``delay_ms`` — the slowest in-time round trip, or the full
+          timeout when any peer stayed silent;
+        * ``messages`` — legs actually put on the wire (a severed or
+          dropped request produces no reply leg).
+        """
+        faults = self._faults
+        if faults is None:
+            raise RuntimeError("faulty_fanout requires an attached injector")
+        timeout = faults.spec.bid_timeout_ms
+        now = self._sim.now
+        delivered = []
+        replied = []
+        messages = 0
+        worst = 0.0
+        timeouts = 0
+        lost = 0
+        for nid in peers:
+            messages += 1  # request leg
+            if faults.partitioned(origin, nid, now):
+                lost += 1
+                timeouts += 1
+                continue
+            if faults.drop_message():
+                lost += 1
+                timeouts += 1
+                continue
+            request_ms = self._leg() + faults.spike_penalty_ms()
+            delivered.append(nid)
+            messages += 1  # reply leg
+            if faults.drop_message():
+                lost += 1
+                timeouts += 1
+                continue
+            trip = request_ms + self._leg() + faults.spike_penalty_ms()
+            if trip > timeout:
+                timeouts += 1
+                continue
+            replied.append(nid)
+            if trip > worst:
+                worst = trip
+        self._messages_sent += messages
+        if lost:
+            faults.note_lost(lost)
+        if timeouts:
+            faults.note_timeouts(timeouts)
+        delay = timeout if timeouts else worst
+        return delay, messages, tuple(delivered), tuple(replied)
 
     def round_trip_ms(self, num_peers: int = 1) -> float:
         """Charge a synchronous request/reply exchange with ``num_peers``.

@@ -20,7 +20,7 @@ import pathlib
 
 import pytest
 
-from repro.allocation import GreedyAllocator, QantAllocator
+from repro.allocation import GreedyAllocator, QantAllocator, RoundRobinAllocator
 from repro.experiments.runner import _json_safe, run_sweep
 from repro.experiments.setups import (
     run_mechanism,
@@ -29,6 +29,7 @@ from repro.experiments.setups import (
 )
 from repro.experiments.spec import REGISTRY
 from repro.sim import FederationConfig
+from repro.sim.faults import FaultSpec, half_partition
 
 GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
 
@@ -111,6 +112,59 @@ def paper_short_payload() -> str:
     return json.dumps(payload, indent=2, sort_keys=True) + "\n"
 
 
+def chaos_payload() -> str:
+    """A *faulted* 20-node golden payload pinning the fault layer itself.
+
+    Same fixture as the ``fed.fig5a_chaos_short`` bench kernel: 5%
+    message drops, 5% latency spikes, an even/odd half-partition over
+    [800, 1200) ms, and 2 crashes/node/min, all under ``fault_seed=7``.
+    Pins every per-query record *and* the per-mechanism fault counters,
+    so any change to fault RNG stream order, drop/timeout accounting, or
+    the backoff/degradation paths shows up as a byte diff.
+    """
+    world = two_query_world(num_nodes=20, seed=0)
+    trace = sinusoid_trace_for_load(
+        world,
+        load_fraction=1.5,
+        horizon_ms=2_000.0,
+        frequency_hz=0.05,
+        seed=10,
+    )
+    spec = FaultSpec(
+        drop_probability=0.05,
+        spike_probability=0.05,
+        partitions=(
+            half_partition(world.placement.node_ids, 800.0, 1_200.0),
+        ),
+        crash_rate_per_min=2.0,
+        fault_seed=7,
+    )
+    payload = {}
+    for mechanism, factory in (
+        ("qa-nt", QantAllocator),
+        ("greedy", GreedyAllocator),
+        ("round-robin", RoundRobinAllocator),
+    ):
+        run = run_mechanism(
+            world,
+            trace,
+            mechanism,
+            factory,
+            FederationConfig(seed=2, faults=spec),
+        )
+        metrics = run.metrics
+        payload[mechanism] = {
+            "completed": metrics.completed,
+            "dropped": metrics.dropped,
+            "messages": run.messages,
+            "mean_response_ms": metrics.mean_response_ms(),
+            "mean_resubmissions": metrics.mean_resubmissions(),
+            "fault_summary": metrics.fault_summary(),
+            "outcome_digest": _outcome_digest(metrics.outcomes),
+        }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
 def _golden(name: str) -> str:
     return (GOLDEN_DIR / name).read_text()
 
@@ -124,6 +178,12 @@ def test_fig5a_paper_short_matches_golden():
     """The 100-node short-horizon qa-nt/greedy pair (the PR 3 bidding-path
     optimisation target) reproduces the stored per-query digests."""
     assert paper_short_payload() == _golden("fig5a_paper_short_seed0.json")
+
+
+def test_chaos_seed0_matches_golden():
+    """The faulted 20-node qa-nt/greedy/round-robin triple reproduces the
+    stored per-query digests and fault counters bit-for-bit."""
+    assert chaos_payload() == _golden("chaos_seed0.json")
 
 
 @pytest.mark.slow

@@ -136,7 +136,7 @@ class TestRegistry:
         "fig1", "fig2", "fig3", "fig4", "fig5a", "fig5b", "fig5c",
         "fig6", "fig7", "table2", "table3",
         "ablation-lambda", "ablation-period", "ablation-partial",
-        "ablation-markov", "ablation-rounding", "failures",
+        "ablation-markov", "ablation-rounding", "failures", "chaos",
     }
 
     def test_every_experiment_registered(self):
