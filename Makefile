@@ -16,7 +16,7 @@ bench:
 
 # Same, but gate against the committed PR baseline like CI does.
 bench-gate:
-	$(PYTHON) -m repro bench --baseline BENCH_pr4.json --fail-above 50
+	$(PYTHON) -m repro bench --baseline auto --fail-above 35
 
 bench-full:
 	REPRO_BENCH_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -165,6 +165,15 @@ class Allocator(abc.ABC):
     def on_completion(self, query: Query, node_id: int, actual_ms: float) -> None:
         """Feedback after execution; default does nothing."""
 
+    def on_run_end(self) -> None:
+        """Called once after the simulation drains; default does nothing.
+
+        Mechanisms that batch or defer period bookkeeping (see
+        :class:`~repro.allocation.qant.QantAllocator`'s period engine)
+        materialise their final state here so post-run inspection of the
+        agents observes exactly what a never-deferred run would have.
+        """
+
     # -- shared helpers -----------------------------------------------------------
 
     def _probe_all(self, candidates: Sequence[int]) -> Tuple[float, int]:

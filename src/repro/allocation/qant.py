@@ -33,6 +33,7 @@ from ..core.classification import (
     PrivatelyClassifiedAgent,
     cost_band_classification,
 )
+from ..core.period_engine import QantPeriodEngine
 from ..core.qant import QantParameters, QantPricingAgent
 from ..core.supply import CapacitySupplySet
 from ..query.model import Query
@@ -120,6 +121,17 @@ class QantAllocator(Allocator):
         #: exchange — the stale cache graceful degradation falls back to
         #: when a faulted fan-out yields total silence (fault runs only).
         self._last_good: Dict[int, Tuple[int, ...]] = {}
+        #: The batched period-boundary engine over every plain pricing
+        #: agent, plus the (node_id, agent) rows it cannot manage —
+        #: privately-classifying agents and non-batchable solver methods —
+        #: which keep the original per-agent loop (see `_after_bind`).
+        self._engine: Optional[QantPeriodEngine] = None
+        self._engine_node_ids: Tuple[int, ...] = ()
+        self._scalar_agents: Tuple[Tuple[int, object], ...] = ()
+        #: Whether anything touched the market since the last period
+        #: boundary (an assignment ran, a query completed).  While False,
+        #: a quiescent engine can fast-forward boundaries in O(1).
+        self._interacted = True
 
     @property
     def agents(self) -> Dict[int, QantPricingAgent]:
@@ -184,6 +196,31 @@ class QantAllocator(Allocator):
         self._raise_factor = 1.0 + self._params.adjustment
         self._price_floor = self._params.price_floor
         self._price_cap = self._params.price_cap
+        # Partition the fleet for the period boundary: every plain pricing
+        # agent goes into the batched engine; privately-classifying agents
+        # and non-batchable solver methods stay on the scalar loop.
+        # Boundary deferral is only enabled for an all-engine fleet — with
+        # scalar rows ticking anyway, the observability gain of always
+        # materialising outweighs the saving.
+        engine_rows = [
+            (node_id, agent)
+            for node_id, agent in self._agents.items()
+            if QantPeriodEngine.accepts(agent)
+        ]
+        engine_ids = {node_id for node_id, __ in engine_rows}
+        self._scalar_agents = tuple(
+            (node_id, agent)
+            for node_id, agent in self._agents.items()
+            if node_id not in engine_ids
+        )
+        if engine_rows:
+            self._engine_node_ids = tuple(nid for nid, __ in engine_rows)
+            self._engine = QantPeriodEngine(
+                [agent for __, agent in engine_rows],
+                [self._allowances[nid] for nid in self._engine_node_ids],
+                can_defer=not self._scalar_agents,
+            )
+        self._interacted = True
         self.on_period_start()
 
     def _compile_bidder(self, node_id: int):
@@ -200,12 +237,22 @@ class QantAllocator(Allocator):
         backlog allowance (allowance minus outstanding queued work), so a
         node with a committed queue does not sell time it no longer has,
         while an idle node can always admit its largest query.
+
+        Plain pricing agents are driven through the batched
+        :class:`~repro.core.period_engine.QantPeriodEngine` (bit-identical
+        to this method's scalar loop; the boundary has no cross-agent
+        coupling, so ordering engine rows before scalar rows is
+        unobservable); the remaining agents keep the per-agent path.
         """
         self._flush_deferred_refusals()
         self._period_serial += 1
+        engine = self._engine
+        if engine is not None:
+            engine.advance(self._interacted, self._engine_free_capacities)
+            self._interacted = False
         nodes = self.context.nodes
         allowances = self._allowances
-        for node_id, agent in self._agents.items():
+        for node_id, agent in self._scalar_agents:
             node = nodes[node_id]
             if agent.in_period:
                 # Steps 12-14: unsold supply lowers prices before the new
@@ -244,7 +291,52 @@ class QantAllocator(Allocator):
                 bidder[4][class_index] += count
         deferred.clear()
 
+    def _engine_free_capacities(self) -> list:
+        """Per engine row, the node's free backlog allowance right now.
+
+        Only called when a boundary materialises — fast-forwarded ticks
+        skip the per-node load probes entirely.
+        """
+        nodes = self.context.nodes
+        allowances = self._allowances
+        return [
+            max(0.0, allowances[nid] - nodes[nid].current_load_ms())
+            for nid in self._engine_node_ids
+        ]
+
+    def sync_market_state(self) -> None:
+        """Materialise any fast-forwarded period boundaries.
+
+        Observers that read agent state between boundaries (the
+        :class:`~repro.sim.tracing.MarketTracer`, tests, notebooks) call
+        this first; afterwards every agent holds exactly the state a
+        never-deferred run would show.
+        """
+        if self._engine is not None:
+            self._engine.flush()
+
+    @property
+    def period_engine_stats(self):
+        """Counters of the batched boundary engine (None when unused)."""
+        engine = self._engine
+        return engine.stats if engine is not None else None
+
+    def on_completion(self, query: Query, node_id: int, actual_ms: float) -> None:
+        # A completion frees node capacity, so the next boundary must
+        # re-probe loads rather than fast-forward.
+        self._interacted = True
+
+    def on_run_end(self) -> None:
+        self.sync_market_state()
+
     def assign(self, query: Query) -> AssignmentDecision:
+        engine = self._engine
+        if engine is not None:
+            self._interacted = True
+            if engine.deferred_ticks_pending:
+                # The current period's boundary was fast-forwarded; the
+                # fan-out below reads live agent state, so settle it now.
+                engine.flush()
         class_index = query.class_index
         context = self.context
         if context.faults is not None:

@@ -19,10 +19,13 @@ from .harness import (
     Measurement,
     bench_payload,
     compare_payloads,
+    confirm_regressions,
     find_regressions,
     load_baseline,
     measure,
+    measure_peak,
     render_results,
+    resolve_auto_baseline,
     run_benchmarks,
     write_bench_artifact,
 )
@@ -36,11 +39,14 @@ __all__ = [
     "Measurement",
     "bench_payload",
     "compare_payloads",
+    "confirm_regressions",
     "find_regressions",
     "load_baseline",
     "measure",
+    "measure_peak",
     "register_kernel",
     "render_results",
+    "resolve_auto_baseline",
     "run_benchmarks",
     "write_bench_artifact",
 ]

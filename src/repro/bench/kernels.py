@@ -15,6 +15,7 @@ period in the Figure 4/5 experiments.
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass
 from typing import Callable, Dict
@@ -145,6 +146,55 @@ def _setup_vector_aggregate() -> Callable[[], object]:
         for __ in range(100)
     ]
     return lambda: aggregate(vectors)
+
+
+@register_kernel(
+    "qant.period_tick",
+    "Batched period boundary over 100 QA-NT agents (QantPeriodEngine "
+    "advance pair, alternating free capacity so every row re-solves)",
+)
+def _setup_qant_period_tick() -> Callable[[], object]:
+    from ..core.period_engine import QantPeriodEngine
+    from ..core.qant import QantParameters, QantPricingAgent
+    from ..core.supply import CapacitySupplySet
+
+    rng = random.Random(_SEED + 4)
+    agents = []
+    allowances = []
+    for __ in range(100):
+        # ~10% inf costs model the classes a node holds no relations for,
+        # exercising the engine's invalid-class masking.
+        costs = [
+            math.inf if rng.random() < 0.1 else rng.uniform(50.0, 2000.0)
+            for __ in range(_NUM_CLASSES)
+        ]
+        if all(math.isinf(c) for c in costs):
+            costs[0] = rng.uniform(50.0, 2000.0)
+        agents.append(
+            QantPricingAgent(
+                CapacitySupplySet(costs, _CAPACITY_MS), QantParameters()
+            )
+        )
+        allowances.append(_CAPACITY_MS)
+    engine = QantPeriodEngine(agents, allowances, can_defer=False)
+    caps_full = list(allowances)
+    caps_busy = [0.75 * c for c in allowances]
+    full = lambda: caps_full  # noqa: E731
+    busy = lambda: caps_busy  # noqa: E731
+    # Warm past the decay transient (prices settle at the floor within a
+    # few ticks) so every timed op measures the same stationary workload:
+    # a full gather + decay scan + solve of all 100 rows per boundary
+    # (the alternating capacities defeat the row-level plan cache).
+    for __ in range(300):
+        engine.advance(True, full)
+        engine.advance(True, busy)
+
+    def run_once() -> int:
+        engine.advance(True, full)
+        engine.advance(True, busy)
+        return engine.stats.ticks
+
+    return run_once
 
 
 @register_kernel(

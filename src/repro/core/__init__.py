@@ -9,6 +9,8 @@ Layered as:
 * :mod:`repro.core.market` — prices, excess demand, equilibrium;
 * :mod:`repro.core.tatonnement` — the centralised umpire baseline;
 * :mod:`repro.core.qant` — the decentralised QA-NT pricing agent;
+* :mod:`repro.core.period_engine` — batched period boundaries over a
+  fleet of QA-NT agents (the paper-scale fast path);
 * :mod:`repro.core.welfare` — FTWE checks and a synchronous economy.
 """
 
@@ -30,8 +32,15 @@ from .preferences import (
     ThroughputPreference,
     WeightedThroughputPreference,
 )
+from .period_engine import PeriodEngineStats, QantPeriodEngine
 from .qant import QantParameters, QantPeriodStats, QantPricingAgent
-from .supply import CapacitySupplySet, ExplicitSupplySet, SupplySet, solve_supply
+from .supply import (
+    CapacitySupplySet,
+    ExplicitSupplySet,
+    SupplyCacheInfo,
+    SupplySet,
+    solve_supply,
+)
 from .tatonnement import TatonnementResult, TatonnementUmpire
 from .vectors import QueryVector, aggregate
 from .welfare import QueryMarketEconomy, ftwe_allocation, verify_ftwe
@@ -45,11 +54,14 @@ __all__ = [
     "ExplicitSupplySet",
     "PreferenceRelation",
     "PriceVector",
+    "PeriodEngineStats",
     "QantParameters",
+    "QantPeriodEngine",
     "QantPeriodStats",
     "QantPricingAgent",
     "QueryMarketEconomy",
     "QueryVector",
+    "SupplyCacheInfo",
     "SupplySet",
     "TatonnementResult",
     "TatonnementUmpire",

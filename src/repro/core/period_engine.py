@@ -1,0 +1,483 @@
+"""Federation-wide batched QA-NT period-boundary engine.
+
+At paper scale the dominant cost after the PR 3 bidding-path work is the
+period boundary itself: every ``period_ms`` the allocator used to walk all
+N agents in Python, closing the old period (steps 12–14 price decay),
+rebinding the free-capacity budget, and re-solving eq. 4 — K-element
+loops times N nodes times thousands of periods.  The boundary has no
+cross-agent coupling (prices are private, each agent owns its supply set)
+and draws no randomness, so it batches cleanly:
+
+* **vectorised across nodes** — the engine holds the N×K price, cost and
+  credit matrices plus the free-capacity vector in numpy and computes the
+  unsold-supply decay (``p_k -= s_ik λ p_k``) and the proportional /
+  greedy / greedy-fractional / fractional supply solves as array ops;
+* **incremental** — a row whose ``(price_epoch, free_capacity)`` pair is
+  unchanged since its last solve reuses the cached optimal vector (the
+  batched extension of the PR 2 ``(agent_token, price_epoch)`` memo with
+  capacity folded into the key), and the decay only rewrites rows it
+  actually changed;
+* **quiescence fast-forward** — a node that received no request and sold
+  nothing evolves by deterministic closed-loop decay toward its price
+  floor.  Once every class is at the floor or inert (zero optimal supply
+  with no pending carry-over credit) and every node is idle, the boundary
+  is a fixed point: further untouched ticks are counted in O(1) and only
+  materialised (``flush``) when someone next observes or perturbs the
+  market.
+
+Bit-identity contract: the engine reproduces the scalar
+:meth:`~repro.core.qant.QantPricingAgent.begin_period` /
+:meth:`~repro.core.qant.QantPricingAgent.end_period` arithmetic to the
+last ulp — same operations, same order, same clamps — so the golden
+traces pinned in ``tests/golden/`` do not move.  The one numerically
+treacherous spot is the proportional solver's ``(density/top) **
+sharpness``: CPython routes ``float.__pow__`` through libm's ``pow``
+while numpy rewrites an exponent of 2.0 into a multiply, and the two
+differ in the last ulp for roughly 0.1% of inputs.  The weights therefore
+go through a scalar Python pow loop (over only the rows being solved)
+while everything around them is vectorised.
+
+The agents' own Python lists stay authoritative for the *within*-period
+hot paths (the allocator's inlined fan-out holds live references via
+``bid_state``); the engine gathers them into its matrices at a boundary
+only when the period saw any interaction, and scatters results back with
+identity-preserving slice assignment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+from .qant import QantPricingAgent
+from .supply import CapacitySupplySet
+from .vectors import QueryVector
+
+__all__ = [
+    "BATCHED_METHODS",
+    "PeriodEngineStats",
+    "QantPeriodEngine",
+]
+
+#: Supply-solver methods the batched path replicates bit-for-bit.  The
+#: ``exact`` DP (and any non-capacity supply set) stays on the scalar
+#: per-agent fallback the allocator keeps for non-conforming agents.
+BATCHED_METHODS = frozenset(
+    {"proportional", "greedy", "greedy-fractional", "fractional"}
+)
+
+#: Mirrors the default ``sharpness`` of
+#: :meth:`repro.core.supply.CapacitySupplySet._solve_proportional`.
+_PROP_SHARPNESS = 2.0
+
+
+@dataclass
+class PeriodEngineStats:
+    """Counters of the engine's incremental machinery (observability).
+
+    ``solved_rows``/``reused_rows`` partition every (tick, agent) cell the
+    engine materialised: a reused row served its plan from the
+    ``(price_epoch, free_capacity)`` cache without re-solving eq. 4.
+    ``deferred_ticks`` counts boundaries fast-forwarded in O(1) at the
+    quiescent fixed point; ``replayed_ticks`` counts how many of those
+    were later materialised by a :meth:`QantPeriodEngine.flush`.
+    """
+
+    ticks: int = 0
+    deferred_ticks: int = 0
+    replayed_ticks: int = 0
+    solved_rows: int = 0
+    reused_rows: int = 0
+
+
+class QantPeriodEngine:
+    """Batched period boundaries for a fleet of plain QA-NT agents.
+
+    The engine owns the cross-period numeric state (prices, carry-over
+    credit, cached optimal plans) as matrices and drives all N agents'
+    ``end_period`` → capacity rebind → ``begin_period`` sequence per
+    :meth:`advance` call.  Construct it *between* periods (at bind time)
+    over agents that all share one :class:`~repro.core.qant.
+    QantParameters`; agents that do not :meth:`accepts` must stay on the
+    caller's scalar path.
+    """
+
+    def __init__(
+        self,
+        agents: Sequence[QantPricingAgent],
+        allowances: Sequence[float],
+        can_defer: bool = True,
+    ):
+        agents = list(agents)
+        if not agents:
+            raise ValueError("the period engine needs at least one agent")
+        if len(allowances) != len(agents):
+            raise ValueError("one backlog allowance per agent is required")
+        params = agents[0].parameters
+        num_classes = agents[0].num_classes
+        for agent in agents:
+            if not self.accepts(agent):
+                raise ValueError(
+                    "agent %r is not batchable (needs a plain "
+                    "QantPricingAgent over a CapacitySupplySet with a "
+                    "batched solver method)" % (agent,)
+                )
+            if agent.parameters != params:
+                raise ValueError("all agents must share one QantParameters")
+            if agent.num_classes != num_classes:
+                raise ValueError("all agents must price the same K classes")
+            if agent.in_period:
+                raise ValueError("build the engine between periods")
+        self._agents: List[QantPricingAgent] = agents
+        self._num_classes = num_classes
+        self._method = params.supply_method
+        self._carry = params.carry_over
+        self._lam = params.adjustment
+        self._floor = params.price_floor
+        self._can_defer = bool(can_defer)
+        n = len(agents)
+        self._allowances = np.array([float(a) for a in allowances])
+        self._costs = np.array(
+            [agent.supply_set.cost_ms for agent in agents]
+        )
+        self._valid_cost = np.isfinite(self._costs)
+        # Mirrors of the agents' live state.  Between boundaries the
+        # agents' lists are authoritative (the allocator mutates them
+        # in-place); the matrices are re-gathered at the next boundary
+        # iff the period saw any interaction.
+        self._prices = np.array([agent._price_values for agent in agents])
+        self._epochs = np.fromiter(
+            (agent._price_epoch for agent in agents), dtype=np.int64, count=n
+        )
+        self._credit = np.array([agent._credit for agent in agents])
+        self._planned = np.zeros((n, num_classes))
+        # The (price_epoch, free_capacity) plan cache: row i's cached
+        # optimal vector is valid while both coordinates are unchanged.
+        self._prev_epochs = np.full(n, -1, dtype=np.int64)
+        self._prev_capacity = np.full(n, -1.0)
+        self._optimal = np.zeros((n, num_classes))
+        self._started = False
+        self._eligible = False
+        self._deferred = 0
+        self._zeros_int = [0] * num_classes
+        self.stats = PeriodEngineStats()
+
+    @staticmethod
+    def accepts(agent: object) -> bool:
+        """Whether ``agent`` can be managed by the batched path.
+
+        Exactly a plain :class:`QantPricingAgent` (no subclass — a
+        subclass may override the period methods the engine bypasses)
+        over a :class:`CapacitySupplySet` with one of the
+        :data:`BATCHED_METHODS` solvers.
+        """
+        return (
+            type(agent) is QantPricingAgent
+            and isinstance(agent.supply_set, CapacitySupplySet)
+            and agent.parameters.supply_method in BATCHED_METHODS
+        )
+
+    # -- driving ------------------------------------------------------------
+
+    @property
+    def deferred_ticks_pending(self) -> int:
+        """Boundaries fast-forwarded but not yet materialised."""
+        return self._deferred
+
+    def advance(
+        self, interacted: bool, free_capacity: Callable[[], Sequence[float]]
+    ) -> None:
+        """Drive one period boundary for every managed agent.
+
+        ``interacted`` must be True iff anything touched the market since
+        the previous boundary (an assignment ran, a query completed) —
+        it gates both the state re-gather and the quiescence fast path.
+        ``free_capacity`` is only called when the boundary actually
+        materialises, so quiescent ticks skip the per-node load probes
+        entirely.
+        """
+        self.stats.ticks += 1
+        if self._eligible and not interacted:
+            # Quiescent fixed point: closed-loop decay is a no-op, every
+            # plan is cached, no node can change load.  O(1).
+            self._deferred += 1
+            self.stats.deferred_ticks += 1
+            return
+        if self._deferred:
+            self._replay()
+        self._tick(
+            np.asarray(free_capacity(), dtype=float), gather=interacted
+        )
+
+    def flush(self) -> None:
+        """Materialise any fast-forwarded boundaries.
+
+        Callers must flush before reading or perturbing agent state
+        (assignments, tracers, end of run); after the flush every agent
+        holds exactly the state the scalar per-tick loop would have
+        produced.
+        """
+        if self._deferred:
+            self._replay()
+
+    # -- one full boundary ---------------------------------------------------
+
+    def _tick(self, capacities: np.ndarray, gather: bool) -> None:
+        agents = self._agents
+        n = len(agents)
+        prices = self._prices
+        if gather or not self._started:
+            # The period saw assignments: prices may have risen and
+            # supply been consumed through the agents' live lists.
+            for i, agent in enumerate(agents):
+                prices[i] = agent._price_values
+            self._epochs = np.fromiter(
+                (agent._price_epoch for agent in agents),
+                dtype=np.int64,
+                count=n,
+            )
+            remaining = np.array([agent._remaining for agent in agents])
+        else:
+            # Untouched period: nothing was sold, so the unsold leftover
+            # is the full planned vector and prices match our matrix.
+            remaining = self._planned
+
+        # Steps 12-14, batched: every class with unsold supply decays,
+        # ``p_k *= max(0, 1 - leftover*lambda)`` clamped at the floor —
+        # the same expression (and clamp order) as the scalar
+        # ``_lower_price``, applied elementwise.
+        if self._started:
+            factor = 1.0 - remaining * self._lam
+            np.maximum(factor, 0.0, out=factor)
+            decayed = prices * factor
+            np.maximum(decayed, self._floor, out=decayed)
+            new_prices = np.where(remaining > 0.0, decayed, prices)
+            changed = new_prices != prices
+            row_counts = changed.sum(axis=1)
+            changed_rows = np.nonzero(row_counts)[0]
+            if changed_rows.size:
+                new_lists = new_prices[changed_rows].tolist()
+                for slot, i in enumerate(changed_rows.tolist()):
+                    agent = agents[i]
+                    # One epoch bump per changed class, exactly as the
+                    # scalar loop; the lazy caches are dropped wholesale
+                    # (recomputing max over only-lowered prices yields
+                    # the same value the scalar path keeps or recomputes).
+                    agent._price_epoch += int(row_counts[i])
+                    agent._prices_cache = None
+                    agent._max_price = None
+                    agent._price_values[:] = new_lists[slot]
+                self._epochs[changed_rows] += row_counts[changed_rows]
+            prices = self._prices = new_prices
+
+        # Free-capacity rebinds: same `with_capacity` sharing as the
+        # scalar path, done only for rows whose budget actually moved
+        # (`with_capacity` returns self on an equal budget anyway).  The
+        # in-period guard of `rebind_supply_set` is deliberately skipped —
+        # the engine *is* the period machinery.
+        capacity_changed = capacities != self._prev_capacity
+        for i in np.nonzero(capacity_changed)[0].tolist():
+            agent = agents[i]
+            agent._supply_set = agent._supply_set.with_capacity(
+                float(capacities[i])
+            )
+
+        # Solve eq. 4 only where the (price_epoch, capacity) key moved.
+        need = (self._epochs != self._prev_epochs) | capacity_changed
+        n_need = int(np.count_nonzero(need))
+        if n_need:
+            rows = np.nonzero(need)[0]
+            self._optimal[rows] = self._solve_rows(rows, capacities)
+            self._prev_epochs[need] = self._epochs[need]
+            self._prev_capacity[need] = capacities[need]
+        self.stats.solved_rows += n_need
+        self.stats.reused_rows += n - n_need
+
+        # Carry-over credit arithmetic (or plain rounding), batched.  The
+        # `+ 0.0` normalises a potential IEEE -0.0 from trunc/floor back
+        # to the +0.0 the scalar int()/math.floor() conversions produce.
+        if self._carry:
+            credit = self._credit
+            credit += self._optimal
+            planned = np.trunc(credit + 1e-9) + 0.0
+            credit -= planned
+        else:
+            planned = np.floor(self._optimal + 1e-9) + 0.0
+        self._planned = planned
+        self._install()
+        self._started = True
+
+        # Fixed-point detection for the deferral fast path: with every
+        # node idle (free capacity pinned at its allowance) and every
+        # class either at the price floor (decay is a no-op regardless of
+        # leftover) or inert (zero optimal supply and, with carry-over,
+        # no credit within rounding reach of one whole query), future
+        # untouched boundaries cannot change prices, epochs, capacities
+        # or plans — only cycle the carry-over credit, which `_replay`
+        # reproduces exactly.
+        if self._can_defer and bool(
+            (capacities == self._allowances).all()
+        ):
+            at_floor = prices <= self._floor
+            if self._carry:
+                inert = (self._optimal == 0.0) & (self._credit + 1e-9 < 1.0)
+            else:
+                inert = planned == 0.0
+            self._eligible = bool((at_floor | inert).all())
+        else:
+            self._eligible = False
+
+    def _replay(self) -> None:
+        """Materialise the deferred boundaries in one batch.
+
+        At the fixed point each skipped boundary is decay-no-op +
+        cache-hit solve; only the carry-over credit cycles, so replaying
+        n ticks is n vectorised credit updates (none at all without
+        carry-over, where the planned vector is pinned).
+        """
+        count = self._deferred
+        self._deferred = 0
+        self.stats.replayed_ticks += count
+        if not self._carry:
+            return
+        credit = self._credit
+        optimal = self._optimal
+        planned = self._planned
+        for __ in range(count):
+            credit += optimal
+            planned = np.trunc(credit + 1e-9) + 0.0
+            credit -= planned
+        self._planned = planned
+        self._install()
+
+    def _install(self) -> None:
+        """Scatter the boundary's results back into the agents.
+
+        Slice assignment everywhere: the allocator's compiled bidder
+        tuples hold the very list objects (`bid_state`), so their
+        identity must survive — the same contract `begin_period` keeps.
+        """
+        planned_lists = self._planned.tolist()
+        credit_lists = self._credit.tolist() if self._carry else None
+        zeros_int = self._zeros_int
+        from_trusted = QueryVector._from_trusted_tuple
+        for i, agent in enumerate(self._agents):
+            row = planned_lists[i]
+            agent._planned = from_trusted(tuple(row))
+            agent._remaining[:] = row
+            agent._accepted[:] = zeros_int
+            agent._refused[:] = zeros_int
+            agent._in_period = True
+            agent._enforce_locked_at = None
+            if credit_lists is not None:
+                agent._credit[:] = credit_lists[i]
+
+    # -- batched eq. 4 -------------------------------------------------------
+
+    def _solve_rows(
+        self, rows: np.ndarray, capacities: np.ndarray
+    ) -> np.ndarray:
+        """Solve eq. 4 for the row subset, bit-equal to the scalar solvers.
+
+        Shared front half of every method: densities ``p_k / c_k`` for
+        evaluable classes with positive prices (others pinned to -inf),
+        then a stable per-row sort by (-density, k) — `np.argsort` on the
+        negated matrix with ``kind="stable"`` reproduces the scalar
+        tuple-sort ordering including ties.
+        """
+        prices = self._prices[rows]
+        costs = self._costs[rows]
+        cap = capacities[rows]
+        valid = self._valid_cost[rows] & (prices > 0.0)
+        density = np.where(valid, prices / costs, -np.inf)
+        order = np.argsort(-density, axis=1, kind="stable")
+        density_s = np.take_along_axis(density, order, axis=1)
+        costs_s = np.take_along_axis(costs, order, axis=1)
+        method = self._method
+        if method == "proportional":
+            counts_s = self._solve_proportional_sorted(density_s, cap, costs_s)
+        elif method == "fractional":
+            counts_s = np.zeros_like(density_s)
+            has_any = density_s[:, 0] != -np.inf
+            counts_s[:, 0] = np.where(has_any, cap / costs_s[:, 0], 0.0)
+        else:  # greedy / greedy-fractional
+            counts_s = self._solve_greedy_sorted(
+                density_s, cap, costs_s, method == "greedy-fractional"
+            )
+        counts = np.zeros_like(counts_s)
+        np.put_along_axis(counts, order, counts_s, axis=1)
+        return counts
+
+    def _solve_proportional_sorted(
+        self, density_s: np.ndarray, cap: np.ndarray, costs_s: np.ndarray
+    ) -> np.ndarray:
+        """Batched `_solve_proportional` over density-sorted rows."""
+        num_classes = density_s.shape[1]
+        valid = density_s != -np.inf
+        top = density_s[:, 0]
+        # Scalar semantics: no evaluable class, or a best density that
+        # underflowed to zero, supplies nothing.
+        ok = top > 0.0
+        safe_top = np.where(ok, top, 1.0)
+        ratio = density_s / safe_top[:, None]
+        weights = np.zeros_like(ratio)
+        mask = valid & ok[:, None]
+        flat = ratio[mask]
+        if flat.size:
+            # Scalar pow on purpose: see the module docstring — numpy's
+            # `** 2.0` is not bit-equal to CPython's.
+            sharpness = _PROP_SHARPNESS
+            weights[mask] = [v ** sharpness for v in flat.tolist()]
+        # `total += weight` in density order; trailing invalid columns
+        # contribute an exact +0.0 so the fold matches the scalar sum.
+        total = weights[:, 0].copy()
+        for j in range(1, num_classes):
+            total += weights[:, j]
+        nonzero = total > 0.0
+        share = (cap[:, None] * weights) / np.where(nonzero, total, 1.0)[
+            :, None
+        ]
+        counts = share / costs_s
+        counts[~nonzero] = 0.0
+        counts[~mask] = 0.0
+        return counts
+
+    def _solve_greedy_sorted(
+        self,
+        density_s: np.ndarray,
+        cap: np.ndarray,
+        costs_s: np.ndarray,
+        fractional_tail: bool,
+    ) -> np.ndarray:
+        """Batched `_solve_greedy` over density-sorted rows.
+
+        The column loop replicates the scalar fill order exactly: class
+        columns are visited best-density first and each row's remaining
+        budget updates sequentially, including the `remaining < cost`
+        skip guard (masked here) that keeps a near-fitting class from
+        rounding up into the budget.
+        """
+        num_classes = density_s.shape[1]
+        valid = density_s != -np.inf
+        remaining = cap.copy()
+        counts = np.zeros_like(density_s)
+        for j in range(num_classes):
+            cost_j = costs_s[:, j]
+            active = valid[:, j] & (remaining >= cost_j)
+            if not active.any():
+                continue
+            fit = np.floor(remaining / cost_j + 1e-9)
+            fit = np.where(active, fit, 0.0)
+            counts[:, j] = fit
+            # `fit * cost` with the cost masked to 0 on inactive rows:
+            # avoids 0*inf while leaving active rows' arithmetic exact.
+            remaining = remaining - fit * np.where(active, cost_j, 0.0)
+        if fractional_tail:
+            tail = valid[:, 0] & (remaining > 0.0)
+            if tail.any():
+                counts[:, 0] += np.where(
+                    tail, remaining / costs_s[:, 0], 0.0
+                )
+        return counts

@@ -166,6 +166,16 @@ class QantPricingAgent:
         return self._num_classes
 
     @property
+    def parameters(self) -> QantParameters:
+        """The agent's QA-NT tunables (immutable, often shared).
+
+        The batched period engine (:mod:`repro.core.period_engine`)
+        requires every agent it manages to share one parameter set; this
+        accessor is how it checks.
+        """
+        return self._params
+
+    @property
     def prices(self) -> PriceVector:
         """The node's *private* price vector (never shared on the wire)."""
         cached = self._prices_cache

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import abc
 import math
+from collections import namedtuple
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from .vectors import QueryVector
@@ -40,8 +41,15 @@ __all__ = [
     "SupplySet",
     "ExplicitSupplySet",
     "CapacitySupplySet",
+    "SupplyCacheInfo",
     "solve_supply",
 ]
+
+#: Lifetime counters of one cost row's solver memo, in the style of
+#: :func:`functools.lru_cache`'s ``cache_info``.  ``hits``/``misses``
+#: count memo lookups (density orderings, proportional weights, whole
+#: solved vectors); ``entries`` is the number of values currently stored.
+SupplyCacheInfo = namedtuple("SupplyCacheInfo", ("hits", "misses", "entries"))
 
 
 class SupplySet(abc.ABC):
@@ -140,6 +148,9 @@ class CapacitySupplySet(SupplySet):
         # depend on prices (identified by the caller's token) and, for
         # whole solves, the capacity — never on which rebind computed them.
         self._cache: dict = {}
+        # Lifetime [hits, misses] of the memo, likewise shared across
+        # rebinds so `cache_info` reports on the cost row, not one clone.
+        self._stats = [0, 0]
 
     def with_capacity(self, capacity_ms: float) -> "CapacitySupplySet":
         """A supply set with the same cost row but a new capacity budget.
@@ -158,6 +169,7 @@ class CapacitySupplySet(SupplySet):
         clone._costs = self._costs
         clone._capacity = capacity_ms
         clone._cache = self._cache
+        clone._stats = self._stats
         return clone
 
     @property
@@ -251,11 +263,31 @@ class CapacitySupplySet(SupplySet):
         can ever be asked for again.
         """
         cache = self._cache
+        stats = self._stats
         if cache.get("token") != cache_token:
             cache.clear()
             cache["token"] = cache_token
+            stats[1] += 1
             return None
-        return cache.get(key)
+        value = cache.get(key)
+        if value is None:
+            stats[1] += 1
+        else:
+            stats[0] += 1
+        return value
+
+    def cache_info(self) -> SupplyCacheInfo:
+        """Lifetime hit/miss counters of the solver memo.
+
+        Shared across every `with_capacity` rebind of the same cost row —
+        QA-NT rebinds each period, so per-clone counters would reset just
+        when they become interesting.  A healthy QA-NT run shows a
+        non-trivial hit rate: prices only move on trading failures, so
+        most periods re-solve at an unchanged ``(token, capacity)`` key.
+        """
+        cache = self._cache
+        entries = len(cache) - ("token" in cache)
+        return SupplyCacheInfo(self._stats[0], self._stats[1], entries)
 
     def _densities(
         self,

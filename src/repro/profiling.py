@@ -1,4 +1,4 @@
-"""Profiling entry point: cProfile any registered experiment.
+"""Profiling entry point: cProfile any registered experiment or kernel.
 
 ``python -m repro profile <scenario> --scale paper`` runs one scenario
 under :mod:`cProfile` and prints the hottest functions, which is how the
@@ -7,6 +7,14 @@ request-for-bid fan-out, the network latency sampling, the per-period
 supply solves).  The profile is collected around exactly the code path
 ``python -m repro run`` executes for a single seed, serially — worker
 processes would escape the profiler.
+
+``python -m repro profile --kernel fed.fig5a_paper_short`` profiles one
+registered *bench* kernel instead — the same seeded fixture ``python -m
+repro bench`` times, so a hotspot hunt on a kernel that regressed is one
+command with no scenario bookkeeping around it.  The kernel's ``setup()``
+runs outside the profiled region; one warm-up call absorbs first-call
+effects (lazy imports, cache fills) so the profile reflects the
+steady-state the bench harness measures.
 
 Profiler note: cProfile's tracing typically inflates this simulator's
 wall-clock ~3x and overstates Python-level call overhead relative to
@@ -25,10 +33,37 @@ from typing import Optional
 __all__ = [
     "SORT_KEYS",
     "profile_experiment",
+    "profile_kernel",
 ]
 
 #: pstats sort keys exposed on the CLI.
 SORT_KEYS = ("tottime", "cumtime", "ncalls")
+
+
+def _check_render_args(sort: str, limit: int) -> None:
+    if sort not in SORT_KEYS:
+        raise ValueError(
+            "unknown sort key %r (expected one of %s)"
+            % (sort, ", ".join(SORT_KEYS))
+        )
+    if limit < 1:
+        raise ValueError("limit must be >= 1")
+
+
+def _render(
+    profiler: cProfile.Profile,
+    sort: str,
+    limit: int,
+    stream: Optional[io.TextIOBase],
+) -> str:
+    """Render a collected profile as a pstats report string."""
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats(sort).print_stats(limit)
+    report = buffer.getvalue()
+    if stream is not None:
+        stream.write(report)
+    return report
 
 
 def profile_experiment(
@@ -48,13 +83,7 @@ def profile_experiment(
     from .experiments.runner import run_single, run_sweep
     from .experiments.spec import REGISTRY
 
-    if sort not in SORT_KEYS:
-        raise ValueError(
-            "unknown sort key %r (expected one of %s)"
-            % (sort, ", ".join(SORT_KEYS))
-        )
-    if limit < 1:
-        raise ValueError("limit must be >= 1")
+    _check_render_args(sort, limit)
     spec = REGISTRY.get(name)
     profiler = cProfile.Profile()
     profiler.enable()
@@ -65,10 +94,35 @@ def profile_experiment(
             run_single(spec, scale, seed)
     finally:
         profiler.disable()
-    buffer = io.StringIO()
-    stats = pstats.Stats(profiler, stream=buffer)
-    stats.sort_stats(sort).print_stats(limit)
-    report = buffer.getvalue()
-    if stream is not None:
-        stream.write(report)
-    return report
+    return _render(profiler, sort, limit, stream)
+
+
+def profile_kernel(
+    name: str,
+    sort: str = "tottime",
+    limit: int = 25,
+    stream: Optional[io.TextIOBase] = None,
+) -> str:
+    """Run one registered bench kernel under cProfile; return the report.
+
+    The kernel's seeded ``setup()`` and one warm-up call stay outside the
+    profiled region, mirroring how the bench harness times it.  Raises
+    ``KeyError`` for an unknown kernel name.
+    """
+    from .bench.kernels import KERNELS
+
+    _check_render_args(sort, limit)
+    kernel = KERNELS.get(name)
+    if kernel is None:
+        raise KeyError(
+            "unknown bench kernel %r (see 'python -m repro bench')" % (name,)
+        )
+    fn = kernel.setup()
+    fn()  # warm-up: lazy imports and cache fills stay out of the profile
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        fn()
+    finally:
+        profiler.disable()
+    return _render(profiler, sort, limit, stream)

@@ -173,6 +173,9 @@ class FederationSimulation:
         for event in trace:
             schedule_at(event.time_ms, on_arrival, event)
         self._sim.run(until_ms=end_of_run)
+        # Let the allocator settle any deferred period bookkeeping before
+        # the run's state is read (metrics, drops, post-run agent probes).
+        self._allocator.on_run_end()
         for __ in self._pending:
             self._metrics.record_drop()
         for __ in self._backoff_pending:

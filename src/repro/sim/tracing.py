@@ -66,6 +66,9 @@ class MarketTracer:
         return self._snapshots
 
     def _record(self) -> None:
+        # The allocator's period engine may have fast-forwarded quiescent
+        # boundaries; materialise them so the snapshot reads real state.
+        self._allocator.sync_market_state()
         now = self._allocator.context.simulator.now
         for node_id, agent in self._allocator.agents.items():
             self._snapshots.append(

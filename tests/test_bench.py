@@ -11,9 +11,12 @@ from repro.bench import (
     Measurement,
     bench_payload,
     compare_payloads,
+    confirm_regressions,
     find_regressions,
     measure,
+    measure_peak,
     render_results,
+    resolve_auto_baseline,
     run_benchmarks,
     write_bench_artifact,
 )
@@ -21,6 +24,7 @@ from repro.bench import (
 #: Kernels ISSUE-level tooling relies on being present.
 REQUIRED_KERNELS = {
     "qant.run_period",
+    "qant.period_tick",
     "supply.greedy",
     "supply.proportional",
     "supply.exact",
@@ -122,6 +126,17 @@ class TestHarness:
         with pytest.raises(ValueError):
             compare_payloads(good, bad)
 
+    def test_compare_accepts_schema_v1_baseline(self):
+        # PR 3/4 artifacts predate the peak_kb field; they must remain
+        # readable so `--baseline auto` can span the schema bump.
+        old = {"schema_version": 1, "kind": "bench", "kernels": {}}
+        new = {
+            "schema_version": BENCH_SCHEMA_VERSION,
+            "kind": "bench",
+            "kernels": {},
+        }
+        assert compare_payloads(old, new) == {}
+
     def test_find_regressions_flags_only_kernels_over_threshold(self):
         def entry(ns):
             return {"description": "", "ns_per_op": ns, "ops_per_s": 1e9 / ns}
@@ -149,6 +164,129 @@ class TestHarness:
         assert set(regressions) == {"slow"}
         assert regressions["slow"] == pytest.approx(100.0)
 
+    @staticmethod
+    def _suite(ns_by_name, as_measurements=False):
+        if as_measurements:
+            return {
+                name: Measurement(
+                    name=name,
+                    description="",
+                    ns_per_op=ns,
+                    repeat=1,
+                    inner_loops=1,
+                )
+                for name, ns in ns_by_name.items()
+            }
+        return {
+            "schema_version": BENCH_SCHEMA_VERSION,
+            "kind": "bench",
+            "kernels": {
+                name: {
+                    "description": "",
+                    "ns_per_op": ns,
+                    "ops_per_s": 1e9 / ns,
+                }
+                for name, ns in ns_by_name.items()
+            },
+        }
+
+    def test_normalized_gate_forgives_suite_wide_slowdown(self):
+        # Host phase: every kernel uniformly 1.5x slower.  The median
+        # absorbs the common mode, so nothing is flagged...
+        baseline = self._suite({"a": 100.0, "b": 200.0, "c": 400.0})
+        uniform = self._suite(
+            {"a": 150.0, "b": 300.0, "c": 600.0}, as_measurements=True
+        )
+        assert (
+            find_regressions(baseline, uniform, 35.0, normalize_common=True)
+            == {}
+        )
+        # ...but the un-normalised comparison still sees all three.
+        assert set(find_regressions(baseline, uniform, 35.0)) == {
+            "a",
+            "b",
+            "c",
+        }
+
+    def test_normalized_gate_still_catches_single_kernel_regression(self):
+        baseline = self._suite({"a": 100.0, "b": 200.0, "c": 400.0})
+        one_bad = self._suite(
+            {"a": 150.0, "b": 300.0, "c": 1200.0}, as_measurements=True
+        )
+        flagged = find_regressions(
+            baseline, one_bad, 35.0, normalize_common=True
+        )
+        assert set(flagged) == {"c"}
+        assert flagged["c"] == pytest.approx(100.0)  # 3x raw / 1.5x common
+
+    def test_normalization_needs_three_kernels(self):
+        # Below three compared kernels the common mode can't be told
+        # apart from a real regression: fall back to absolute.
+        baseline = self._suite({"a": 100.0, "b": 200.0})
+        slowed = self._suite(
+            {"a": 150.0, "b": 300.0}, as_measurements=True
+        )
+        assert set(
+            find_regressions(baseline, slowed, 35.0, normalize_common=True)
+        ) == {"a", "b"}
+
+    def test_normalization_never_penalises_fast_machines(self):
+        # Median speedup (machine faster than baseline) must not inflate
+        # the one kernel that didn't speed up: clamp the common mode at 1.
+        baseline = self._suite({"a": 100.0, "b": 200.0, "c": 400.0})
+        faster = self._suite(
+            {"a": 50.0, "b": 100.0, "c": 400.0}, as_measurements=True
+        )
+        assert (
+            find_regressions(baseline, faster, 35.0, normalize_common=True)
+            == {}
+        )
+
+    def test_confirm_regressions_clears_transient_noise(self):
+        # A fabricated slow sample against a generous baseline: the
+        # re-measure sees the kernel's true (fast) speed and clears it.
+        baseline = {
+            "schema_version": BENCH_SCHEMA_VERSION,
+            "kind": "bench",
+            "kernels": {
+                "vector.arith": {
+                    "description": "",
+                    "ns_per_op": 1e9,
+                    "ops_per_s": 1.0,
+                }
+            },
+        }
+        noisy = Measurement(
+            name="vector.arith",
+            description="",
+            ns_per_op=1e10,
+            repeat=1,
+            inner_loops=1,
+        )
+        results = {"vector.arith": noisy}
+        remaining = confirm_regressions(baseline, results, 50.0, repeat=1)
+        assert remaining == {}
+        # The confirmed (faster) measurement replaced the noisy sample.
+        assert results["vector.arith"].ns_per_op < noisy.ns_per_op
+
+    def test_confirm_regressions_keeps_real_regressions(self):
+        # No real kernel runs in under a picosecond: the regression must
+        # survive every confirmation round.
+        baseline = {
+            "schema_version": BENCH_SCHEMA_VERSION,
+            "kind": "bench",
+            "kernels": {
+                "vector.arith": {
+                    "description": "",
+                    "ns_per_op": 1e-3,
+                    "ops_per_s": 1e12,
+                }
+            },
+        }
+        results = run_benchmarks(name_filter="vector.arith", repeat=1)
+        remaining = confirm_regressions(baseline, results, 50.0, repeat=1)
+        assert set(remaining) == {"vector.arith"}
+
     def test_find_regressions_rejects_negative_threshold(self):
         baseline = {
             "schema_version": BENCH_SCHEMA_VERSION,
@@ -165,6 +303,54 @@ class TestHarness:
         table = render_results(results)
         assert "kernel" in table and "ns/op" in table
         assert "vector.arith" in table
+        assert "peak KiB" not in table  # only shown when --mem ran
+
+    def test_measure_peak_reports_positive_kib(self):
+        peak = measure_peak(lambda: bytearray(512 * 1024))
+        assert peak >= 512.0  # at least the 512 KiB buffer itself
+
+    def test_run_benchmarks_mem_populates_peak_kb(self):
+        results = run_benchmarks(
+            name_filter="vector.arith", repeat=1, measure_mem=True
+        )
+        measurement = results["vector.arith"]
+        assert measurement.peak_kb is not None
+        assert measurement.peak_kb > 0
+        entry = measurement.to_dict()
+        assert entry["peak_kb"] == measurement.peak_kb
+        table = render_results(results)
+        assert "peak KiB" in table
+
+    def test_peak_kb_absent_without_mem(self):
+        results = run_benchmarks(name_filter="vector.arith", repeat=1)
+        measurement = results["vector.arith"]
+        assert measurement.peak_kb is None
+        assert "peak_kb" not in measurement.to_dict()
+
+
+class TestAutoBaseline:
+    def test_picks_highest_pr_number(self, tmp_path):
+        for name in (
+            "BENCH_pr2.json",
+            "BENCH_pr10.json",
+            "BENCH_pr9.json",
+            "BENCH_nightly.json",  # non-PR artifacts are ignored
+            "BENCH_pr3.json.bak",
+        ):
+            (tmp_path / name).write_text("{}")
+        resolved = resolve_auto_baseline(directory=str(tmp_path))
+        assert resolved.name == "BENCH_pr10.json"
+
+    def test_errors_when_no_pr_artifact_exists(self, tmp_path):
+        (tmp_path / "BENCH_nightly.json").write_text("{}")
+        with pytest.raises(ValueError, match="no committed BENCH_pr"):
+            resolve_auto_baseline(directory=str(tmp_path))
+
+    def test_repo_root_has_a_committed_baseline(self):
+        # The Makefile/CI gate runs `--baseline auto` from the repo root;
+        # a release that forgets to commit BENCH_pr<N>.json breaks it.
+        resolved = resolve_auto_baseline()
+        assert resolved.exists()
 
 
 class TestCli:
@@ -275,3 +461,63 @@ class TestCli:
     def test_write_artifact_rejects_path_label(self, tmp_path):
         with pytest.raises(ValueError, match="file-name fragment"):
             write_bench_artifact({}, "../escape", directory=str(tmp_path))
+
+    def test_bench_baseline_auto_resolves_newest_pr(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        slow = self._baseline_artifact(tmp_path, ns_per_op=1e12)
+        (tmp_path / "BENCH_pr7.json").write_text(
+            (tmp_path / "BENCH_gate.json").read_text()
+        )
+        assert slow  # _baseline_artifact wrote BENCH_gate.json (ignored)
+        monkeypatch.chdir(tmp_path)
+        rc = cli.main(
+            ["bench", "--filter", "vector.arith", "--repeat", "1",
+             "--baseline", "auto", "--fail-above", "50"]
+        )
+        assert rc == 0
+        assert "OK: no kernel regressed" in capsys.readouterr().out
+
+    def test_bench_baseline_auto_fails_without_artifact(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        rc = cli.main(
+            ["bench", "--filter", "vector.arith", "--repeat", "1",
+             "--baseline", "auto"]
+        )
+        assert rc == 2
+        assert "no committed BENCH_pr" in capsys.readouterr().err
+
+    def test_bench_mem_flag_emits_peak_column(self, tmp_path, capsys):
+        rc = cli.main(
+            ["bench", "--filter", "vector.arith", "--repeat", "1", "--mem",
+             "--json", "--label", "memtest", "--out", str(tmp_path)]
+        )
+        assert rc == 0
+        assert "peak KiB" in capsys.readouterr().out
+        payload = json.loads((tmp_path / "BENCH_memtest.json").read_text())
+        assert payload["kernels"]["vector.arith"]["peak_kb"] > 0
+
+
+class TestProfileCli:
+    def test_profile_kernel_renders_stats(self, capsys):
+        rc = cli.main(["profile", "--kernel", "vector.arith", "--top", "5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "vector.arith" in out
+        assert "cumtime" in out  # pstats table rendered
+
+    def test_profile_rejects_kernel_and_experiment_together(self, capsys):
+        rc = cli.main(["profile", "fig4", "--kernel", "vector.arith"])
+        assert rc == 2
+        assert "exactly one target" in capsys.readouterr().err
+
+    def test_profile_rejects_neither_target(self, capsys):
+        rc = cli.main(["profile"])
+        assert rc == 2
+
+    def test_profile_unknown_kernel_fails(self, capsys):
+        rc = cli.main(["profile", "--kernel", "nope.missing"])
+        assert rc == 2
+        assert "nope.missing" in capsys.readouterr().err
