@@ -2,13 +2,17 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-full examples artefacts clean
+.PHONY: install test typecheck bench bench-full examples artefacts clean
 
 install:
 	pip install -e . --no-build-isolation
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Strict-type the wire-contract package (matches the CI step).
+typecheck:
+	mypy --strict src/repro/protocol
 
 # Time the registered microbenchmark kernels (src/repro/bench/).
 bench:

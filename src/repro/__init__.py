@@ -13,21 +13,44 @@ every substrate its evaluation depends on:
   and history-calibrated estimators;
 * :mod:`repro.workload` — sinusoid, Zipf and uniform workload generators;
 * :mod:`repro.allocation` — QA-NT plus every baseline of Section 4;
+* :mod:`repro.protocol` — the transport-agnostic market-protocol core
+  (typed messages, versioned codec, MarketSession) shared by the
+  simulator and live brokers;
 * :mod:`repro.dbms` — a real substrate: SQLite server nodes driven by a
   threaded coordinator (the paper's Section 5.2 deployment);
 * :mod:`repro.experiments` — one driver per paper table and figure.
+
+Subpackages load lazily (PEP 562): ``repro.protocol`` is importable by a
+broker daemon without dragging in the simulator stack, and nothing else
+pays import cost it does not use.
 """
+
+import importlib
 
 __version__ = "1.0.0"
 
-from . import allocation, catalog, core, query, sim, workload
+_SUBPACKAGES = frozenset(
+    {
+        "allocation",
+        "catalog",
+        "core",
+        "protocol",
+        "query",
+        "sim",
+        "workload",
+    }
+)
 
-__all__ = [
-    "__version__",
-    "allocation",
-    "catalog",
-    "core",
-    "query",
-    "sim",
-    "workload",
-]
+__all__ = ["__version__", *sorted(_SUBPACKAGES)]
+
+
+def __getattr__(name: str):
+    if name in _SUBPACKAGES:
+        return importlib.import_module("." + name, __name__)
+    raise AttributeError(
+        "module %r has no attribute %r" % (__name__, name)
+    )
+
+
+def __dir__():
+    return sorted(set(globals()) | _SUBPACKAGES)

@@ -27,6 +27,8 @@ import random
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Optional, Sequence, Tuple
 
+from ..protocol.messages import AssignQuery, BidRequest
+from ..protocol.transport import FanoutResult, Transport
 from ..query.model import Query, QueryClass
 
 if TYPE_CHECKING:  # imported lazily to avoid a package-level cycle
@@ -59,8 +61,19 @@ class AllocationContext:
     #: otherwise, in which case every allocator follows exactly its
     #: fault-free code path (and RNG draw sequence).
     faults: Optional["FaultInjector"] = None
+    #: The market-protocol transport every negotiation exchange rides.
+    #: Defaults to a :class:`repro.sim.transport.SimTransport` over
+    #: ``network``; tests may inject any other
+    #: :class:`repro.protocol.transport.Transport`.
+    transport: Optional[Transport] = None
 
     def __post_init__(self) -> None:
+        if self.transport is None:
+            # Lazy import for the same reason as OUTAGE_EPOCH below:
+            # importing repro.sim at module import time closes a cycle.
+            from ..sim.transport import SimTransport
+
+            self.transport = SimTransport(self.network)
         # Availability fast path: while no node of this federation has an
         # outage scheduled, per-query filtering is a no-op and the static
         # candidate tuple can be returned as-is.  The process-wide
@@ -174,51 +187,81 @@ class Allocator(abc.ABC):
         agents observes exactly what a never-deferred run would have.
         """
 
-    # -- shared helpers -----------------------------------------------------------
+    # -- shared protocol helpers --------------------------------------------------
 
-    def _probe_all(self, candidates: Sequence[int]) -> Tuple[float, int]:
-        """Charge a request/reply exchange with every candidate.
+    def _request_bids(
+        self, query: Query, candidates: Sequence[int]
+    ) -> FanoutResult:
+        """The request-for-bid fan-out: one protocol exchange with every
+        candidate, over the context's transport.
 
-        Returns ``(delay_ms, messages)`` — the slowest round trip (both the
-        paper's implementations wait for all replies) and the message
-        count.
+        Fault-free, every request arrives and every reply beats the
+        timeout, so ``replied == candidates`` and the delay is the
+        slowest round trip (both the paper's implementations wait for all
+        replies).  Under message faults the
+        :class:`~repro.protocol.transport.FanoutResult` semantics apply:
+        only peers in ``replied`` may win, while peers in ``delivered``
+        ran their server-side dynamics regardless.
         """
-        delay = self.context.network.round_trip_ms(len(candidates))
-        return delay, 2 * len(candidates)
-
-    def _faulty_probe_all(
-        self, origin: int, candidates: Sequence[int]
-    ) -> Tuple[float, int, Tuple[int, ...]]:
-        """Fault-aware counterpart of :meth:`_probe_all`.
-
-        Only valid while the context carries a fault injector.  Returns
-        ``(delay_ms, messages, replied)`` — the peers whose reply beat the
-        bid timeout are the only ones the client may choose from.
-        """
-        delay, messages, _delivered, replied = (
-            self.context.network.faulty_fanout(origin, candidates)
+        request = BidRequest(
+            qid=query.qid,
+            class_index=query.class_index,
+            origin_node=query.origin_node,
+            attempt=query.resubmissions,
         )
-        return delay, messages, replied
+        return self.context.transport.fanout(
+            query.origin_node, candidates, request
+        )
 
-    def _faulty_dispatch(
-        self, origin: int, node_id: int, extra_delay_ms: float = 0.0,
-        extra_messages: int = 0,
+    def _dispatch(self, query: Query, node_id: int) -> "AssignmentDecision":
+        """Send the query to one already-chosen server.
+
+        Used by the single-target mechanisms (random, round-robin,
+        markov): one :class:`~repro.protocol.messages.AssignQuery`
+        exchange with the chosen node.  When the request or its ack is
+        lost, late, or partitioned away, the client cannot confirm the
+        assignment — the decision becomes a refusal and the federation's
+        backoff machinery paces the resubmission.
+        """
+        assign = AssignQuery(
+            qid=query.qid, node_id=node_id, class_index=query.class_index
+        )
+        result = self.context.transport.fanout(
+            query.origin_node, (node_id,), assign
+        )
+        return AssignmentDecision(
+            node_id if result.replied else None,
+            delay_ms=result.delay_ms,
+            messages=result.messages,
+        )
+
+    def _coordinated_dispatch(
+        self, query: Query, node_id: int
     ) -> "AssignmentDecision":
-        """Send the query to one already-chosen server over a faulty wire.
+        """Dispatch after consulting a central coordinator (BNQRD, LB).
 
-        Used by the single-target mechanisms (random, round-robin, markov)
-        and for the dispatch leg of the centralised ones: when the
-        request or its ack is lost, late, or partitioned away, the client
-        cannot confirm the assignment — the decision becomes a refusal
-        and the federation's backoff machinery paces the resubmission.
+        The coordinator is co-located control-plane infrastructure
+        reached over a reliable path, so only the client → server
+        dispatch leg is ever exposed to message faults.  Fault-free the
+        exchange is client → coordinator → client → server: two round
+        trips, four messages — charged in one draw-compatible call so
+        traces do not move.
         """
-        delay, messages, _delivered, replied = (
-            self.context.network.faulty_fanout(origin, (node_id,))
+        context = self.context
+        if context.faults is None:
+            delay = context.network.round_trip_ms(2)
+            return AssignmentDecision(node_id, delay_ms=delay, messages=4)
+        # Coordinator round trip first (reliable), then the dispatch leg
+        # on the faulty wire — the draw order the traces pin.
+        coordination_ms = context.network.round_trip_ms(1)
+        assign = AssignQuery(
+            qid=query.qid, node_id=node_id, class_index=query.class_index
         )
-        delay += extra_delay_ms
-        messages += extra_messages
-        if not replied:
-            return AssignmentDecision(
-                node_id=None, delay_ms=delay, messages=messages
-            )
-        return AssignmentDecision(node_id, delay_ms=delay, messages=messages)
+        result = context.transport.fanout(
+            query.origin_node, (node_id,), assign
+        )
+        return AssignmentDecision(
+            node_id if result.replied else None,
+            delay_ms=result.delay_ms + coordination_ms,
+            messages=result.messages + 2,
+        )

@@ -88,16 +88,7 @@ class BnqrdAllocator(Allocator):
         self._routed_since_refresh[chosen] = (
             self._routed_since_refresh.get(chosen, 0) + 1
         )
-        if self.context.faults is not None:
-            # The coordinator is co-located infrastructure (reached over a
-            # reliable control path); the client -> server dispatch leg is
-            # the one exposed to drops, spikes, and partitions.
-            return self._faulty_dispatch(
-                query.origin_node,
-                chosen,
-                extra_delay_ms=self.context.network.round_trip_ms(1),
-                extra_messages=2,
-            )
-        # Client -> coordinator -> client -> server: two round trips.
-        delay = self.context.network.round_trip_ms(2)
-        return AssignmentDecision(chosen, delay_ms=delay, messages=4)
+        # Client -> coordinator -> client -> server: the coordinator is
+        # reliable control-plane infrastructure, only the dispatch leg is
+        # ever exposed to drops, spikes, and partitions.
+        return self._coordinated_dispatch(query, chosen)

@@ -40,20 +40,18 @@ class GreedyAllocator(Allocator):
         candidates = self.context.available_candidates(query.class_index)
         if not candidates:
             return AssignmentDecision(node_id=None)
-        if self.context.faults is not None:
-            # Under message faults the probe round honours the bid
-            # timeout: only nodes whose estimate actually came back can be
-            # chosen; total silence is a refusal the client backs off on.
-            delay, messages, replied = self._faulty_probe_all(
-                query.origin_node, candidates
+        # One probe exchange regardless of the fault regime: fault-free
+        # every candidate replies; under message faults only nodes whose
+        # estimate actually beat the bid timeout can be chosen, and total
+        # silence is a refusal the client backs off on.
+        exchange = self._request_bids(query, candidates)
+        delay = exchange.delay_ms
+        messages = exchange.messages
+        if exchange.silent:
+            return AssignmentDecision(
+                node_id=None, delay_ms=delay, messages=messages
             )
-            if not replied:
-                return AssignmentDecision(
-                    node_id=None, delay_ms=delay, messages=messages
-                )
-            candidates = replied
-        else:
-            delay, messages = self._probe_all(candidates)
+        candidates = exchange.replied
         nodes = self.context.nodes
         completions = [
             (nodes[nid].estimated_completion_ms(query.class_index), nid)

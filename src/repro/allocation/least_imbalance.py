@@ -43,15 +43,7 @@ class LeastImbalanceAllocator(Allocator):
             return max(values) - min(values)
 
         chosen = min(candidates, key=lambda nid: (spread_after(nid), nid))
-        if self.context.faults is not None:
-            # As with BNQRD, the balancer itself is reliable control-plane
-            # infrastructure; only the dispatch to the chosen server rides
-            # the faulty wire.
-            return self._faulty_dispatch(
-                query.origin_node,
-                chosen,
-                extra_delay_ms=self.context.network.round_trip_ms(1),
-                extra_messages=2,
-            )
-        delay = self.context.network.round_trip_ms(2)
-        return AssignmentDecision(chosen, delay_ms=delay, messages=4)
+        # As with BNQRD, the balancer itself is reliable control-plane
+        # infrastructure; only the dispatch to the chosen server rides
+        # the (possibly faulty) wire.
+        return self._coordinated_dispatch(query, chosen)

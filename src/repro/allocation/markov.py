@@ -206,7 +206,4 @@ class MarkovAllocator(Allocator):
                 if pick <= acc:
                     chosen = nid
                     break
-        if self.context.faults is not None:
-            return self._faulty_dispatch(query.origin_node, chosen)
-        delay = self.context.network.round_trip_ms(1)
-        return AssignmentDecision(chosen, delay_ms=delay, messages=2)
+        return self._dispatch(query, chosen)

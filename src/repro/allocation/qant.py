@@ -345,8 +345,11 @@ class QantAllocator(Allocator):
         if not candidates:
             return AssignmentDecision(node_id=None)
         num_candidates = len(candidates)
-        delay = context.network.round_trip_ms(num_candidates)
-        messages = 2 * num_candidates
+        # The request-for-bid exchange as a protocol event: fault-free,
+        # every candidate replies and the delay is the slowest round trip.
+        exchange = self._request_bids(query, candidates)
+        delay = exchange.delay_ms
+        messages = exchange.messages
 
         # Single-pass bid collection over the precompiled fan-out.  Each
         # bidder answers the request-for-bid with `quote` semantics: the
@@ -471,15 +474,16 @@ class QantAllocator(Allocator):
     def _assign_faulty(self, query: Query) -> AssignmentDecision:
         """The request-for-bid exchange under message-level faults.
 
-        Requests and replies travel through
-        :meth:`repro.sim.network.Network.faulty_fanout`, which models the
-        bid timeout: a server whose *request* arrived runs its full quote
-        dynamics (prices move even when the client never hears back — the
-        stale-price regime partitioned markets exhibit), but only servers
-        whose *reply* beat the timeout can win.  On total silence the
-        client degrades gracefully: it falls back to the reachable subset
-        of the last nodes known to offer for this class rather than
-        stalling, counting the assignment as degraded.
+        Requests and replies travel through the protocol transport (the
+        fault-injected fan-out of :meth:`repro.sim.network.Network
+        .fanout`), which models the bid timeout: a server whose *request*
+        arrived runs its full quote dynamics (prices move even when the
+        client never hears back — the stale-price regime partitioned
+        markets exhibit), but only servers whose *reply* beat the timeout
+        can win.  On total silence the client degrades gracefully: it
+        falls back to the reachable subset of the last nodes known to
+        offer for this class rather than stalling, counting the
+        assignment as degraded.
         """
         class_index = query.class_index
         context = self.context
@@ -487,9 +491,11 @@ class QantAllocator(Allocator):
         candidates = context.available_candidates(class_index)
         if not candidates:
             return AssignmentDecision(node_id=None)
-        delay, messages, delivered, replied = context.network.faulty_fanout(
-            query.origin_node, candidates
-        )
+        exchange = self._request_bids(query, candidates)
+        delay = exchange.delay_ms
+        messages = exchange.messages
+        delivered = exchange.delivered
+        replied = exchange.replied
         threshold = self._activation_threshold
         agents = self._agents
         offered = set()

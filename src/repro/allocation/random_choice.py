@@ -28,8 +28,5 @@ class RandomAllocator(Allocator):
         if not candidates:
             return AssignmentDecision(node_id=None)
         chosen = self.context.rng.choice(list(candidates))
-        if self.context.faults is not None:
-            return self._faulty_dispatch(query.origin_node, chosen)
         # One request/ack exchange with the chosen server only.
-        delay = self.context.network.round_trip_ms(1)
-        return AssignmentDecision(chosen, delay_ms=delay, messages=2)
+        return self._dispatch(query, chosen)

@@ -43,9 +43,6 @@ class RoundRobinAllocator(Allocator):
             cursor = self.context.rng.randrange(len(candidates))
         chosen = candidates[cursor % len(candidates)]
         self._cursors[key] = cursor + 1
-        if self.context.faults is not None:
-            # The cursor has advanced regardless — a resubmission after a
-            # lost exchange tries the next server in the cycle.
-            return self._faulty_dispatch(query.origin_node, chosen)
-        delay = self.context.network.round_trip_ms(1)
-        return AssignmentDecision(chosen, delay_ms=delay, messages=2)
+        # The cursor has advanced regardless of the exchange outcome — a
+        # resubmission after a lost dispatch tries the next server.
+        return self._dispatch(query, chosen)

@@ -34,17 +34,17 @@ class TwoRandomProbesAllocator(Allocator):
             probes = pool
         else:
             probes = rng.sample(pool, 2)
-        if self.context.faults is not None:
-            delay, messages, replied = self._faulty_probe_all(
-                query.origin_node, probes
+        # One probe exchange regardless of the fault regime (fault-free,
+        # both probes always reply; under faults only in-time replies may
+        # be picked, and total silence is a refusal).
+        exchange = self._request_bids(query, probes)
+        delay = exchange.delay_ms
+        messages = exchange.messages
+        if exchange.silent:
+            return AssignmentDecision(
+                node_id=None, delay_ms=delay, messages=messages
             )
-            if not replied:
-                return AssignmentDecision(
-                    node_id=None, delay_ms=delay, messages=messages
-                )
-            probes = list(replied)
-        else:
-            delay, messages = self._probe_all(probes)
+        probes = exchange.replied
         nodes = self.context.nodes
         # Probes return a queue-length count — cheap to serve, but blind
         # to how expensive the queued work (or this query) is on the

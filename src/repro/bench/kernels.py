@@ -235,6 +235,81 @@ def _setup_net_broadcast() -> Callable[[], object]:
 
 
 @register_kernel(
+    "proto.codec",
+    "protocol encode+decode round trip over a 200-message market mix "
+    "(bid/quote/refusal/assign/completion/tick)",
+)
+def _setup_proto_codec() -> Callable[[], object]:
+    from ..protocol import (
+        AssignQuery,
+        BidRequest,
+        CompletionReport,
+        PeriodTick,
+        Quote,
+        Refusal,
+        decode,
+        encode,
+    )
+
+    # A period's worth of wire traffic as QA-NT produces it: every query
+    # pays a bid fan-out, most get quotes and a confirm + completion,
+    # the rest a refusal; one tick closes the period.
+    rng = random.Random(_SEED + 5)
+    messages = []
+    for qid in range(40):
+        class_index = rng.randrange(_NUM_CLASSES)
+        messages.append(
+            BidRequest(qid=qid, class_index=class_index, origin_node=-1)
+        )
+        if rng.random() < 0.8:
+            node_id = rng.randrange(20)
+            started = rng.uniform(0.0, 10_000.0)
+            messages.append(
+                Quote(
+                    qid=qid,
+                    node_id=node_id,
+                    class_index=class_index,
+                    estimated_completion_ms=rng.uniform(1.0, 5_000.0),
+                )
+            )
+            messages.append(
+                AssignQuery(
+                    qid=qid, node_id=node_id, class_index=class_index
+                )
+            )
+            messages.append(
+                CompletionReport(
+                    qid=qid,
+                    node_id=node_id,
+                    class_index=class_index,
+                    started_ms=started,
+                    finished_ms=started + rng.uniform(1.0, 2_000.0),
+                )
+            )
+        else:
+            messages.append(
+                Refusal(
+                    qid=qid,
+                    node_id=rng.randrange(20),
+                    class_index=class_index,
+                )
+            )
+    while len(messages) < 200:
+        messages.append(
+            PeriodTick(period_index=len(messages), period_ms=500.0)
+        )
+
+    def run_once() -> int:
+        total = 0
+        for message in messages:
+            total += len(encode(message))
+            decode(encode(message))
+        return total
+
+    return run_once
+
+
+@register_kernel(
     "e2e.federation_sweep",
     "End-to-end fig5-style cell pair: qa-nt + greedy on a 20-node world, "
     "1.5x load sinusoid, 5 s horizon",

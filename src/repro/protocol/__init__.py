@@ -1,0 +1,70 @@
+"""Transport-agnostic market-protocol core of the QA-NT reproduction.
+
+The paper's market is a conversation: bid requests fan out, quotes and
+refusals come back, assignments are confirmed, period ticks resettle
+prices.  This package makes that conversation explicit and pluggable —
+typed frozen messages with a versioned JSON codec (:mod:`~repro.protocol
+.messages`), a :class:`Transport` seam (:mod:`~repro.protocol.transport`),
+the :class:`MarketSession` negotiation state machine (:mod:`~repro
+.protocol.session`), and an in-process asyncio backend (:mod:`~repro
+.protocol.local`) that proves the seam without touching the simulator.
+
+Standard library only, fully typed (``mypy --strict`` in CI), and free of
+``repro.core`` / ``repro.sim`` imports by design: a live broker daemon
+must be able to depend on this package alone.
+"""
+
+from .messages import (
+    PROTOCOL_VERSION,
+    AssignQuery,
+    BidRequest,
+    CompletionReport,
+    Message,
+    MESSAGE_TYPES,
+    PeriodTick,
+    ProtocolError,
+    Quote,
+    Refusal,
+    decode,
+    encode,
+    message_tag,
+)
+from .session import (
+    MarketSession,
+    NegotiationOutcome,
+    NegotiationPolicy,
+    SessionState,
+)
+from .transport import FanoutResult, Transport
+from .local import (
+    LocalAsyncTransport,
+    LocalNode,
+    MarketReport,
+    run_local_market,
+)
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "BidRequest",
+    "Quote",
+    "Refusal",
+    "AssignQuery",
+    "CompletionReport",
+    "PeriodTick",
+    "Message",
+    "MESSAGE_TYPES",
+    "message_tag",
+    "encode",
+    "decode",
+    "FanoutResult",
+    "Transport",
+    "MarketSession",
+    "NegotiationPolicy",
+    "NegotiationOutcome",
+    "SessionState",
+    "LocalAsyncTransport",
+    "LocalNode",
+    "MarketReport",
+    "run_local_market",
+]

@@ -1,0 +1,466 @@
+"""An in-process asyncio market: the protocol's second transport backend.
+
+This module proves the transport seam is real.  It runs a small QA-NT
+market end-to-end — one worker coroutine per server node, protocol
+messages travelling as encoded JSON through per-node inbox queues — with
+**zero imports from the simulator**.  The same :class:`~repro.protocol
+.session.MarketSession` that can drive the discrete-event simulator's
+``SimTransport`` drives this one unchanged, which is exactly the property
+a future HTTP/TCP broker daemon needs.
+
+Three pieces:
+
+* :class:`LocalNode` — a self-contained market agent in the paper's
+  mould: per-period supply solved by a greedy price-density fill of its
+  capacity, quotes of ``backlog + cost``, refusals that raise the class
+  price, period ticks that decay unsold prices and re-solve supply.
+* :class:`LocalAsyncTransport` — the asyncio fan-out.  Requests are
+  *encoded to JSON and decoded on the far side*, so every exchange
+  exercises the codec as a wire format.  Network latency is modelled, not
+  slept: per-leg delays are drawn deterministically from a seeded RNG
+  before any coroutine is spawned (coroutine interleaving never touches
+  the RNG), and a round trip slower than the bid timeout is scored as
+  silence exactly like the simulator's faulty fan-out.  A generous
+  real-time guard on each exchange keeps a buggy worker from hanging the
+  caller.
+* :func:`run_local_market` — the demo harness: allocate a stream of
+  queries across a node fleet through :class:`MarketSession`, ticking the
+  market period every ``queries_per_period`` submissions.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .messages import (
+    AssignQuery,
+    BidRequest,
+    CompletionReport,
+    Message,
+    PeriodTick,
+    ProtocolError,
+    Quote,
+    Refusal,
+    decode,
+    encode,
+)
+from .session import MarketSession, NegotiationPolicy
+from .transport import FanoutResult, Transport
+
+__all__ = [
+    "LocalNode",
+    "LocalAsyncTransport",
+    "MarketReport",
+    "run_local_market",
+]
+
+#: Inbox items: the encoded request plus the future its reply resolves.
+_Envelope = Tuple[str, "asyncio.Future[str]"]
+
+
+class LocalNode:
+    """A self-contained QA-NT-style server agent.
+
+    Each period the node solves its supply by greedily filling its
+    processing capacity with the classes of highest *price density*
+    (price per unit cost) — a deliberately small re-expression of the
+    paper's eq. 4 resource-allocation step that keeps this package free
+    of simulator imports.  Quotes estimate completion as current backlog
+    plus the class cost; a refusal is a trading failure and raises the
+    class price; a period tick decays the prices of classes with unsold
+    supply, drains the backlog, and re-solves supply at the new prices.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        class_costs_ms: Sequence[float],
+        capacity_ms: float,
+        price_step: float = 0.10,
+        price_decay: float = 0.95,
+    ) -> None:
+        if not class_costs_ms:
+            raise ValueError("a node needs at least one query class")
+        if any(cost <= 0 for cost in class_costs_ms):
+            raise ValueError("class costs must be positive")
+        if capacity_ms <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0.0 < price_step:
+            raise ValueError("price step must be positive")
+        if not 0.0 < price_decay <= 1.0:
+            raise ValueError("price decay must be in (0, 1]")
+        self.node_id = node_id
+        self.class_costs_ms: Tuple[float, ...] = tuple(class_costs_ms)
+        self.capacity_ms = capacity_ms
+        self.price_step = price_step
+        self.price_decay = price_decay
+        self.prices: List[float] = [1.0] * len(self.class_costs_ms)
+        self.backlog_ms = 0.0
+        self.quotes_sent = 0
+        self.refusals_sent = 0
+        self.queries_accepted = 0
+        self.supply: List[int] = self._solve_supply()
+
+    def _solve_supply(self) -> List[int]:
+        """Greedy price-density fill of the period's capacity (eq. 4 in
+        miniature): repeatedly grant one unit to the affordable class
+        with the highest *marginal* price density.  The marginal density
+        ``price / (cost * (units + 1))`` models concave per-class revenue
+        — each extra unit of a class is worth less — so supply spreads
+        across classes in proportion to their price/cost ratios instead
+        of collapsing onto the single cheapest class."""
+        remaining = self.capacity_ms
+        supply = [0] * len(self.class_costs_ms)
+        while True:
+            best = -1
+            best_density = -1.0
+            for index, cost in enumerate(self.class_costs_ms):
+                if cost > remaining:
+                    continue
+                density = self.prices[index] / (cost * (supply[index] + 1))
+                if density > best_density:
+                    best = index
+                    best_density = density
+            if best < 0:
+                return supply
+            supply[best] += 1
+            remaining -= self.class_costs_ms[best]
+
+    def handle(self, message: Message) -> Optional[Message]:
+        """Process one protocol message; return the reply, if any."""
+        if isinstance(message, BidRequest):
+            return self._on_bid_request(message)
+        if isinstance(message, AssignQuery):
+            return self._on_assign(message)
+        if isinstance(message, PeriodTick):
+            self._on_period_tick(message)
+            return None
+        # Quotes, refusals and completion reports are client-bound;
+        # a server that receives one simply ignores it.
+        return None
+
+    def _on_bid_request(self, request: BidRequest) -> Message:
+        index = request.class_index
+        if not 0 <= index < len(self.class_costs_ms):
+            return Refusal(
+                qid=request.qid, node_id=self.node_id, class_index=index
+            )
+        if self.supply[index] > 0:
+            self.quotes_sent += 1
+            return Quote(
+                qid=request.qid,
+                node_id=self.node_id,
+                class_index=index,
+                estimated_completion_ms=self.backlog_ms
+                + self.class_costs_ms[index],
+            )
+        # Trading failure: the price has risen by the time the refusal
+        # leaves the node — the QA-NT price dynamic.
+        self.prices[index] *= 1.0 + self.price_step
+        self.refusals_sent += 1
+        return Refusal(
+            qid=request.qid, node_id=self.node_id, class_index=index
+        )
+
+    def _on_assign(self, assign: AssignQuery) -> Message:
+        index = assign.class_index % len(self.class_costs_ms)
+        cost = self.class_costs_ms[index]
+        if self.supply[index] > 0:
+            self.supply[index] -= 1
+        started = self.backlog_ms
+        self.backlog_ms = started + cost
+        self.queries_accepted += 1
+        return CompletionReport(
+            qid=assign.qid,
+            node_id=self.node_id,
+            class_index=index,
+            started_ms=started,
+            finished_ms=self.backlog_ms,
+        )
+
+    def _on_period_tick(self, tick: PeriodTick) -> None:
+        for index, unsold in enumerate(self.supply):
+            if unsold > 0:
+                self.prices[index] *= self.price_decay
+        self.backlog_ms = max(0.0, self.backlog_ms - tick.period_ms)
+        self.supply = self._solve_supply()
+
+
+class LocalAsyncTransport(Transport):
+    """Asyncio fan-out over per-node inbox queues (see module docs)."""
+
+    #: Real-time guard per exchange — not the market's bid timeout, just
+    #: a backstop so a wedged worker cannot hang the calling thread.
+    GUARD_SECONDS = 5.0
+
+    def __init__(
+        self,
+        nodes: Sequence[LocalNode],
+        bid_timeout_ms: float = 10.0,
+        latency_range_ms: Tuple[float, float] = (0.5, 2.0),
+        drop_probability: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if bid_timeout_ms <= 0:
+            raise ValueError("bid timeout must be positive")
+        low, high = latency_range_ms
+        if not 0.0 <= low <= high:
+            raise ValueError("latency range must satisfy 0 <= low <= high")
+        if not 0.0 <= drop_probability < 1.0:
+            raise ValueError("drop probability must be in [0, 1)")
+        self.bid_timeout_ms = bid_timeout_ms
+        self.latency_range_ms = (low, high)
+        self.drop_probability = drop_probability
+        self._rng = random.Random(seed)
+        self._nodes: Dict[int, LocalNode] = {}
+        for node in nodes:
+            if node.node_id in self._nodes:
+                raise ValueError("duplicate node id %d" % node.node_id)
+            self._nodes[node.node_id] = node
+        self._loop = asyncio.new_event_loop()
+        self._inboxes: Dict[int, "asyncio.Queue[_Envelope]"] = {}
+        self._workers: List["asyncio.Task[None]"] = []
+        self._started = False
+        self._closed = False
+
+    # -- transport interface ------------------------------------------------
+
+    def fanout(
+        self,
+        origin: int,
+        peers: Sequence[int],
+        request: Optional[Message] = None,
+    ) -> FanoutResult:
+        if self._closed:
+            raise RuntimeError("transport is closed")
+        if request is None:
+            raise ProtocolError(
+                "LocalAsyncTransport moves real messages; request is required"
+            )
+        peers_t = tuple(peers)
+        for peer in peers_t:
+            if peer not in self._nodes:
+                raise KeyError("unknown peer node %d" % peer)
+        payload = encode(request)
+        # Draw every latency and drop decision *before* any coroutine is
+        # spawned: coroutine interleaving must never reach the RNG, or
+        # two runs with the same seed could diverge.
+        plans = [self._plan_leg() for _ in peers_t]
+        raw = self._loop.run_until_complete(
+            self._fanout_async(
+                [p for p, plan in zip(peers_t, plans) if plan is not None],
+                payload,
+            )
+        )
+        raw_replies = iter(raw)
+        delivered: List[int] = []
+        replied: List[int] = []
+        replies: List[Message] = []
+        messages = 0
+        worst_ms = 0.0
+        timed_out = False
+        for peer, plan in zip(peers_t, plans):
+            if plan is None:
+                # The request leg was dropped: one message on the wire,
+                # no delivery, the client waits out the full timeout.
+                messages += 1
+                timed_out = True
+                continue
+            round_trip_ms = plan
+            delivered.append(peer)
+            messages += 2
+            reply_payload = next(raw_replies)
+            if round_trip_ms > self.bid_timeout_ms:
+                timed_out = True
+                continue
+            replied.append(peer)
+            worst_ms = max(worst_ms, round_trip_ms)
+            if reply_payload:
+                replies.append(decode(reply_payload))
+        delay_ms = self.bid_timeout_ms if timed_out else worst_ms
+        return FanoutResult(
+            delay_ms=delay_ms,
+            messages=messages,
+            delivered=tuple(delivered),
+            replied=tuple(replied),
+            replies=tuple(replies),
+        )
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._started:
+            self._loop.run_until_complete(self._shutdown_workers())
+        self._loop.close()
+
+    # -- node accounting ----------------------------------------------------
+
+    @property
+    def node_ids(self) -> Tuple[int, ...]:
+        return tuple(self._nodes)
+
+    def node(self, node_id: int) -> LocalNode:
+        return self._nodes[node_id]
+
+    def broadcast_tick(self, tick: PeriodTick) -> FanoutResult:
+        """Deliver a period boundary to every node in the market."""
+        return self.fanout(-1, tuple(self._nodes), tick)
+
+    # -- internals ----------------------------------------------------------
+
+    def _plan_leg(self) -> Optional[float]:
+        """Pre-draw one peer's fate: ``None`` for a dropped request,
+        otherwise the simulated round-trip latency in milliseconds."""
+        if (
+            self.drop_probability > 0.0
+            and self._rng.random() < self.drop_probability
+        ):
+            return None
+        low, high = self.latency_range_ms
+        request_ms = self._rng.uniform(low, high)
+        reply_ms = self._rng.uniform(low, high)
+        return request_ms + reply_ms
+
+    async def _fanout_async(
+        self, peers: Sequence[int], payload: str
+    ) -> List[str]:
+        self._ensure_started()
+        return list(
+            await asyncio.gather(
+                *(self._exchange(peer, payload) for peer in peers)
+            )
+        )
+
+    async def _exchange(self, peer: int, payload: str) -> str:
+        future: "asyncio.Future[str]" = self._loop.create_future()
+        await self._inboxes[peer].put((payload, future))
+        return await asyncio.wait_for(future, timeout=self.GUARD_SECONDS)
+
+    def _ensure_started(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        for node_id in self._nodes:
+            self._inboxes[node_id] = asyncio.Queue()
+            self._workers.append(
+                self._loop.create_task(self._serve(node_id))
+            )
+
+    async def _serve(self, node_id: int) -> None:
+        """One worker coroutine per node: decode, handle, encode, reply."""
+        node = self._nodes[node_id]
+        inbox = self._inboxes[node_id]
+        while True:
+            payload, future = await inbox.get()
+            reply = node.handle(decode(payload))
+            if not future.done():
+                # An empty payload is a bare ack (period ticks have no
+                # reply message but the client still hears back).
+                future.set_result(encode(reply) if reply is not None else "")
+
+    async def _shutdown_workers(self) -> None:
+        for task in self._workers:
+            task.cancel()
+        await asyncio.gather(*self._workers, return_exceptions=True)
+
+
+@dataclass(frozen=True)
+class MarketReport:
+    """Summary of one :func:`run_local_market` run."""
+
+    assigned: int
+    failed: int
+    messages: int
+    quotes_seen: int
+    periods: int
+    #: Queries won per node id (only nodes that won at least once).
+    per_node: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def nodes_used(self) -> int:
+        return len(self.per_node)
+
+
+def run_local_market(
+    num_nodes: int = 4,
+    num_queries: int = 120,
+    num_classes: int = 2,
+    queries_per_period: int = 40,
+    period_ms: float = 500.0,
+    seed: int = 0,
+) -> MarketReport:
+    """Allocate ``num_queries`` across ``num_nodes`` via the asyncio market.
+
+    Every query runs the full :class:`MarketSession` negotiation —
+    fan-out, winner selection, assignment confirm, backoff on refusal —
+    over :class:`LocalAsyncTransport`, with a :class:`~repro.protocol
+    .messages.PeriodTick` broadcast every ``queries_per_period``
+    submissions so prices decay and supply re-solves mid-run.
+    """
+    if num_nodes < 1 or num_queries < 1 or num_classes < 1:
+        raise ValueError("market dimensions must be positive")
+    rng = random.Random(seed)
+    class_costs = tuple(6.0 + 5.0 * index for index in range(num_classes))
+    mean_cost = sum(class_costs) / len(class_costs)
+    # Size per-node capacity so the fleet can absorb a period's demand
+    # with headroom — the market should allocate, not starve.
+    capacity_ms = 2.0 * mean_cost * queries_per_period / num_nodes
+    nodes = [
+        LocalNode(
+            node_id=index,
+            class_costs_ms=class_costs,
+            capacity_ms=capacity_ms,
+        )
+        for index in range(num_nodes)
+    ]
+    transport = LocalAsyncTransport(nodes, seed=seed)
+    session = MarketSession(
+        transport,
+        NegotiationPolicy(
+            bid_timeout_ms=transport.bid_timeout_ms, max_attempts=4
+        ),
+    )
+    peers = transport.node_ids
+    assigned = 0
+    failed = 0
+    messages = 0
+    quotes_seen = 0
+    periods = 0
+    per_node: Dict[int, int] = {}
+    try:
+        for qid in range(num_queries):
+            if qid and qid % queries_per_period == 0:
+                periods += 1
+                tick = transport.broadcast_tick(
+                    PeriodTick(period_index=periods, period_ms=period_ms)
+                )
+                messages += tick.messages
+            request = BidRequest(
+                qid=qid,
+                class_index=rng.randrange(num_classes),
+                origin_node=-1,
+            )
+            outcome = session.negotiate(request, peers)
+            messages += outcome.messages
+            quotes_seen += outcome.quotes_seen
+            if outcome.assigned and outcome.node_id is not None:
+                assigned += 1
+                per_node[outcome.node_id] = (
+                    per_node.get(outcome.node_id, 0) + 1
+                )
+            else:
+                failed += 1
+    finally:
+        transport.close()
+    return MarketReport(
+        assigned=assigned,
+        failed=failed,
+        messages=messages,
+        quotes_seen=quotes_seen,
+        periods=periods,
+        per_node=per_node,
+    )

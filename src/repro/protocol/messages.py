@@ -1,0 +1,249 @@
+"""Typed market-protocol messages and their versioned JSON codec.
+
+The QA-NT market is, at heart, a message protocol: a client fans a
+:class:`BidRequest` out to the candidate servers, each server answers with
+a :class:`Quote` (an offer) or a :class:`Refusal` (a trading failure that
+moved its private prices), the client dispatches an :class:`AssignQuery`
+to the winner, the server eventually emits a :class:`CompletionReport`,
+and a :class:`PeriodTick` resettles every agent's prices and supply at
+each period boundary.  Until this module existed those messages were
+implicit — smeared across allocator tuple returns and network fan-out
+unpacking.  Here they are first-class, frozen, and serialisable, so the
+discrete-event simulator and live (asyncio / future HTTP) brokers can
+speak the exact same conversation.
+
+The codec is deliberately boring: one JSON envelope
+``{"v": <version>, "type": <tag>, "body": {...}}`` per message.  Decoding
+is tolerant of *unknown body fields* (a newer peer may add fields; an
+older one must not choke on them) but strict about the protocol version
+and the message type — the two things that define the conversation.
+
+This package is intentionally dependency-free (standard library only) and
+fully typed: it must be importable by a broker daemon that has no
+business importing the simulator, and it is type-checked with
+``mypy --strict`` in CI.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Mapping, Union
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "BidRequest",
+    "Quote",
+    "Refusal",
+    "AssignQuery",
+    "CompletionReport",
+    "PeriodTick",
+    "Message",
+    "MESSAGE_TYPES",
+    "message_tag",
+    "encode",
+    "decode",
+]
+
+#: Version of the wire envelope.  Bump only on incompatible changes; the
+#: decoder refuses every version it was not built for (version pinning),
+#: while *within* a version unknown body fields are ignored (forward
+#: tolerance).
+PROTOCOL_VERSION = 1
+
+
+class ProtocolError(ValueError):
+    """A payload that does not parse as a valid protocol message."""
+
+
+@dataclass(frozen=True)
+class BidRequest:
+    """Client → all candidate servers: request for bids on one query.
+
+    ``attempt`` counts resubmissions of the same query (0 on first
+    submission) so servers and traces can distinguish retry pressure from
+    fresh demand.
+    """
+
+    qid: int
+    class_index: int
+    origin_node: int
+    attempt: int = 0
+
+
+@dataclass(frozen=True)
+class Quote:
+    """Server → client: an offer to evaluate the query.
+
+    ``estimated_completion_ms`` is the server's estimate of when the
+    query would finish if assigned now (queue backlog plus execution
+    time); the client picks the earliest.  Prices are deliberately absent
+    — they are private to each server and never travel on the wire.
+    """
+
+    qid: int
+    node_id: int
+    class_index: int
+    estimated_completion_ms: float
+
+
+@dataclass(frozen=True)
+class Refusal:
+    """Server → client: no remaining supply for this class.
+
+    A refusal is a *trading failure*: the server has already raised the
+    class price by the time this message is sent.  The client treats it
+    identically to silence when choosing a winner, but the distinction
+    matters for accounting (a refusal was delivered; silence was not).
+    """
+
+    qid: int
+    node_id: int
+    class_index: int
+
+
+@dataclass(frozen=True)
+class AssignQuery:
+    """Client → winning server: commit the query to the chosen node."""
+
+    qid: int
+    node_id: int
+    class_index: int
+
+
+@dataclass(frozen=True)
+class CompletionReport:
+    """Server → client: the query finished executing."""
+
+    qid: int
+    node_id: int
+    class_index: int
+    started_ms: float
+    finished_ms: float
+
+
+@dataclass(frozen=True)
+class PeriodTick:
+    """Market-wide period boundary (the paper's ``T``): agents lower the
+    prices of unsold supply and re-solve eq. 4 for the new period."""
+
+    period_index: int
+    period_ms: float
+
+
+Message = Union[
+    BidRequest, Quote, Refusal, AssignQuery, CompletionReport, PeriodTick
+]
+
+#: Wire tag → message class, the decoder's dispatch table.
+MESSAGE_TYPES: Mapping[str, type] = {
+    "bid_request": BidRequest,
+    "quote": Quote,
+    "refusal": Refusal,
+    "assign_query": AssignQuery,
+    "completion_report": CompletionReport,
+    "period_tick": PeriodTick,
+}
+
+_TAGS: Mapping[type, str] = {cls: tag for tag, cls in MESSAGE_TYPES.items()}
+
+
+def message_tag(message: Message) -> str:
+    """The wire tag of ``message`` (e.g. ``"bid_request"``)."""
+    tag = _TAGS.get(type(message))
+    if tag is None:
+        raise ProtocolError(
+            "object of type %r is not a protocol message" % type(message).__name__
+        )
+    return tag
+
+
+def _body(message: Message) -> Dict[str, Any]:
+    """The message's fields as a plain dict (all message types are flat)."""
+    return {f.name: getattr(message, f.name) for f in fields(message)}
+
+
+def encode(message: Message) -> str:
+    """Serialise one message to its versioned JSON envelope.
+
+    Non-finite floats are rejected (``allow_nan=False``): NaN/Infinity
+    are not valid JSON and would not survive a standards-compliant peer.
+    Keys are sorted so equal messages always encode to equal bytes.
+    """
+    envelope = {
+        "v": PROTOCOL_VERSION,
+        "type": message_tag(message),
+        "body": _body(message),
+    }
+    try:
+        return json.dumps(
+            envelope, sort_keys=True, separators=(",", ":"), allow_nan=False
+        )
+    except ValueError as exc:
+        raise ProtocolError("unencodable message: %s" % exc) from exc
+
+
+def decode(payload: str) -> Message:
+    """Parse one JSON envelope back into its typed message.
+
+    Raises :class:`ProtocolError` on malformed JSON, a missing or
+    unsupported version, an unknown message type, or missing required
+    fields.  Unknown *body* fields are silently dropped — the forward
+    tolerance that lets an old peer read a newer peer's messages.
+    """
+    try:
+        envelope = json.loads(payload)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError("payload is not valid JSON: %s" % exc) from exc
+    if not isinstance(envelope, dict):
+        raise ProtocolError("envelope must be a JSON object")
+    version = envelope.get("v")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            "unsupported protocol version %r (this peer speaks %d)"
+            % (version, PROTOCOL_VERSION)
+        )
+    tag = envelope.get("type")
+    cls = MESSAGE_TYPES.get(tag) if isinstance(tag, str) else None
+    if cls is None:
+        raise ProtocolError("unknown message type %r" % tag)
+    body = envelope.get("body")
+    if not isinstance(body, dict):
+        raise ProtocolError("message body must be a JSON object")
+    known = {f.name for f in fields(cls)}
+    kwargs = {key: value for key, value in body.items() if key in known}
+    try:
+        message = cls(**kwargs)
+    except TypeError as exc:
+        raise ProtocolError(
+            "body of %r is missing required fields: %s" % (tag, exc)
+        ) from exc
+    return _checked(message)
+
+
+def _checked(message: Message) -> Message:
+    """Validate decoded field types (JSON carries no schema of its own)."""
+    for f in fields(message):
+        value = getattr(message, f.name)
+        if f.name in _INT_FIELDS:
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise ProtocolError(
+                    "field %r must be an integer, got %r" % (f.name, value)
+                )
+        elif f.name in _FLOAT_FIELDS:
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ProtocolError(
+                    "field %r must be a number, got %r" % (f.name, value)
+                )
+    return message
+
+
+#: Field-name → expected JSON shape, shared across every message type
+#: (all protocol messages are flat records over these names).
+_INT_FIELDS = frozenset(
+    {"qid", "class_index", "origin_node", "attempt", "node_id", "period_index"}
+)
+_FLOAT_FIELDS = frozenset(
+    {"estimated_completion_ms", "started_ms", "finished_ms", "period_ms"}
+)

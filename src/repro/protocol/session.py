@@ -1,0 +1,281 @@
+"""The market negotiation state machine, independent of any transport.
+
+One :class:`MarketSession` drives the conversation the paper's client
+performs for every query — the logic that used to be hard-coded across
+``QantAllocator.assign`` (fan-out, winner selection, timeout handling)
+and ``FederationSimulation`` (capped exponential backoff between
+resubmissions):
+
+.. code-block:: text
+
+        IDLE ──begin──▶ BIDDING ──quotes──▶ CONFIRMING ──ack──▶ ASSIGNED
+                          │                      │
+                          │ all refuse /         │ confirm lost
+                          │ total silence        ▼
+                          └──────────────▶   BACKOFF ──resubmit──▶ BIDDING
+                                               │
+                                               │ attempts exhausted
+                                               ▼
+                                             FAILED
+
+Per round the session fans a :class:`~repro.protocol.messages.BidRequest`
+out through its :class:`~repro.protocol.transport.Transport`, collects
+:class:`~repro.protocol.messages.Quote` replies, picks the winner by the
+paper's rule (earliest estimated completion, ties to the lowest node id),
+and dispatches an :class:`~repro.protocol.messages.AssignQuery` confirm
+leg.  A round that yields no usable quote — every server refused, every
+reply timed out, or the confirm leg itself was lost — costs one backoff
+delay from the :class:`NegotiationPolicy` before the next attempt, which
+is exactly the pacing the simulator's fault layer applies to
+resubmissions.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Optional, Sequence, Tuple
+
+from .messages import AssignQuery, BidRequest, CompletionReport, Quote
+from .transport import FanoutResult, Transport
+
+__all__ = [
+    "SessionState",
+    "NegotiationPolicy",
+    "NegotiationOutcome",
+    "MarketSession",
+]
+
+
+class SessionState(enum.Enum):
+    """Lifecycle of one query's negotiation."""
+
+    IDLE = "idle"
+    BIDDING = "bidding"
+    CONFIRMING = "confirming"
+    ASSIGNED = "assigned"
+    BACKOFF = "backoff"
+    FAILED = "failed"
+
+
+@dataclass(frozen=True)
+class NegotiationPolicy:
+    """Client-side robustness policy of the negotiation.
+
+    ``bid_timeout_ms`` bounds how long the client waits for bid replies
+    (transports enforce it leg by leg; :class:`~repro.protocol.transport
+    .FanoutResult` reports it as the exchange delay on any silence).  The
+    backoff triple is the capped exponential delay between resubmissions:
+    ``backoff_base_ms * backoff_factor ** attempt``, clamped to
+    ``backoff_cap_ms`` — byte-identical to the formula the simulator's
+    fault layer has applied since it delegated here.  ``max_attempts``
+    bounds :meth:`MarketSession.negotiate`'s retry loop; drivers that
+    pace retries themselves (the discrete-event federation resubmits on
+    period ticks) use :meth:`MarketSession.negotiate_once` and ignore it.
+    """
+
+    bid_timeout_ms: float = 10.0
+    backoff_base_ms: float = 250.0
+    backoff_factor: float = 2.0
+    backoff_cap_ms: float = 2_000.0
+    max_attempts: int = 8
+
+    def __post_init__(self) -> None:
+        if self.bid_timeout_ms <= 0:
+            raise ValueError("bid timeout must be positive")
+        if self.backoff_base_ms <= 0:
+            raise ValueError("backoff base must be positive")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff factor must be >= 1")
+        if self.backoff_cap_ms < self.backoff_base_ms:
+            raise ValueError("backoff cap must be >= the base delay")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+
+    def backoff_ms(self, attempt: int) -> float:
+        """Capped exponential resubmission delay for retry ``attempt``.
+
+        Monotone non-decreasing in ``attempt`` and bounded by
+        ``backoff_cap_ms`` — the properties the hypothesis suite pins.
+        """
+        if attempt < 0:
+            raise ValueError("attempt must be non-negative")
+        delay = self.backoff_base_ms * (self.backoff_factor**attempt)
+        cap = self.backoff_cap_ms
+        return cap if delay > cap else delay
+
+
+@dataclass(frozen=True)
+class NegotiationOutcome:
+    """What one query's negotiation amounted to."""
+
+    request: BidRequest
+    #: Winning node, or ``None`` when the negotiation ended unassigned.
+    node_id: Optional[int]
+    #: Bid rounds performed (>= 1).
+    attempts: int
+    #: Total negotiation latency: fan-out delays, confirm legs, backoffs.
+    delay_ms: float
+    #: The backoff share of ``delay_ms``.
+    backoff_ms: float
+    #: Network messages spent across all rounds.
+    messages: int
+    #: Quotes received across all rounds (refusals and silence excluded).
+    quotes_seen: int
+    state: SessionState
+    #: The winner's completion report, when the transport surfaced one.
+    completion: Optional[CompletionReport] = None
+
+    @property
+    def assigned(self) -> bool:
+        """True when a server accepted the query."""
+        return self.node_id is not None
+
+
+class MarketSession:
+    """Drives the bid → quote → assign/refuse/resubmit conversation."""
+
+    def __init__(
+        self,
+        transport: Transport,
+        policy: Optional[NegotiationPolicy] = None,
+    ) -> None:
+        self._transport = transport
+        self._policy = policy or NegotiationPolicy()
+        self._state = SessionState.IDLE
+
+    @property
+    def state(self) -> SessionState:
+        """The state reached by the most recent negotiation step."""
+        return self._state
+
+    @property
+    def policy(self) -> NegotiationPolicy:
+        """The session's negotiation policy."""
+        return self._policy
+
+    @staticmethod
+    def best_quote(quotes: Sequence[Quote]) -> Optional[Quote]:
+        """The paper's winner rule: earliest estimated completion, ties
+        resolved to the lowest node id.  ``None`` for an empty round."""
+        if not quotes:
+            return None
+        return min(
+            quotes, key=lambda q: (q.estimated_completion_ms, q.node_id)
+        )
+
+    def negotiate_once(
+        self, request: BidRequest, peers: Sequence[int]
+    ) -> NegotiationOutcome:
+        """One bid round: fan out, pick a winner, confirm the assignment.
+
+        Ends :attr:`SessionState.ASSIGNED` on success and
+        :attr:`SessionState.BACKOFF` otherwise — an unassigned outcome
+        already includes the policy's backoff delay for this attempt, so
+        a caller pacing its own retries (as the federation simulator
+        does per period tick) can schedule the resubmission directly.
+        """
+        self._state = SessionState.BIDDING
+        result = self._transport.fanout(request.origin_node, peers, request)
+        delay = result.delay_ms
+        messages = result.messages
+        quotes = [r for r in result.replies if isinstance(r, Quote)]
+        winner = self.best_quote(quotes)
+        completion: Optional[CompletionReport] = None
+        if winner is not None:
+            self._state = SessionState.CONFIRMING
+            assign = AssignQuery(
+                qid=request.qid,
+                node_id=winner.node_id,
+                class_index=request.class_index,
+            )
+            confirm = self._confirm(request.origin_node, assign)
+            delay += confirm.delay_ms
+            messages += confirm.messages
+            if confirm.replied:
+                self._state = SessionState.ASSIGNED
+                for reply in confirm.replies:
+                    if isinstance(reply, CompletionReport):
+                        completion = reply
+                        break
+                return NegotiationOutcome(
+                    request=request,
+                    node_id=winner.node_id,
+                    attempts=1,
+                    delay_ms=delay,
+                    backoff_ms=0.0,
+                    messages=messages,
+                    quotes_seen=len(quotes),
+                    state=self._state,
+                    completion=completion,
+                )
+        # All refused, total silence, or the confirm leg was lost: the
+        # client cannot tell these apart, so it paces itself identically.
+        self._state = SessionState.BACKOFF
+        backoff = self._policy.backoff_ms(request.attempt)
+        return NegotiationOutcome(
+            request=request,
+            node_id=None,
+            attempts=1,
+            delay_ms=delay + backoff,
+            backoff_ms=backoff,
+            messages=messages,
+            quotes_seen=len(quotes),
+            state=self._state,
+        )
+
+    def negotiate(
+        self, request: BidRequest, peers: Sequence[int]
+    ) -> NegotiationOutcome:
+        """Run bid rounds until assigned or ``max_attempts`` exhausted.
+
+        Each unsuccessful round resubmits with an incremented ``attempt``
+        (so servers can observe retry pressure) after charging the
+        policy's capped exponential backoff.
+        """
+        total_delay = 0.0
+        total_backoff = 0.0
+        total_messages = 0
+        total_quotes = 0
+        attempts = 0
+        current = request
+        outcome: Optional[NegotiationOutcome] = None
+        for round_index in range(self._policy.max_attempts):
+            outcome = self.negotiate_once(current, peers)
+            attempts += 1
+            total_delay += outcome.delay_ms
+            total_backoff += outcome.backoff_ms
+            total_messages += outcome.messages
+            total_quotes += outcome.quotes_seen
+            if outcome.assigned:
+                return replace(
+                    outcome,
+                    request=request,
+                    attempts=attempts,
+                    delay_ms=total_delay,
+                    backoff_ms=total_backoff,
+                    messages=total_messages,
+                    quotes_seen=total_quotes,
+                )
+            current = replace(current, attempt=current.attempt + 1)
+        self._state = SessionState.FAILED
+        return NegotiationOutcome(
+            request=request,
+            node_id=None,
+            attempts=attempts,
+            delay_ms=total_delay,
+            backoff_ms=total_backoff,
+            messages=total_messages,
+            quotes_seen=total_quotes,
+            state=self._state,
+        )
+
+    def _confirm(self, origin: int, assign: AssignQuery) -> FanoutResult:
+        """The assignment confirm leg: one request/ack exchange with the
+        winner (the dispatch leg every mechanism pays in the simulator)."""
+        return self._transport.fanout(origin, (assign.node_id,), assign)
+
+
+#: Backoff tuple order used when deriving a policy from simulator fault
+#: specs — kept here so both layers agree on one source of truth.
+PolicyTuple = Tuple[float, float, float, float]

@@ -1,0 +1,88 @@
+"""The transport seam of the market protocol.
+
+A :class:`Transport` moves protocol messages between a client and a set of
+server peers; everything above it (:class:`~repro.protocol.session
+.MarketSession`, the allocators) is transport-agnostic.  Two backends
+exist today:
+
+* ``repro.sim.transport.SimTransport`` — the discrete-event simulator's
+  network (latency model, message counting, fault injection);
+* :class:`~repro.protocol.local.LocalAsyncTransport` — an in-process
+  asyncio market with one worker coroutine per node, the stepping stone
+  to HTTP/TCP broker daemons.
+
+The one verb both speak is :meth:`Transport.fanout`, whose
+:class:`FanoutResult` lifts the semantics the simulator's faulty fan-out
+always had into a typed, documented contract:
+
+* ``delivered`` — peers whose *request* arrived.  Server-side effects
+  (QA-NT's refusal price dynamics) happen for these even when the client
+  never hears back — the stale-price regime partitioned markets exhibit;
+* ``replied`` — the subset whose reply the client received within the
+  bid timeout; only these can win the allocation;
+* ``delay_ms`` — the slowest in-time round trip, or the full timeout
+  when any peer stayed silent (the client waited it out);
+* ``messages`` — legs actually put on the wire (a severed or dropped
+  request produces no reply leg);
+* ``replies`` — the reply payloads themselves, in ``replied`` order, for
+  transports that materialise message bodies (the simulator charges the
+  exchange without building payloads, so it leaves this empty).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+from .messages import Message
+
+__all__ = [
+    "FanoutResult",
+    "Transport",
+]
+
+
+@dataclass(frozen=True)
+class FanoutResult:
+    """Outcome of one request/reply fan-out exchange (see module docs)."""
+
+    delay_ms: float
+    messages: int
+    delivered: Tuple[int, ...]
+    replied: Tuple[int, ...]
+    replies: Tuple[Message, ...] = field(default=())
+
+    @property
+    def silent(self) -> bool:
+        """True when no reply beat the timeout (total silence)."""
+        return not self.replied
+
+    def as_legacy_tuple(
+        self,
+    ) -> Tuple[float, int, Tuple[int, ...], Tuple[int, ...]]:
+        """The pre-protocol 4-tuple contract, kept for equivalence tests."""
+        return (self.delay_ms, self.messages, self.delivered, self.replied)
+
+
+class Transport(abc.ABC):
+    """Moves one client's protocol messages to a set of server peers."""
+
+    @abc.abstractmethod
+    def fanout(
+        self,
+        origin: int,
+        peers: Sequence[int],
+        request: Optional[Message] = None,
+    ) -> FanoutResult:
+        """Send ``request`` from ``origin`` to every peer; gather replies.
+
+        ``request`` may be ``None`` for transports that only *charge* the
+        exchange (the simulator models message counts and latency, not
+        payload bytes); live transports require a real message and raise
+        :class:`~repro.protocol.messages.ProtocolError` without one.
+        """
+
+    def close(self) -> None:
+        """Release transport resources; the default is a no-op."""
+        return None

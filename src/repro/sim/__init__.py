@@ -24,6 +24,7 @@ from .metrics import (
 )
 from .network import LatencyModel, Network
 from .node import ExecutionRecord, SimulatedNode
+from .transport import SimTransport
 
 __all__ = [
     "DEFAULT_PERIOD_MS",
@@ -38,6 +39,7 @@ __all__ = [
     "Network",
     "PartitionWindow",
     "QueryOutcome",
+    "SimTransport",
     "SimulatedNode",
     "Simulator",
     "build_federation",

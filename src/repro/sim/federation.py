@@ -215,6 +215,9 @@ class FederationSimulation:
 
     def _try_assign(self, query: Query) -> None:
         decision = self._allocator.assign(query)
+        self._metrics.record_exchange(
+            decision.messages, decision.delay_ms, decision.node_id is not None
+        )
         if decision.node_id is None:
             faults = self._faults
             if faults is not None and faults.message_faults:

@@ -74,6 +74,13 @@ class MetricsCollector:
         self._fault_retries = 0
         self._crash_count = 0
         self._partition_ms = 0.0
+        # Negotiation counters derived from protocol exchanges: every
+        # allocation attempt reports the messages and latency its
+        # bid/dispatch exchanges cost (see FederationSimulation._try_assign).
+        self._exchanges = 0
+        self._refused_exchanges = 0
+        self._negotiation_messages = 0
+        self._negotiation_delay_ms = 0.0
 
     # -- recording ---------------------------------------------------------------
 
@@ -89,6 +96,25 @@ class MetricsCollector:
     def record_drop(self) -> None:
         """Record a query that never completed within the simulation."""
         self._dropped += 1
+
+    def record_exchange(
+        self, messages: int, delay_ms: float, assigned: bool
+    ) -> None:
+        """Record the protocol cost of one allocation attempt.
+
+        ``messages`` and ``delay_ms`` are the network legs and client-side
+        latency of the attempt's bid/dispatch exchanges (an
+        :class:`~repro.allocation.base.AssignmentDecision` carries them
+        verbatim from the transport's
+        :class:`~repro.protocol.transport.FanoutResult`); ``assigned`` is
+        False when the attempt ended in refusal or silence and the query
+        re-enters the pending pool.
+        """
+        self._exchanges += 1
+        if not assigned:
+            self._refused_exchanges += 1
+        self._negotiation_messages += messages
+        self._negotiation_delay_ms += delay_ms
 
     def apply_fault_stats(
         self,
@@ -128,6 +154,43 @@ class MetricsCollector:
     def dropped(self) -> int:
         """Number of queries still unserved when the simulation ended."""
         return self._dropped
+
+    # -- negotiation metrics -------------------------------------------------------
+
+    @property
+    def exchanges(self) -> int:
+        """Allocation attempts whose protocol cost was recorded."""
+        return self._exchanges
+
+    @property
+    def refused_exchanges(self) -> int:
+        """Attempts that ended unassigned (refusal or total silence)."""
+        return self._refused_exchanges
+
+    @property
+    def negotiation_messages(self) -> int:
+        """Network messages spent on bid/dispatch exchanges."""
+        return self._negotiation_messages
+
+    @property
+    def negotiation_delay_ms(self) -> float:
+        """Total client-side negotiation latency across all attempts."""
+        return self._negotiation_delay_ms
+
+    def mean_negotiation_delay_ms(self) -> float:
+        """Average negotiation latency per allocation attempt."""
+        if not self._exchanges:
+            return math.nan
+        return self._negotiation_delay_ms / self._exchanges
+
+    def negotiation_summary(self) -> Dict[str, float]:
+        """The protocol-exchange counters as one flat mapping."""
+        return {
+            "exchanges": float(self._exchanges),
+            "refused_exchanges": float(self._refused_exchanges),
+            "negotiation_messages": float(self._negotiation_messages),
+            "negotiation_delay_ms": self._negotiation_delay_ms,
+        }
 
     # -- fault metrics -------------------------------------------------------------
 

@@ -14,6 +14,7 @@ import random
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Optional, Sequence, Tuple
 
+from ..protocol.transport import FanoutResult
 from .engine import Simulator
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -149,33 +150,59 @@ class Network:
         self._sim.schedule(delay, deliver)
         return delay
 
+    def fanout(self, origin: int, peers: Sequence[int]) -> FanoutResult:
+        """One request/reply fan-out exchange, as a protocol event.
+
+        This is the network's implementation of the market protocol's
+        :class:`~repro.protocol.transport.Transport` verb (see
+        ``repro.sim.transport.SimTransport`` for the adapter).  With no
+        fault injector attached the exchange is the classic fault-free
+        probe: every request arrives, every reply beats the timeout, the
+        delay is the slowest round trip (both of the paper's
+        implementations "waited for a reply from all nodes") — the exact
+        arithmetic and RNG draws :meth:`round_trip_ms` always performed.
+        With an injector attached, each leg can be severed by a
+        partition, dropped, or delayed by a spike, and the
+        :class:`~repro.protocol.transport.FanoutResult` semantics
+        (delivered vs replied vs timeout) apply in full.
+        """
+        peers_t = tuple(peers)
+        if self._faults is None:
+            delay = self.round_trip_ms(len(peers_t))
+            return FanoutResult(
+                delay_ms=delay,
+                messages=2 * len(peers_t),
+                delivered=peers_t,
+                replied=peers_t,
+            )
+        return self._faulty_fanout(origin, peers_t)
+
     def faulty_fanout(
         self, origin: int, peers: Sequence[int]
     ) -> Tuple[float, int, Tuple[int, ...], Tuple[int, ...]]:
-        """A request/reply fan-out under the attached fault injector.
+        """Legacy tuple form of :meth:`fanout`.
+
+        Returns ``(delay_ms, messages, delivered, replied)`` — the
+        pre-protocol contract, kept for existing callers and the
+        sim-vs-protocol equivalence tests.  With no injector attached it
+        now falls back to the fault-free exchange instead of raising, so
+        callers no longer need dual code paths.
+        """
+        return self.fanout(origin, peers).as_legacy_tuple()
+
+    def _faulty_fanout(
+        self, origin: int, peers: Tuple[int, ...]
+    ) -> FanoutResult:
+        """The fault-injected fan-out (see :meth:`fanout` for semantics).
 
         Models the client at ``origin`` sending a request to every peer
         and waiting up to the spec's ``bid_timeout_ms`` for replies.
         Each leg can be severed by a partition, dropped, or delayed by a
         latency spike; a reply that would land after the timeout counts
         as a timeout (the client has already moved on).
-
-        Returns ``(delay_ms, messages, delivered, replied)``:
-
-        * ``delivered`` — peers whose *request* arrived.  Server-side
-          effects (QA-NT's refusal price dynamics) happen for these even
-          when the client never hears back — exactly the stale-price
-          regime partitioned markets exhibit;
-        * ``replied`` — the subset whose reply the client received in
-          time; only these can win the allocation;
-        * ``delay_ms`` — the slowest in-time round trip, or the full
-          timeout when any peer stayed silent;
-        * ``messages`` — legs actually put on the wire (a severed or
-          dropped request produces no reply leg).
         """
         faults = self._faults
-        if faults is None:
-            raise RuntimeError("faulty_fanout requires an attached injector")
+        assert faults is not None
         timeout = faults.spec.bid_timeout_ms
         now = self._sim.now
         delivered = []
@@ -214,7 +241,12 @@ class Network:
         if timeouts:
             faults.note_timeouts(timeouts)
         delay = timeout if timeouts else worst
-        return delay, messages, tuple(delivered), tuple(replied)
+        return FanoutResult(
+            delay_ms=delay,
+            messages=messages,
+            delivered=tuple(delivered),
+            replied=tuple(replied),
+        )
 
     def round_trip_ms(self, num_peers: int = 1) -> float:
         """Charge a synchronous request/reply exchange with ``num_peers``.

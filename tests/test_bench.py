@@ -31,6 +31,7 @@ REQUIRED_KERNELS = {
     "vector.arith",
     "vector.aggregate",
     "sim.event_throughput",
+    "proto.codec",
     "e2e.federation_sweep",
 }
 

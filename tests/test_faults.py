@@ -234,10 +234,20 @@ class TestFaultyFanout:
         )
         return federation.network, federation.fault_injector
 
-    def test_requires_injector(self):
+    def test_injectorless_fanout_falls_back_fault_free(self):
+        # With no injector attached, faulty_fanout is the plain fault-free
+        # exchange: everyone delivered, everyone replied, 2 legs per peer,
+        # and the delay comes from the same latency stream round_trip_ms
+        # draws from (checked against a twin network with the same seed).
         network, __ = self._network(None)
-        with pytest.raises(RuntimeError):
-            network.faulty_fanout(0, (1, 2))
+        twin, __ = self._network(None)
+        expected = twin.round_trip_ms(2)
+        delay, messages, delivered, replied = network.faulty_fanout(0, (1, 2))
+        assert delivered == (1, 2)
+        assert replied == (1, 2)
+        assert messages == 4
+        assert delay == expected
+        assert network.messages_sent == twin.messages_sent
 
     def test_total_drop_is_total_silence(self):
         network, injector = self._network(FaultSpec(drop_probability=1.0))

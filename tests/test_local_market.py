@@ -1,0 +1,185 @@
+"""End-to-end tests of the asyncio market backend (repro.protocol.local).
+
+The acceptance bar for the transport seam: the same MarketSession that
+drives the simulator's SimTransport must allocate >= 100 queries across
+>= 4 nodes over LocalAsyncTransport — with zero imports from repro.sim
+anywhere in the protocol package (proved in a clean subprocess, because
+this test process has long since imported the simulator itself).
+"""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.protocol import (
+    AssignQuery,
+    BidRequest,
+    LocalAsyncTransport,
+    LocalNode,
+    MarketSession,
+    NegotiationPolicy,
+    PeriodTick,
+    ProtocolError,
+    Quote,
+    Refusal,
+    run_local_market,
+)
+
+
+class TestLocalNode:
+    def _node(self, **kwargs):
+        defaults = dict(
+            node_id=0, class_costs_ms=(5.0, 10.0), capacity_ms=50.0
+        )
+        defaults.update(kwargs)
+        return LocalNode(**defaults)
+
+    def test_supply_spreads_over_classes(self):
+        node = self._node()
+        assert all(units > 0 for units in node.supply)
+
+    def test_quotes_then_refuses_when_sold_out(self):
+        node = self._node(class_costs_ms=(5.0,), capacity_ms=10.0)
+        assert node.supply == [2]
+        request = BidRequest(qid=1, class_index=0, origin_node=-1)
+        assert isinstance(node.handle(request), Quote)
+        # Quotes do not consume supply; assignments do.
+        for qid in range(2):
+            node.handle(AssignQuery(qid=qid, node_id=0, class_index=0))
+        price_before = node.prices[0]
+        refusal = node.handle(request)
+        assert isinstance(refusal, Refusal)
+        # A refusal is a trading failure: the price has already risen.
+        assert node.prices[0] > price_before
+
+    def test_period_tick_decays_unsold_prices_and_resolves_supply(self):
+        node = self._node()
+        price_before = node.prices[0]
+        node.backlog_ms = 40.0
+        node.handle(PeriodTick(period_index=1, period_ms=25.0))
+        assert node.prices[0] == pytest.approx(price_before * 0.95)
+        assert node.backlog_ms == pytest.approx(15.0)
+        assert all(units > 0 for units in node.supply)
+
+    def test_quote_estimates_backlog_plus_cost(self):
+        node = self._node()
+        node.backlog_ms = 7.0
+        quote = node.handle(BidRequest(qid=1, class_index=1, origin_node=-1))
+        assert isinstance(quote, Quote)
+        assert quote.estimated_completion_ms == pytest.approx(17.0)
+
+
+class TestLocalAsyncTransport:
+    def test_requires_a_real_message(self):
+        transport = LocalAsyncTransport([LocalNode(0, (5.0,), 50.0)])
+        try:
+            with pytest.raises(ProtocolError):
+                transport.fanout(-1, (0,))
+        finally:
+            transport.close()
+
+    def test_fanout_is_deterministic_for_a_seed(self):
+        def one_run():
+            nodes = [LocalNode(i, (5.0, 9.0), 60.0) for i in range(4)]
+            transport = LocalAsyncTransport(
+                nodes, seed=3, drop_probability=0.2
+            )
+            try:
+                results = [
+                    transport.fanout(
+                        -1,
+                        (0, 1, 2, 3),
+                        BidRequest(qid=i, class_index=0, origin_node=-1),
+                    )
+                    for i in range(10)
+                ]
+                return [
+                    (r.delay_ms, r.messages, r.delivered, r.replied)
+                    for r in results
+                ]
+            finally:
+                transport.close()
+
+        assert one_run() == one_run()
+
+    def test_dropped_requests_are_not_delivered(self):
+        nodes = [LocalNode(i, (5.0,), 50.0) for i in range(3)]
+        transport = LocalAsyncTransport(
+            nodes, seed=0, drop_probability=0.999
+        )
+        try:
+            result = transport.fanout(
+                -1, (0, 1, 2), BidRequest(qid=1, class_index=0, origin_node=-1)
+            )
+            # With near-certain drops nothing arrives: the client waits
+            # out the full bid timeout and each lost request is one leg.
+            assert result.delivered == () and result.replied == ()
+            assert result.messages == 3
+            assert result.delay_ms == transport.bid_timeout_ms
+            assert all(node.quotes_sent == 0 for node in nodes)
+        finally:
+            transport.close()
+
+
+class TestLocalMarketDemo:
+    def test_allocates_100_queries_across_4_nodes(self):
+        """The ISSUE acceptance bar, via the full MarketSession loop."""
+        report = run_local_market(
+            num_nodes=4, num_queries=120, num_classes=2, seed=0
+        )
+        assert report.assigned >= 100
+        assert report.nodes_used >= 4
+        assert report.quotes_seen > 0
+        assert report.periods > 0
+        # Messages: every query pays at least the 8-leg bid fan-out plus
+        # the 2-leg confirm.
+        assert report.messages >= report.assigned * 10
+
+    def test_scales_to_more_nodes_and_classes(self):
+        report = run_local_market(
+            num_nodes=6, num_queries=150, num_classes=3, seed=42
+        )
+        assert report.assigned >= 120
+        assert report.nodes_used >= 5
+
+    def test_session_drives_local_transport_directly(self):
+        nodes = [LocalNode(i, (6.0, 11.0), 80.0) for i in range(4)]
+        transport = LocalAsyncTransport(nodes, seed=1)
+        session = MarketSession(
+            transport, NegotiationPolicy(max_attempts=3)
+        )
+        try:
+            outcome = session.negotiate(
+                BidRequest(qid=0, class_index=1, origin_node=-1),
+                transport.node_ids,
+            )
+            assert outcome.assigned
+            assert outcome.completion is not None
+            assert outcome.completion.node_id == outcome.node_id
+        finally:
+            transport.close()
+
+    def test_protocol_package_never_imports_the_simulator(self):
+        """Run the demo in a clean interpreter and assert no repro.sim
+        (or repro.core / repro.allocation) module was ever imported."""
+        script = (
+            "import sys\n"
+            "from repro.protocol import run_local_market\n"
+            "report = run_local_market(num_nodes=4, num_queries=120)\n"
+            "assert report.assigned >= 100, report\n"
+            "assert report.nodes_used >= 4, report\n"
+            "polluted = [name for name in sys.modules\n"
+            "            if name.startswith(('repro.sim', 'repro.core',\n"
+            "                                'repro.allocation'))]\n"
+            "assert not polluted, polluted\n"
+            "print('clean', report.assigned, report.nodes_used)\n"
+        )
+        completed = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert completed.stdout.startswith("clean")

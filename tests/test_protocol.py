@@ -1,0 +1,419 @@
+"""Tests of the transport-agnostic market-protocol core (repro.protocol).
+
+Three concerns:
+
+* the versioned JSON codec — hypothesis round-trip identity for every
+  message type, unknown-field tolerance, version pinning, and strict
+  rejection of malformed envelopes;
+* the MarketSession negotiation state machine — winner rule, timeout /
+  refusal handling, retry accounting, and a backoff formula that stays
+  bit-identical to the simulator's fault layer;
+* sim-vs-protocol equivalence — ``Network.fanout``'s FanoutResult must
+  match the legacy ``faulty_fanout`` tuple contract draw for draw on
+  seeded runs, in both fault regimes.
+"""
+
+import json
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.protocol import (
+    MESSAGE_TYPES,
+    PROTOCOL_VERSION,
+    AssignQuery,
+    BidRequest,
+    CompletionReport,
+    FanoutResult,
+    MarketSession,
+    NegotiationPolicy,
+    PeriodTick,
+    ProtocolError,
+    Quote,
+    Refusal,
+    SessionState,
+    Transport,
+    decode,
+    encode,
+    message_tag,
+)
+from repro.sim.faults import FaultInjector, FaultSpec
+from repro.sim.transport import SimTransport
+
+# ------------------------------------------------------------------ codec
+
+ids = st.integers(min_value=0, max_value=2**31 - 1)
+node_ids = st.integers(min_value=-1, max_value=10_000)
+finite_ms = st.floats(
+    min_value=0.0, max_value=1e12, allow_nan=False, allow_infinity=False
+)
+
+MESSAGE_STRATEGIES = {
+    "bid_request": st.builds(
+        BidRequest,
+        qid=ids,
+        class_index=ids,
+        origin_node=node_ids,
+        attempt=ids,
+    ),
+    "quote": st.builds(
+        Quote,
+        qid=ids,
+        node_id=node_ids,
+        class_index=ids,
+        estimated_completion_ms=finite_ms,
+    ),
+    "refusal": st.builds(
+        Refusal, qid=ids, node_id=node_ids, class_index=ids
+    ),
+    "assign_query": st.builds(
+        AssignQuery, qid=ids, node_id=node_ids, class_index=ids
+    ),
+    "completion_report": st.builds(
+        CompletionReport,
+        qid=ids,
+        node_id=node_ids,
+        class_index=ids,
+        started_ms=finite_ms,
+        finished_ms=finite_ms,
+    ),
+    "period_tick": st.builds(
+        PeriodTick, period_index=ids, period_ms=finite_ms
+    ),
+}
+
+any_message = st.one_of(*MESSAGE_STRATEGIES.values())
+
+
+class TestCodec:
+    def test_strategies_cover_every_message_type(self):
+        assert set(MESSAGE_STRATEGIES) == set(MESSAGE_TYPES)
+
+    @given(message=any_message)
+    @settings(max_examples=200, deadline=None)
+    def test_round_trip_identity(self, message):
+        assert decode(encode(message)) == message
+
+    @given(message=any_message)
+    @settings(max_examples=50, deadline=None)
+    def test_encoding_is_canonical(self, message):
+        # sort_keys + compact separators: equal messages, equal bytes.
+        assert encode(message) == encode(decode(encode(message)))
+        envelope = json.loads(encode(message))
+        assert envelope["v"] == PROTOCOL_VERSION
+        assert envelope["type"] == message_tag(message)
+
+    @given(message=any_message, junk=st.text(min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_unknown_body_fields_are_tolerated(self, message, junk):
+        envelope = json.loads(encode(message))
+        if junk in envelope["body"]:
+            return
+        envelope["body"][junk] = "future-extension"
+        assert decode(json.dumps(envelope)) == message
+
+    @given(
+        message=any_message,
+        version=st.integers().filter(lambda v: v != PROTOCOL_VERSION),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_version_is_pinned(self, message, version):
+        envelope = json.loads(encode(message))
+        envelope["v"] = version
+        with pytest.raises(ProtocolError):
+            decode(json.dumps(envelope))
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            "not json",
+            "[]",
+            '{"type": "quote", "body": {}}',  # missing version
+            '{"v": 1, "type": "no_such_type", "body": {}}',
+            '{"v": 1, "type": "quote", "body": []}',
+            '{"v": 1, "type": "quote", "body": {}}',  # missing fields
+            # wrong field shapes
+            '{"v": 1, "type": "refusal", "body": '
+            '{"qid": "x", "node_id": 1, "class_index": 0}}',
+            '{"v": 1, "type": "refusal", "body": '
+            '{"qid": true, "node_id": 1, "class_index": 0}}',
+            '{"v": 1, "type": "quote", "body": {"qid": 1, "node_id": 1, '
+            '"class_index": 0, "estimated_completion_ms": "soon"}}',
+        ],
+    )
+    def test_malformed_payloads_raise(self, payload):
+        with pytest.raises(ProtocolError):
+            decode(payload)
+
+    def test_non_finite_floats_are_unencodable(self):
+        quote = Quote(
+            qid=1,
+            node_id=2,
+            class_index=0,
+            estimated_completion_ms=math.inf,
+        )
+        with pytest.raises(ProtocolError):
+            encode(quote)
+
+    def test_non_message_objects_have_no_tag(self):
+        with pytest.raises(ProtocolError):
+            message_tag("hello")  # type: ignore[arg-type]
+
+
+# --------------------------------------------------------- MarketSession
+
+
+class ScriptedTransport(Transport):
+    """Replays a scripted list of FanoutResults, recording each request."""
+
+    def __init__(self, results):
+        self._results = list(results)
+        self.requests = []
+
+    def fanout(self, origin, peers, request=None):
+        self.requests.append((origin, tuple(peers), request))
+        return self._results.pop(0)
+
+
+def _quote(qid, node_id, ms):
+    return Quote(
+        qid=qid, node_id=node_id, class_index=0, estimated_completion_ms=ms
+    )
+
+
+def _bid_round(peers, quotes, delay=1.0):
+    replied = tuple(q.node_id for q in quotes)
+    return FanoutResult(
+        delay_ms=delay,
+        messages=2 * len(peers),
+        delivered=tuple(peers),
+        replied=replied,
+        replies=tuple(quotes),
+    )
+
+
+def _confirm(node_id, delay=0.5, replies=()):
+    return FanoutResult(
+        delay_ms=delay,
+        messages=2,
+        delivered=(node_id,),
+        replied=(node_id,),
+        replies=tuple(replies),
+    )
+
+
+class TestMarketSession:
+    def test_winner_rule_earliest_completion_lowest_id(self):
+        quotes = [_quote(1, 5, 20.0), _quote(1, 3, 10.0), _quote(1, 4, 10.0)]
+        best = MarketSession.best_quote(quotes)
+        assert best is not None and best.node_id == 3
+        assert MarketSession.best_quote([]) is None
+
+    def test_successful_round_assigns_and_confirms(self):
+        peers = (1, 2, 3)
+        report = CompletionReport(
+            qid=7, node_id=2, class_index=0, started_ms=0.0, finished_ms=9.0
+        )
+        transport = ScriptedTransport(
+            [
+                _bid_round(peers, [_quote(7, 2, 9.0), _quote(7, 3, 11.0)]),
+                _confirm(2, replies=[report]),
+            ]
+        )
+        session = MarketSession(transport)
+        outcome = session.negotiate_once(
+            BidRequest(qid=7, class_index=0, origin_node=0), peers
+        )
+        assert outcome.assigned and outcome.node_id == 2
+        assert outcome.state is SessionState.ASSIGNED
+        assert outcome.delay_ms == pytest.approx(1.5)
+        assert outcome.messages == 8
+        assert outcome.quotes_seen == 2
+        assert outcome.backoff_ms == 0.0
+        assert outcome.completion == report
+        # The confirm leg carried an AssignQuery addressed to the winner.
+        __, confirm_peers, confirm_request = transport.requests[1]
+        assert confirm_peers == (2,)
+        assert confirm_request == AssignQuery(
+            qid=7, node_id=2, class_index=0
+        )
+
+    def test_silent_round_backs_off_with_policy_delay(self):
+        peers = (1, 2)
+        transport = ScriptedTransport(
+            [FanoutResult(10.0, 2, (), ())]  # total silence
+        )
+        policy = NegotiationPolicy(backoff_base_ms=100.0)
+        session = MarketSession(transport, policy)
+        outcome = session.negotiate_once(
+            BidRequest(qid=1, class_index=0, origin_node=0, attempt=2), peers
+        )
+        assert not outcome.assigned
+        assert outcome.state is SessionState.BACKOFF
+        assert outcome.backoff_ms == policy.backoff_ms(2)
+        assert outcome.delay_ms == pytest.approx(10.0 + policy.backoff_ms(2))
+
+    def test_lost_confirm_is_a_refusal(self):
+        peers = (1,)
+        transport = ScriptedTransport(
+            [
+                _bid_round(peers, [_quote(1, 1, 5.0)]),
+                FanoutResult(10.0, 1, (), ()),  # confirm leg lost
+            ]
+        )
+        session = MarketSession(transport)
+        outcome = session.negotiate_once(
+            BidRequest(qid=1, class_index=0, origin_node=0), peers
+        )
+        assert not outcome.assigned
+        assert outcome.state is SessionState.BACKOFF
+
+    def test_negotiate_retries_with_incremented_attempt(self):
+        peers = (1,)
+        transport = ScriptedTransport(
+            [
+                _bid_round(peers, []),  # round 1: all refuse
+                _bid_round(peers, [_quote(1, 1, 5.0)]),  # round 2: quote
+                _confirm(1),
+            ]
+        )
+        policy = NegotiationPolicy(max_attempts=3)
+        session = MarketSession(transport, policy)
+        request = BidRequest(qid=1, class_index=0, origin_node=0)
+        outcome = session.negotiate(request, peers)
+        assert outcome.assigned and outcome.attempts == 2
+        # Total delay includes round 1's backoff at attempt 0.
+        assert outcome.backoff_ms == policy.backoff_ms(0)
+        # The resubmission carried attempt=1 on the wire.
+        assert transport.requests[1][2].attempt == 1
+        # The outcome reports the *original* request.
+        assert outcome.request == request
+
+    def test_negotiate_fails_after_max_attempts(self):
+        peers = (1,)
+        transport = ScriptedTransport([_bid_round(peers, [])] * 2)
+        session = MarketSession(
+            transport, NegotiationPolicy(max_attempts=2)
+        )
+        outcome = session.negotiate(
+            BidRequest(qid=1, class_index=0, origin_node=0), peers
+        )
+        assert not outcome.assigned
+        assert outcome.attempts == 2
+        assert outcome.state is SessionState.FAILED
+        assert session.state is SessionState.FAILED
+
+
+class TestNegotiationPolicy:
+    @given(attempt=st.integers(min_value=0, max_value=60))
+    @settings(max_examples=60, deadline=None)
+    def test_backoff_matches_fault_injector_bit_for_bit(self, attempt):
+        spec = FaultSpec(
+            drop_probability=0.01,
+            bid_timeout_ms=12.0,
+            backoff_base_ms=130.0,
+            backoff_factor=1.7,
+            backoff_cap_ms=3_000.0,
+        )
+        injector = FaultInjector(spec)
+        policy = spec.negotiation_policy
+        assert policy.backoff_ms(attempt) == injector.backoff_ms(attempt)
+
+    @given(
+        attempt=st.integers(min_value=0, max_value=100),
+        base=st.floats(min_value=1.0, max_value=1_000.0),
+        factor=st.floats(min_value=1.0, max_value=4.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_backoff_monotone_and_capped(self, attempt, base, factor):
+        policy = NegotiationPolicy(
+            backoff_base_ms=base,
+            backoff_factor=factor,
+            backoff_cap_ms=base * 10,
+        )
+        here = policy.backoff_ms(attempt)
+        assert base <= here <= policy.backoff_cap_ms
+        assert here <= policy.backoff_ms(attempt + 1)
+
+    def test_negative_attempt_rejected(self):
+        with pytest.raises(ValueError):
+            NegotiationPolicy().backoff_ms(-1)
+
+    def test_invalid_policies_rejected(self):
+        with pytest.raises(ValueError):
+            NegotiationPolicy(bid_timeout_ms=0.0)
+        with pytest.raises(ValueError):
+            NegotiationPolicy(backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            NegotiationPolicy(backoff_cap_ms=1.0, backoff_base_ms=2.0)
+        with pytest.raises(ValueError):
+            NegotiationPolicy(max_attempts=0)
+
+
+# ------------------------------------------- sim-vs-protocol equivalence
+
+
+def _seeded_network(seed, spec=None):
+    from repro.sim.engine import Simulator
+    from repro.sim.network import Network
+
+    network = Network(Simulator(), seed=seed)
+    if spec is not None:
+        network.attach_faults(FaultInjector(spec))
+    return network
+
+
+CHAOS_SPEC = FaultSpec(
+    drop_probability=0.15,
+    spike_probability=0.1,
+    spike_ms=30.0,
+    bid_timeout_ms=10.0,
+    fault_seed=7,
+)
+
+
+class TestSimProtocolEquivalence:
+    @pytest.mark.parametrize("spec", [None, CHAOS_SPEC])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_fanout_matches_legacy_tuple_contract(self, spec, seed):
+        """FanoutResult and the legacy 4-tuple agree draw for draw."""
+        protocol_net = _seeded_network(seed, spec)
+        legacy_net = _seeded_network(seed, spec)
+        for round_index in range(20):
+            peers = tuple(range(1, 2 + (round_index % 9)))
+            result = protocol_net.fanout(0, peers)
+            legacy = legacy_net.faulty_fanout(0, peers)
+            assert result.as_legacy_tuple() == legacy
+            assert protocol_net.messages_sent == legacy_net.messages_sent
+
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_sim_transport_is_a_pure_adapter(self, seed):
+        """SimTransport.fanout returns exactly Network.fanout's result,
+        whether or not a request message is supplied."""
+        adapted = _seeded_network(seed, CHAOS_SPEC)
+        direct = _seeded_network(seed, CHAOS_SPEC)
+        transport = SimTransport(adapted)
+        request = BidRequest(qid=1, class_index=0, origin_node=0)
+        for round_index in range(10):
+            peers = (1, 2, 3)
+            via_transport = transport.fanout(
+                0, peers, request if round_index % 2 else None
+            )
+            assert via_transport == direct.fanout(0, peers)
+            # The simulator charges exchanges; it never builds payloads.
+            assert via_transport.replies == ()
+
+    def test_fault_free_fanout_matches_round_trip_draws(self):
+        """Fault-free, fanout consumes exactly round_trip_ms's draws."""
+        fanout_net = _seeded_network(5)
+        legacy_net = _seeded_network(5)
+        for num_peers in (1, 2, 7, 20):
+            peers = tuple(range(num_peers))
+            result = fanout_net.fanout(99, peers)
+            assert result.delay_ms == legacy_net.round_trip_ms(num_peers)
+            assert result.messages == 2 * num_peers
+            assert result.delivered == peers
+            assert result.replied == peers
+            assert not result.silent
