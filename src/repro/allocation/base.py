@@ -66,6 +66,11 @@ class AllocationContext:
     #: ``network``; tests may inject any other
     #: :class:`repro.protocol.transport.Transport`.
     transport: Optional[Transport] = None
+    #: Shared :class:`repro.sim.fleet.FleetArrays` mirror of the nodes'
+    #: schedulers when available (numpy present, all nodes single-slot);
+    #: ``None`` otherwise.  Allocators may use it for vectorised
+    #: completion estimates but must keep a scalar path.
+    fleet: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.transport is None:
@@ -171,9 +176,35 @@ class Allocator(abc.ABC):
     def on_period_start(self) -> None:
         """Called at every period boundary; default does nothing."""
 
+    def on_run_start(self) -> None:
+        """Called once by the federation before the event loop starts.
+
+        Mechanisms may switch into run-scoped modes here (e.g. the QA-NT
+        dispatcher's cross-assign state caching, safe only while every
+        observer goes through the ``sync_market_state`` contract);
+        direct API users who never start a run keep the plain behaviour.
+        """
+
     @abc.abstractmethod
     def assign(self, query: Query) -> AssignmentDecision:
         """Decide which node evaluates ``query`` (or refuse)."""
+
+    def assign_batch(
+        self, queries: Sequence[Query]
+    ) -> "Sequence[AssignmentDecision]":
+        """Decide for a batch of queries sharing one simulated tick.
+
+        The contract is strict sequential equivalence: the returned
+        decisions (and every observable side effect — prices, supply,
+        RNG state, message counts) must be bit-identical to calling
+        :meth:`assign` once per query in order.  The federation only
+        routes through here when the arrivals genuinely share a
+        timestamp, negotiation delays are strictly positive (so no
+        completion can land mid-batch), and no message faults are active;
+        mechanisms unable to exploit the batching simply inherit this
+        sequential default.
+        """
+        return [self.assign(query) for query in queries]
 
     def on_completion(self, query: Query, node_id: int, actual_ms: float) -> None:
         """Feedback after execution; default does nothing."""

@@ -52,7 +52,28 @@ class GreedyAllocator(Allocator):
                 node_id=None, delay_ms=delay, messages=messages
             )
         candidates = exchange.replied
-        nodes = self.context.nodes
+        context = self.context
+        nodes = context.nodes
+        fleet = context.fleet
+        if (
+            self._randomisation == 0.0
+            and fleet is not None
+            and context.faults is None
+            and candidates
+            is context.candidates_by_class.get(query.class_index, ())
+        ):
+            # Vectorised probe scan: the registry tuple came back
+            # unfiltered (no outages, fault-free), so the per-class view
+            # is cache-stable and one argmin replaces the per-node probe
+            # loop.  `estimates` is element-for-element the scalar probe
+            # and first-occurrence argmin over ascending node ids matches
+            # the tuple-min tie-break (lowest id at equal time).
+            view = fleet.class_view(query.class_index, candidates, nodes)
+            est = fleet.estimates(view, context.simulator.now)
+            chosen = int(view.ids[int(est.argmin())])
+            return AssignmentDecision(
+                chosen, delay_ms=delay, messages=messages
+            )
         completions = [
             (nodes[nid].estimated_completion_ms(query.class_index), nid)
             for nid in candidates

@@ -38,6 +38,12 @@ from ..core.qant import QantParameters, QantPricingAgent
 from ..core.supply import CapacitySupplySet
 from ..query.model import Query
 from .base import Allocator, AssignmentDecision
+from .market_tick import MarketTickDispatcher
+
+try:  # Optional, mirroring repro.sim.fleet: no numpy, no vector paths.
+    import numpy as _np
+except ImportError:  # pragma: no cover - scalar paths cover this
+    _np = None
 
 __all__ = [
     "QantAllocator",
@@ -128,6 +134,24 @@ class QantAllocator(Allocator):
         self._engine: Optional[QantPeriodEngine] = None
         self._engine_node_ids: Tuple[int, ...] = ()
         self._scalar_agents: Tuple[Tuple[int, object], ...] = ()
+        #: The vectorised request-for-bid exchange (see
+        #: :mod:`repro.allocation.market_tick`); built in `_after_bind`
+        #: only when the whole fleet is dispatchable, ``None`` otherwise.
+        self._dispatcher: Optional[MarketTickDispatcher] = None
+        #: The context's network when its transport is the plain
+        #: simulator adapter, enabling the one-draw-per-tick bulk latency
+        #: path of `assign_batch`; ``None`` under any custom transport.
+        self._bulk_rtt_network = None
+        #: Whether single `assign` calls may also use the vector exchange
+        #: and keep dispatcher state cached across calls.  Armed by
+        #: `on_run_start` (inside a federation run every observer goes
+        #: through `sync_market_state`); direct API users keep the scalar
+        #: loop and always-live agent state.
+        self._vector_singles = False
+        #: Fleet rows / allowances of the engine-managed nodes, for the
+        #: vectorised free-capacity probe (``None`` without fleet arrays).
+        self._engine_rows_np = None
+        self._engine_allowances_np = None
         #: Whether anything touched the market since the last period
         #: boundary (an assignment ran, a query completed).  While False,
         #: a quiescent engine can fast-forward boundaries in O(1).
@@ -220,6 +244,53 @@ class QantAllocator(Allocator):
                 [self._allowances[nid] for nid in self._engine_node_ids],
                 can_defer=not self._scalar_agents,
             )
+        fleet = self.context.fleet
+        if fleet is not None and self._engine_node_ids:
+            self._engine_rows_np = _np.array(
+                [fleet.row_of[nid] for nid in self._engine_node_ids],
+                dtype=_np.intp,
+            )
+            self._engine_allowances_np = _np.array(
+                [self._allowances[nid] for nid in self._engine_node_ids],
+                dtype=float,
+            )
+        # The vector exchange requires the whole fan-out to follow the
+        # inlined plain-agent arithmetic: full adoption, global classes,
+        # no premium filter, no message faults, every bidder an
+        # exact-type pricing agent with live state lists.  Anything else
+        # keeps the scalar loop (which remains the outage fallback even
+        # when the dispatcher is active).
+        if (
+            fleet is not None
+            and self.context.faults is None
+            and self._adopters is None
+            and self._private_buckets is None
+            and self._max_offer_premium is None
+            and all(
+                b[2] is not None and type(b[1]) is QantPricingAgent
+                for bidders in self._bidders_by_class.values()
+                for b in bidders
+            )
+        ):
+            self._dispatcher = MarketTickDispatcher(
+                fleet,
+                self.context.nodes,
+                self._bidders_by_class,
+                self._activation_threshold,
+                self._raise_factor,
+                self._price_floor,
+                self._price_cap,
+            )
+        # Bulk latency draws are only exact against the plain simulated
+        # wire; a custom transport must see one fanout call per query.
+        from ..sim.transport import SimTransport  # lazy: package cycle
+
+        transport = self.context.transport
+        if (
+            type(transport) is SimTransport
+            and transport.network is self.context.network
+        ):
+            self._bulk_rtt_network = self.context.network
         self._interacted = True
         self.on_period_start()
 
@@ -244,6 +315,11 @@ class QantAllocator(Allocator):
         coupling, so ordering engine rows before scalar rows is
         unobservable); the remaining agents keep the per-agent path.
         """
+        if self._dispatcher is not None:
+            # Scatter cached exchange state back into the live lists
+            # before anything below (deferred-refusal flush, boundary
+            # solves) reads or rewrites them.
+            self._dispatcher.sync()
         self._flush_deferred_refusals()
         self._period_serial += 1
         engine = self._engine
@@ -297,6 +373,17 @@ class QantAllocator(Allocator):
         Only called when a boundary materialises — fast-forwarded ticks
         skip the per-node load probes entirely.
         """
+        rows = self._engine_rows_np
+        if rows is not None:
+            # Vectorised over the fleet's slot_free mirror: each element
+            # follows the exact scalar expression
+            # ``max(0.0, allowance - current_load_ms())`` (the where-forms
+            # reproduce ``max``'s sign behaviour bit-for-bit).
+            now = self.context.simulator.now
+            remaining = self.context.fleet.slot_free[rows] - now
+            load = _np.where(remaining > 0.0, remaining, 0.0)
+            free = self._engine_allowances_np - load
+            return _np.where(free > 0.0, free, 0.0)
         nodes = self.context.nodes
         allowances = self._allowances
         return [
@@ -312,6 +399,8 @@ class QantAllocator(Allocator):
         this first; afterwards every agent holds exactly the state a
         never-deferred run would show.
         """
+        if self._dispatcher is not None:
+            self._dispatcher.sync()
         if self._engine is not None:
             self._engine.flush()
 
@@ -321,12 +410,22 @@ class QantAllocator(Allocator):
         engine = self._engine
         return engine.stats if engine is not None else None
 
+    @property
+    def batch_dispatch_stats(self):
+        """Counters of the vectorised fan-out (None when undispatchable)."""
+        dispatcher = self._dispatcher
+        return dispatcher.stats if dispatcher is not None else None
+
     def on_completion(self, query: Query, node_id: int, actual_ms: float) -> None:
         # A completion frees node capacity, so the next boundary must
         # re-probe loads rather than fast-forward.
         self._interacted = True
 
+    def on_run_start(self) -> None:
+        self._vector_singles = self._dispatcher is not None
+
     def on_run_end(self) -> None:
+        self._vector_singles = False
         self.sync_market_state()
 
     def assign(self, query: Query) -> AssignmentDecision:
@@ -344,13 +443,79 @@ class QantAllocator(Allocator):
         candidates = context.available_candidates(class_index)
         if not candidates:
             return AssignmentDecision(node_id=None)
-        num_candidates = len(candidates)
         # The request-for-bid exchange as a protocol event: fault-free,
         # every candidate replies and the delay is the slowest round trip.
         exchange = self._request_bids(query, candidates)
-        delay = exchange.delay_ms
-        messages = exchange.messages
+        return self._assign_with_exchange(
+            query, candidates, exchange.delay_ms, exchange.messages
+        )
 
+    def assign_batch(self, queries):
+        """All arrivals of one simulated tick, as one market tick.
+
+        Bit-identical to sequential :meth:`assign` calls (the caller
+        guarantees the batch shares a timestamp, negotiation delays are
+        positive and no message faults are active): the only fused work
+        is the per-query latency fan-out — every exchange's legs come
+        from one C-level draw that splits the Mersenne stream exactly as
+        the sequential calls would — while the market arithmetic itself
+        runs per query in arrival order (prices and supply must see each
+        query's effect before the next, exactly as the paper's sequential
+        negotiation does).
+        """
+        context = self._context
+        network = self._bulk_rtt_network
+        if len(queries) < 2 or network is None or context.faults is not None:
+            return [self.assign(query) for query in queries]
+        engine = self._engine
+        if engine is not None:
+            self._interacted = True
+            if engine.deferred_ticks_pending:
+                engine.flush()
+        candidate_sets = [
+            context.available_candidates(query.class_index)
+            for query in queries
+        ]
+        delays = network.round_trip_ms_batch(
+            [len(candidates) for candidates in candidate_sets]
+        )
+        decisions = []
+        for query, candidates, delay in zip(queries, candidate_sets, delays):
+            if not candidates:
+                decisions.append(AssignmentDecision(node_id=None))
+            else:
+                decisions.append(
+                    self._assign_with_exchange(
+                        query,
+                        candidates,
+                        delay,
+                        2 * len(candidates),
+                        use_vector=True,
+                    )
+                )
+        dispatcher = self._dispatcher
+        if dispatcher is not None and not self._vector_singles:
+            # Scatter the batch's cached market state back into the live
+            # agent lists before handing control to the event loop —
+            # between batches every observer sees exactly the scalar
+            # state.  Inside a federation run (`_vector_singles`) the
+            # cache stays warm across assigns; `sync_market_state` is the
+            # contract every observer goes through instead.
+            dispatcher.sync()
+        return decisions
+
+    def _assign_with_exchange(
+        self,
+        query: Query,
+        candidates,
+        delay: float,
+        messages: int,
+        use_vector: bool = False,
+    ) -> AssignmentDecision:
+        """Market reaction to one already-charged request-for-bid fan-out."""
+        class_index = query.class_index
+        context = self.context
+        num_candidates = len(candidates)
         # Single-pass bid collection over the precompiled fan-out.  Each
         # bidder answers the request-for-bid with `quote` semantics: the
         # unconditional price dynamics (refusals must keep adjusting prices
@@ -377,12 +542,41 @@ class QantAllocator(Allocator):
                 return AssignmentDecision(
                     node_id=None, delay_ms=delay, messages=messages
                 )
+            vector = use_vector or self._vector_singles
+            dispatcher = self._dispatcher if vector else None
+            if dispatcher is not None:
+                # Vectorised exchange over the full fan-out: same offers,
+                # price raises, latch updates and accept as the scalar
+                # loop below, as a handful of numpy ops (see
+                # repro.allocation.market_tick for the bit-identity
+                # argument).  Only taken mid-batch or during a federation
+                # run (`_vector_singles`), where every observer goes
+                # through the `sync_market_state` contract, so nobody
+                # ever sees a stale agent.
+                chosen, now_saturated = dispatcher.exchange(
+                    class_index, context.simulator.now
+                )
+                if chosen is None:
+                    if now_saturated:
+                        self._saturated_in[class_index] = self._period_serial
+                    return AssignmentDecision(
+                        node_id=None, delay_ms=delay, messages=messages
+                    )
+                return AssignmentDecision(
+                    chosen, delay_ms=delay, messages=messages
+                )
             saturated = True
         else:
             # Some candidate is in an outage window: run the fan-out over
             # the filtered bidders for this query only (failure
             # experiments), and never record saturation from a partial
             # exchange.
+            dispatcher = self._dispatcher
+            if dispatcher is not None and (use_vector or self._vector_singles):
+                # The scalar loop below reads/writes the live agent
+                # lists, so settle any cached vector state first.
+                dispatcher.sync()
+                dispatcher.stats.scalar_fallbacks += 1
             live = set(candidates)
             bidders = [b for b in bidders if b[0] in live]
             saturated = False

@@ -429,3 +429,24 @@ def _setup_fed_fig5a_paper_short() -> Callable[[], object]:
         ]
 
     return run_once
+
+@register_kernel(
+    "fed.fig5a_1000node",
+    "Scaling-curve cell pair: qa-nt + greedy on a 1,000-node world, "
+    "1.5x load sinusoid quantised to 25 ms arrival ticks, 2 s horizon "
+    "(the market-tick batch dispatcher's showcase)",
+)
+def _setup_fed_fig5a_1000node() -> Callable[[], object]:
+    from ..experiments.scaling import scaling_cell
+
+    # Same fixture as the `scaling` scenario's 1,000-node paper point
+    # (seed 0, point_index 0), cut to a 2 s horizon so one call stays
+    # test-sized: ~3,900 queries negotiated against 1,000-candidate
+    # fan-outs, almost all through the vectorised batch path.
+    def run_once():
+        return [
+            scaling_cell(name, 1000, 0, 0, horizon_ms=2_000.0)
+            for name in ("qa-nt", "greedy")
+        ]
+
+    return run_once

@@ -230,14 +230,23 @@ class QantPeriodEngine:
         prices = self._prices
         if gather or not self._started:
             # The period saw assignments: prices may have risen and
-            # supply been consumed through the agents' live lists.
-            for i, agent in enumerate(agents):
-                prices[i] = agent._price_values
-            self._epochs = np.fromiter(
+            # supply been consumed through the agents' live lists.  Every
+            # price writer (scalar raises, the market-tick dispatcher's
+            # sync, our own decay) bumps the agent's price epoch exactly
+            # when a value changed, so rows whose epoch matches our
+            # mirror are already bit-identical and skip the re-gather.
+            new_epochs = np.fromiter(
                 (agent._price_epoch for agent in agents),
                 dtype=np.int64,
                 count=n,
             )
+            if self._started:
+                stale = np.nonzero(new_epochs != self._epochs)[0].tolist()
+            else:
+                stale = range(n)
+            for i in stale:
+                prices[i] = agents[i]._price_values
+            self._epochs = new_epochs
             remaining = np.array([agent._remaining for agent in agents])
         else:
             # Untouched period: nothing was sold, so the unsold leftover

@@ -48,6 +48,7 @@ from .fig5 import (
 from .fig6 import Fig6Result, run_fig6
 from .fig7 import Fig7Result, run_fig7
 from .replication import Replication, ratio_confident, replicate
+from .scaling import quantise_trace, scaling_cell
 from .setups import (
     World,
     run_mechanisms,
@@ -81,9 +82,11 @@ __all__ = [
     "run_sweep",
     "single_run_payload",
     "write_json_artifact",
+    "quantise_trace",
     "ratio_confident",
     "replicate",
     "run_failures",
+    "scaling_cell",
     "Fig2Result",
     "Fig3Result",
     "Fig4Result",

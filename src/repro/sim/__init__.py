@@ -16,6 +16,7 @@ from .federation import (
     build_federation,
     generate_machine_specs,
 )
+from .fleet import ClassView, FleetArrays
 from .metrics import (
     MetricsCollector,
     QueryOutcome,
@@ -27,6 +28,7 @@ from .node import ExecutionRecord, SimulatedNode
 from .transport import SimTransport
 
 __all__ = [
+    "ClassView",
     "DEFAULT_PERIOD_MS",
     "EventHandle",
     "ExecutionRecord",
@@ -34,6 +36,7 @@ __all__ = [
     "FaultSpec",
     "FederationConfig",
     "FederationSimulation",
+    "FleetArrays",
     "LatencyModel",
     "MetricsCollector",
     "Network",

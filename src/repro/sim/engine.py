@@ -16,8 +16,7 @@ top of it in sibling modules.
 from __future__ import annotations
 
 import heapq
-import itertools
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 __all__ = [
     "EventHandle",
@@ -46,13 +45,47 @@ class EventHandle:
             self._simulator._on_cancel()
 
 
+class _EventStream:
+    """A pre-sorted run of events sharing one resident heap slot.
+
+    Large workload traces schedule every arrival up front; putting each
+    one in the heap makes ``heapify``/``heappush`` costs scale with the
+    trace length.  A stream keeps the full ``(time, callback, args)``
+    run in a plain list and exposes only its head to the heap — when the
+    head fires, the next entry is pushed.  Sequence numbers for the whole
+    run are reserved contiguously at registration, so interleaving with
+    individually scheduled events is identical to having ``schedule_at``
+    been called once per entry at registration time.
+
+    Stream entries are not cancellable (they carry no per-event handle);
+    use :meth:`Simulator.schedule_at` for events that may be cancelled.
+    """
+
+    __slots__ = ("_entries", "_pos", "_base_seq")
+
+    def __init__(
+        self,
+        entries: Sequence[Tuple[float, Callable[..., Any], Tuple[Any, ...]]],
+        base_seq: int,
+    ) -> None:
+        self._entries = entries
+        self._pos = 0
+        self._base_seq = base_seq
+
+
+# Shared heap-slot handle for stream entries: never cancelled, and nothing
+# reads `fired` back, so one immortal instance serves every stream slot
+# (heap tuples never compare it — (time, seq) is globally unique).
+_STREAM_HANDLE = EventHandle(0.0, -1)
+
+
 class Simulator:
     """A deterministic discrete-event simulator clocked in milliseconds."""
 
     def __init__(self) -> None:
         self._now = 0.0
         self._heap: List[Tuple[float, int, EventHandle, Callable[[], Any]]] = []
-        self._seq = itertools.count()
+        self._seq = 0
         self._events_processed = 0
         self._live = 0
         self._cancelled_pending = 0
@@ -79,10 +112,22 @@ class Simulator:
 
     def _on_cancel(self) -> None:
         """Account for a live event turning cancelled; compact when stale
-        entries outnumber live ones (amortised O(1) per cancellation)."""
+        entries outnumber live heap entries (amortised O(1) per
+        cancellation).
+
+        The threshold is heap-local — cancelled entries must make up more
+        than half the *physical heap* — rather than compared against the
+        live-event count: streams keep most of their pending events out of
+        the heap, so ``_live`` can dwarf ``len(self._heap)`` and a
+        live-count threshold would let a small heap fill up with stale
+        entries and never compact.
+        """
         self._live -= 1
         self._cancelled_pending += 1
-        if self._cancelled_pending > max(64, self._live):
+        if (
+            self._cancelled_pending > 64
+            and self._cancelled_pending * 2 > len(self._heap)
+        ):
             self._compact()
 
     def _compact(self) -> None:
@@ -114,12 +159,72 @@ class Simulator:
                 "cannot schedule at %.3f, current time is %.3f"
                 % (time_ms, self._now)
             )
-        handle = EventHandle(time_ms, next(self._seq), self)
+        seq = self._seq
+        self._seq = seq + 1
+        handle = EventHandle(time_ms, seq, self)
         heapq.heappush(
             self._heap, (time_ms, handle.seq, handle, callback, args)
         )
         self._live += 1
         return handle
+
+    def schedule_stream(
+        self,
+        entries: Sequence[Tuple[float, Callable[..., Any], Tuple[Any, ...]]],
+    ) -> None:
+        """Schedule a pre-sorted run of ``(time_ms, callback, args)`` events.
+
+        Equivalent to calling :meth:`schedule_at` once per entry, in order,
+        right now — the whole run's sequence numbers are reserved here, so
+        FIFO tie-breaking against other events is identical — but only the
+        stream's next-due entry occupies a heap slot at any moment.  This
+        keeps the heap size O(live streams + individually scheduled
+        events) instead of O(trace length) for bulk workload registration.
+
+        ``entries`` must be sorted ascending by time and lie at/after the
+        current clock.  Stream entries cannot be cancelled.
+        """
+        if not entries:
+            return
+        prev = self._now
+        for time_ms, _callback, _args in entries:
+            if time_ms < prev:
+                raise ValueError(
+                    "stream entries must be sorted ascending and not "
+                    "scheduled in the past"
+                )
+            prev = time_ms
+        base_seq = self._seq
+        self._seq = base_seq + len(entries)
+        self._live += len(entries)
+        self._push_stream_head(_EventStream(entries, base_seq))
+
+    def _push_stream_head(self, stream: _EventStream) -> None:
+        """Put the stream's next pending entry into the heap."""
+        time_ms, callback, args = stream._entries[stream._pos]
+        heapq.heappush(
+            self._heap,
+            (
+                time_ms,
+                stream._base_seq + stream._pos,
+                _STREAM_HANDLE,
+                self._advance_stream,
+                (stream, callback, args),
+            ),
+        )
+
+    def _advance_stream(
+        self,
+        stream: _EventStream,
+        callback: Callable[..., Any],
+        args: Tuple[Any, ...],
+    ) -> None:
+        """Fire one stream entry; expose the next one to the heap first
+        (the callback may itself drain the heap or schedule new work)."""
+        stream._pos += 1
+        if stream._pos < len(stream._entries):
+            self._push_stream_head(stream)
+        callback(*args)
 
     def step(self) -> bool:
         """Execute the next event.  Returns False when the heap is empty."""

@@ -33,6 +33,7 @@ from ..query.model import Query, QueryClass
 from ..workload.trace import WorkloadEvent
 from .engine import Simulator
 from .faults import FaultInjector, FaultSpec
+from .fleet import FleetArrays
 from .metrics import MetricsCollector, QueryOutcome
 from .network import LatencyModel, Network
 from .node import SimulatedNode
@@ -61,6 +62,14 @@ class FederationConfig:
     #: or an inactive spec leaves every code path — and every RNG draw —
     #: exactly as without the fault layer.
     faults: Optional[FaultSpec] = None
+    #: Route same-timestamp arrival groups through the allocator's
+    #: :meth:`~repro.allocation.base.Allocator.assign_batch` (one market
+    #: tick per simulated instant) instead of one event per query.
+    #: Bit-identical either way by the batch contract; the flag exists so
+    #: twin-fleet equivalence tests can force the scalar path.  Batching
+    #: auto-disables under message faults or a zero base latency (see
+    #: ``FederationSimulation._batch_enabled``).
+    batch_ticks: bool = True
 
     def __post_init__(self) -> None:
         if self.period_ms <= 0:
@@ -106,8 +115,24 @@ class FederationSimulation:
             period_ms=config.period_ms,
             rng=random.Random(config.seed + 1),
             faults=faults if faults is not None and faults.message_faults else None,
+            fleet=FleetArrays.build(nodes),
         )
         allocator.bind(context)
+        # Market-tick batching requirements beyond the config flag:
+        # * strictly positive negotiation delays (base latency > 0), so
+        #   no enqueue/completion can land *between* two same-tick
+        #   assigns — with zero base latency an assignment would enqueue
+        #   synchronously mid-batch and the batch contract breaks;
+        # * no message faults — backoff retries interleave their own
+        #   scheduling and RNG draws per query, which batching would
+        #   reorder.  Node-only faults (outages, churn) are fine: the
+        #   allocators fall back to scalar exchanges per query on
+        #   partial candidate sets.
+        self._batch_enabled = (
+            config.batch_ticks
+            and config.latency.base_ms > 0
+            and (faults is None or not faults.message_faults)
+        )
 
     # -- accessors -------------------------------------------------------------
 
@@ -160,6 +185,7 @@ class FederationSimulation:
             # Scripted outages and churn windows go through the node's
             # existing fail/drain machinery before any event fires.
             faults.install_node_faults(self._nodes, horizon)
+        self._allocator.on_run_start()
         self._sim.every(
             self._config.period_ms,
             self._on_period_tick,
@@ -167,15 +193,33 @@ class FederationSimulation:
             until_ms=end_of_run,
         )
         # Arrivals are scheduled as slim (callback, args) event slots — no
-        # per-event closure allocation for the whole trace.
-        schedule_at = self._sim.schedule_at
-        on_arrival = self._on_arrival
-        for event in trace:
-            schedule_at(event.time_ms, on_arrival, event)
+        # per-event closure allocation for the whole trace.  A sorted
+        # trace (every builder emits one) goes in as one event *stream*:
+        # only its next-due entry occupies a heap slot, so a million-query
+        # trace costs O(1) heap residency instead of O(queries), and —
+        # with batching enabled — runs of same-timestamp arrivals collapse
+        # into one market-tick entry each.
+        if all(
+            trace[i].time_ms <= trace[i + 1].time_ms
+            for i in range(len(trace) - 1)
+        ):
+            self._sim.schedule_stream(self._arrival_entries(trace))
+        else:
+            schedule_at = self._sim.schedule_at
+            on_arrival = self._on_arrival
+            for event in trace:
+                schedule_at(event.time_ms, on_arrival, event)
         self._sim.run(until_ms=end_of_run)
         # Let the allocator settle any deferred period bookkeeping before
         # the run's state is read (metrics, drops, post-run agent probes).
         self._allocator.on_run_end()
+        batch_stats = getattr(self._allocator, "batch_dispatch_stats", None)
+        if batch_stats is not None:
+            self._metrics.apply_batch_stats(
+                vector_exchanges=batch_stats.vector_exchanges,
+                scalar_fallbacks=batch_stats.scalar_fallbacks,
+                syncs=batch_stats.syncs,
+            )
         for __ in self._pending:
             self._metrics.record_drop()
         for __ in self._backoff_pending:
@@ -191,6 +235,37 @@ class FederationSimulation:
             )
         return self._metrics
 
+    def _arrival_entries(
+        self, trace: Sequence[WorkloadEvent]
+    ) -> List[Tuple[float, object, tuple]]:
+        """Stream entries for a sorted trace, grouping same-tick arrivals.
+
+        With batching enabled, a run of events sharing one timestamp
+        becomes a single ``_on_arrival_batch`` entry (the group fires at
+        the run's first reserved sequence number; nothing else can sort
+        between the run's members, so the collapse is order-preserving).
+        Singletons — and everything when batching is off — stay one
+        ``_on_arrival`` entry per event.
+        """
+        on_arrival = self._on_arrival
+        if not self._batch_enabled:
+            return [(e.time_ms, on_arrival, (e,)) for e in trace]
+        entries: List[Tuple[float, object, tuple]] = []
+        on_batch = self._on_arrival_batch
+        i = 0
+        total = len(trace)
+        while i < total:
+            j = i + 1
+            time_ms = trace[i].time_ms
+            while j < total and trace[j].time_ms == time_ms:
+                j += 1
+            if j - i == 1:
+                entries.append((time_ms, on_arrival, (trace[i],)))
+            else:
+                entries.append((time_ms, on_batch, (tuple(trace[i:j]),)))
+            i = j
+        return entries
+
     # -- event handlers ---------------------------------------------------------------
 
     def _on_arrival(self, event: WorkloadEvent) -> None:
@@ -203,18 +278,50 @@ class FederationSimulation:
         self._next_qid += 1
         self._try_assign(query)
 
+    def _on_arrival_batch(self, events: Tuple[WorkloadEvent, ...]) -> None:
+        """All arrivals of one simulated tick, as one market tick."""
+        queries = []
+        for event in events:
+            queries.append(
+                Query(
+                    qid=self._next_qid,
+                    class_index=event.class_index,
+                    origin_node=event.origin_node,
+                    arrival_ms=event.time_ms,
+                )
+            )
+            self._next_qid += 1
+        self._dispatch_batch(queries)
+
     def _on_period_tick(self) -> None:
         self._allocator.on_period_start()
         if not self._pending:
             return
         # Refused queries re-enter the new period's demand (Section 3.3).
         retry, self._pending = self._pending, []
+        if self._batch_enabled and len(retry) >= 2:
+            # The whole retry burst shares this tick; the batch contract
+            # guarantees the up-front resubmission bump is unobservable
+            # (a fault-free assign never reads another query's counter).
+            for query in retry:
+                query.resubmissions += 1
+            self._dispatch_batch(retry)
+            return
         for query in retry:
             query.resubmissions += 1
             self._try_assign(query)
 
+    def _dispatch_batch(self, queries: List[Query]) -> None:
+        """Allocate one same-tick batch through ``assign_batch``."""
+        self._metrics.record_batch_tick(len(queries))
+        decisions = self._allocator.assign_batch(queries)
+        for query, decision in zip(queries, decisions):
+            self._finish_assign(query, decision)
+
     def _try_assign(self, query: Query) -> None:
-        decision = self._allocator.assign(query)
+        self._finish_assign(query, self._allocator.assign(query))
+
+    def _finish_assign(self, query: Query, decision) -> None:
         self._metrics.record_exchange(
             decision.messages, decision.delay_ms, decision.node_id is not None
         )

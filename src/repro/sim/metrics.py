@@ -81,6 +81,16 @@ class MetricsCollector:
         self._refused_exchanges = 0
         self._negotiation_messages = 0
         self._negotiation_delay_ms = 0.0
+        # Market-tick batching counters (all zero when batching is off):
+        # how often same-timestamp arrivals were dispatched as one batch,
+        # plus the allocator-side dispatcher counters snapshotted at the
+        # end of the run (see FederationSimulation.run).
+        self._batch_ticks = 0
+        self._batched_queries = 0
+        self._max_batch = 0
+        self._vector_exchanges = 0
+        self._scalar_fallbacks = 0
+        self._batch_syncs = 0
 
     # -- recording ---------------------------------------------------------------
 
@@ -115,6 +125,29 @@ class MetricsCollector:
             self._refused_exchanges += 1
         self._negotiation_messages += messages
         self._negotiation_delay_ms += delay_ms
+
+    def record_batch_tick(self, size: int) -> None:
+        """Record one same-tick arrival group dispatched as a batch."""
+        self._batch_ticks += 1
+        self._batched_queries += size
+        if size > self._max_batch:
+            self._max_batch = size
+
+    def apply_batch_stats(
+        self,
+        vector_exchanges: int = 0,
+        scalar_fallbacks: int = 0,
+        syncs: int = 0,
+    ) -> None:
+        """Snapshot an allocator's batch-dispatcher counters.
+
+        Called once by the federation at the end of a run whose allocator
+        exposes ``batch_dispatch_stats``, so the dispatch telemetry
+        travels with the query metrics.
+        """
+        self._vector_exchanges += int(vector_exchanges)
+        self._scalar_fallbacks += int(scalar_fallbacks)
+        self._batch_syncs += int(syncs)
 
     def apply_fault_stats(
         self,
@@ -190,6 +223,44 @@ class MetricsCollector:
             "refused_exchanges": float(self._refused_exchanges),
             "negotiation_messages": float(self._negotiation_messages),
             "negotiation_delay_ms": self._negotiation_delay_ms,
+        }
+
+    # -- market-tick batching metrics ----------------------------------------------
+
+    @property
+    def batch_ticks(self) -> int:
+        """Same-tick arrival groups dispatched through ``assign_batch``."""
+        return self._batch_ticks
+
+    @property
+    def batched_queries(self) -> int:
+        """Queries allocated inside batch dispatches."""
+        return self._batched_queries
+
+    @property
+    def max_batch(self) -> int:
+        """Largest single batch dispatched."""
+        return self._max_batch
+
+    @property
+    def vector_exchanges(self) -> int:
+        """Request-for-bid exchanges answered on the vector path."""
+        return self._vector_exchanges
+
+    @property
+    def scalar_fallbacks(self) -> int:
+        """Exchanges the dispatcher dropped to the scalar loop for."""
+        return self._scalar_fallbacks
+
+    def batch_summary(self) -> Dict[str, float]:
+        """The batching counters as one flat mapping (sweep-cell currency)."""
+        return {
+            "batch_ticks": float(self._batch_ticks),
+            "batched_queries": float(self._batched_queries),
+            "max_batch": float(self._max_batch),
+            "vector_exchanges": float(self._vector_exchanges),
+            "scalar_fallbacks": float(self._scalar_fallbacks),
+            "batch_syncs": float(self._batch_syncs),
         }
 
     # -- fault metrics -------------------------------------------------------------

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple
 
 from ..protocol.transport import FanoutResult
 from .engine import Simulator
@@ -301,3 +301,39 @@ class Network:
             if trip > worst:
                 worst = trip
         return worst
+
+    def round_trip_ms_batch(self, sizes: Sequence[int]) -> List[float]:
+        """Charge one :meth:`round_trip_ms` exchange per entry of ``sizes``.
+
+        Returns the per-exchange worst round trips in order.  All legs of
+        the whole batch are drawn in a single C-level call and split into
+        per-exchange segments; because ``k`` sequential ``random_sample``
+        draws consume the Mersenne stream exactly like one size-``k`` draw,
+        every returned float (and the RNG state left behind) is
+        bit-identical to calling ``round_trip_ms(n)`` once per entry.
+        """
+        sample = self._np_sample
+        jitter = self._latency.jitter_ms
+        if sample is None or jitter == 0:
+            # No shared numpy stream to split (or no randomness at all):
+            # the sequential calls are already cheap and draw-free/exact.
+            return [self.round_trip_ms(n) for n in sizes]
+        total = 0
+        for n in sizes:
+            if n > 0:
+                total += n
+        if total == 0:
+            return [0.0] * len(sizes)
+        base = self._latency.base_ms
+        legs = base + jitter * sample(2 * total)
+        trips = legs[0::2] + legs[1::2]
+        out: List[float] = []
+        pos = 0
+        for n in sizes:
+            if n <= 0:
+                out.append(0.0)
+                continue
+            self._messages_sent += 2 * n
+            out.append(float(trips[pos : pos + n].max()))
+            pos += n
+        return out

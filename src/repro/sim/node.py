@@ -95,6 +95,11 @@ class SimulatedNode:
         #: Outage intervals (start_ms, end_ms) during which the node
         #: accepts no new work; in-flight queries drain normally.
         self._outages: List[Tuple[float, float]] = []
+        #: Mirror of ``_slot_free_at[0]`` inside a federation-wide numpy
+        #: array (see :class:`repro.sim.fleet.FleetArrays`); ``None`` until
+        #: :meth:`attach_fleet` wires it up.
+        self._fleet_slot_free = None
+        self._fleet_row = -1
 
     # -- capabilities -----------------------------------------------------------
 
@@ -157,6 +162,20 @@ class SimulatedNode:
         the processing-time budget the QA-NT seller may sell.
         """
         return CapacitySupplySet(self._costs, period_ms * self._exec_slots)
+
+    def attach_fleet(self, slot_free, row: int) -> None:
+        """Mirror this node's single-slot watermark into a fleet array.
+
+        ``slot_free[row]`` is kept equal to ``_slot_free_at[0]`` from here
+        on (:meth:`enqueue` is the only mutator), letting allocators
+        compute completion estimates for whole candidate sets with one
+        vectorised expression instead of per-node method calls.
+        """
+        if self._exec_slots != 1:
+            raise ValueError("fleet arrays mirror single-slot nodes only")
+        self._fleet_slot_free = slot_free
+        self._fleet_row = row
+        slot_free[row] = self._slot_free_at[0]
 
     # -- load introspection (used by allocators) ---------------------------------
 
@@ -236,6 +255,9 @@ class SimulatedNode:
         start = max(now, self._slot_free_at[slot])
         finish = start + exec_ms
         self._slot_free_at[slot] = finish
+        fleet_sf = self._fleet_slot_free
+        if fleet_sf is not None:
+            fleet_sf[self._fleet_row] = finish
         self._total_busy_ms += exec_ms
         self._executed_by_class[query.class_index] = (
             self._executed_by_class.get(query.class_index, 0) + 1

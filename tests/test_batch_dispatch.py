@@ -1,0 +1,226 @@
+"""Twin-fleet bit-identity tests for the market-tick batch dispatcher.
+
+The federation coalesces same-tick arrivals into one
+:meth:`~repro.allocation.base.Allocator.assign_batch` call, and QA-NT
+answers full fan-outs through the vectorised
+:class:`~repro.allocation.market_tick.MarketTickDispatcher`.  The whole
+construction carries one contract: a run with ``batch_ticks=True`` must
+be *bit-identical* to the same run with batching disabled — every
+decision, every float, every RNG draw, every message count, and every
+agent's post-run market state.  These tests drive twin federations over
+quantised traces (so real multi-query batches form) and hash everything.
+"""
+
+import hashlib
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.allocation import GreedyAllocator, QantAllocator, RandomAllocator
+from repro.experiments.scaling import quantise_trace
+from repro.experiments.setups import (
+    run_mechanism,
+    sinusoid_trace_for_load,
+    two_query_world,
+)
+from repro.sim import FederationConfig, build_federation
+from repro.sim.faults import FaultSpec
+from repro.sim.network import LatencyModel
+
+_MECHANISMS = (
+    ("qa-nt", QantAllocator),
+    ("greedy", GreedyAllocator),
+    ("random", RandomAllocator),  # draws context RNG per assign
+)
+
+_FAULT_SPECS = {
+    # No faults: the vector exchange handles every full fan-out.
+    "none": None,
+    # Node churn only: no message faults, so batching stays enabled and
+    # outage windows force partial fan-outs through the scalar fallback.
+    "churn": FaultSpec(crash_rate_per_min=4.0, fault_seed=7),
+    # Message faults: batching is disabled outright (backoff draws would
+    # interleave differently), so both runs take the scalar path.
+    "drops": FaultSpec(drop_probability=0.05, fault_seed=7),
+}
+
+
+def _outcome_digest(outcomes) -> str:
+    """Same full-record pin as tests/test_golden_trace.py."""
+    digest = hashlib.sha256()
+    for o in outcomes:
+        digest.update(
+            (
+                "%d,%d,%d,%r,%r,%d,%r,%r,%d;"
+                % (
+                    o.qid,
+                    o.class_index,
+                    o.origin_node,
+                    o.arrival_ms,
+                    o.assigned_ms,
+                    o.node_id,
+                    o.start_ms,
+                    o.finish_ms,
+                    o.resubmissions,
+                )
+            ).encode()
+        )
+    return digest.hexdigest()
+
+
+def _quantised_run(name, factory, seed, tick_ms, batch_ticks, faults=None):
+    world = two_query_world(num_nodes=12, seed=seed)
+    trace = quantise_trace(
+        sinusoid_trace_for_load(
+            world,
+            load_fraction=1.5,
+            horizon_ms=1_500.0,
+            frequency_hz=0.05,
+            seed=seed + 10,
+        ),
+        tick_ms,
+    )
+    return run_mechanism(
+        world,
+        trace,
+        name,
+        factory,
+        FederationConfig(seed=seed + 2, batch_ticks=batch_ticks, faults=faults),
+    )
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=3),
+    st.sampled_from([5.0, 25.0, 100.0]),
+    st.integers(min_value=0, max_value=len(_MECHANISMS) - 1),
+    st.sampled_from(sorted(_FAULT_SPECS)),
+)
+def test_batched_runs_match_scalar_bit_for_bit(
+    seed, tick_ms, mech_index, fault_key
+):
+    name, factory = _MECHANISMS[mech_index]
+    faults = _FAULT_SPECS[fault_key]
+    batched = _quantised_run(name, factory, seed, tick_ms, True, faults)
+    scalar = _quantised_run(name, factory, seed, tick_ms, False, faults)
+    assert _outcome_digest(batched.metrics.outcomes) == _outcome_digest(
+        scalar.metrics.outcomes
+    )
+    assert batched.messages == scalar.messages
+    assert batched.metrics.completed == scalar.metrics.completed
+    # The scalar twin never records batch activity; the batched twin
+    # only does where batching is actually legal.
+    assert scalar.metrics.batch_ticks == 0
+    if faults is not None and faults.message_faults:
+        assert batched.metrics.batch_ticks == 0
+
+
+def _agent_state(agent):
+    return (
+        tuple(agent.prices),
+        agent.max_price,
+        tuple(agent._remaining),
+        tuple(agent._refused),
+        tuple(agent._accepted),
+        agent._price_epoch,
+        agent._enforce_locked_at,
+    )
+
+
+def test_qant_agent_state_matches_scalar_after_run():
+    # Beyond the outcome digest: every agent's post-run market state
+    # (prices, supply, refusal counters, epoch, enforce latch) must be
+    # exactly what the never-batched run leaves behind.
+    world = two_query_world(num_nodes=16, seed=0)
+    trace = quantise_trace(
+        sinusoid_trace_for_load(
+            world,
+            load_fraction=1.5,
+            horizon_ms=1_500.0,
+            frequency_hz=0.05,
+            seed=3,
+        ),
+        50.0,
+    )
+    states = {}
+    metrics = {}
+    for batch in (True, False):
+        allocator = QantAllocator()
+        federation = build_federation(
+            world.specs,
+            world.placement,
+            world.classes,
+            world.cost_model,
+            allocator,
+            FederationConfig(seed=2, batch_ticks=batch),
+        )
+        metrics[batch] = federation.run(trace)
+        states[batch] = {
+            node_id: _agent_state(agent)
+            for node_id, agent in sorted(allocator.agents.items())
+        }
+    assert states[True] == states[False]
+    assert _outcome_digest(metrics[True].outcomes) == _outcome_digest(
+        metrics[False].outcomes
+    )
+    # The batched twin really batched — and really vectorised.
+    assert metrics[True].batch_ticks > 0
+    assert metrics[True].batched_queries >= 2 * metrics[True].batch_ticks
+    assert metrics[True].max_batch >= 2
+    assert metrics[True].vector_exchanges > 0
+
+
+def test_zero_base_latency_disables_batching():
+    # With base_ms == 0 a negotiation can complete synchronously, so an
+    # assignment's completion could land mid-batch; the federation must
+    # fall back to per-query dispatch (and stay bit-identical).
+    world = two_query_world(num_nodes=10, seed=1)
+    trace = quantise_trace(
+        sinusoid_trace_for_load(
+            world,
+            load_fraction=1.0,
+            horizon_ms=1_000.0,
+            frequency_hz=0.05,
+            seed=5,
+        ),
+        25.0,
+    )
+    latency = LatencyModel(base_ms=0.0, jitter_ms=0.0)
+    runs = {}
+    for batch in (True, False):
+        runs[batch] = run_mechanism(
+            world,
+            trace,
+            "qa-nt",
+            QantAllocator,
+            FederationConfig(seed=2, batch_ticks=batch, latency=latency),
+        )
+    assert _outcome_digest(runs[True].metrics.outcomes) == _outcome_digest(
+        runs[False].metrics.outcomes
+    )
+    assert runs[True].metrics.batch_ticks == 0
+
+
+def test_batch_summary_counters_surface_in_metrics():
+    run = _quantised_run("qa-nt", QantAllocator, 0, 25.0, True)
+    summary = run.metrics.batch_summary()
+    assert set(summary) == {
+        "batch_ticks",
+        "batched_queries",
+        "max_batch",
+        "vector_exchanges",
+        "scalar_fallbacks",
+        "batch_syncs",
+    }
+    assert summary["batch_ticks"] > 0
+    assert summary["batched_queries"] >= 2 * summary["batch_ticks"]
+    assert summary["max_batch"] >= 2
+    assert summary["vector_exchanges"] > 0
+    # A non-batched run never forms batches, but single assigns inside a
+    # federation run still go through the (bit-identical) vector
+    # exchange, so the dispatcher counters may be nonzero.
+    scalar = _quantised_run("qa-nt", QantAllocator, 0, 25.0, False).metrics
+    assert scalar.batch_ticks == 0
+    assert scalar.batched_queries == 0
+    assert scalar.max_batch == 0
+    assert scalar.vector_exchanges > 0

@@ -33,6 +33,7 @@ REQUIRED_KERNELS = {
     "sim.event_throughput",
     "proto.codec",
     "e2e.federation_sweep",
+    "fed.fig5a_1000node",
 }
 
 

@@ -92,3 +92,98 @@ def test_mass_cancellation_compacts_and_survivors_fire(count, survivor_delay):
     sim.run()
     assert fired == ["a", "b"]
     assert sim.heap_size == 0
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(
+        st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+        min_size=1,
+        max_size=40,
+    ),
+    st.lists(
+        st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+        max_size=10,
+    ),
+)
+def test_schedule_stream_matches_sequential_schedule_at(
+    stream_times, other_times
+):
+    # A stream reserves its whole seq range at registration, so firing
+    # order (including FIFO ties against individually scheduled events
+    # registered before and after it) must be indistinguishable from
+    # having called schedule_at once per entry.
+    stream_times = sorted(stream_times)
+    half = len(other_times) // 2
+
+    def run(use_stream):
+        sim = Simulator()
+        fired = []
+        for j, t in enumerate(other_times[:half]):
+            sim.schedule_at(t, fired.append, ("pre", j))
+        if use_stream:
+            sim.schedule_stream(
+                [
+                    (t, fired.append, (("stream", i),))
+                    for i, t in enumerate(stream_times)
+                ]
+            )
+        else:
+            for i, t in enumerate(stream_times):
+                sim.schedule_at(t, fired.append, ("stream", i))
+        for j, t in enumerate(other_times[half:]):
+            sim.schedule_at(t, fired.append, ("post", j))
+        assert sim.pending_events == len(stream_times) + len(other_times)
+        sim.run()
+        assert sim.pending_events == 0
+        return fired
+
+    assert run(True) == run(False)
+
+
+def test_schedule_stream_rejects_unsorted_and_past_entries():
+    import pytest
+
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.schedule_stream(
+            [(5.0, (lambda: None), ()), (4.0, (lambda: None), ())]
+        )
+    sim.schedule_at(10.0, lambda: None)
+    sim.run()
+    assert sim.now == 10.0
+    with pytest.raises(ValueError):
+        sim.schedule_stream([(5.0, (lambda: None), ())])
+
+
+def test_compaction_stays_heap_local_under_large_pending_stream():
+    # Regression for the adaptive threshold: a bulk-registered trace
+    # keeps >=100k events *pending* while only the stream head occupies
+    # a physical heap slot.  The old trigger compared stale entries to
+    # the live-event count (`> max(64, live)`), which a 100k-event
+    # stream pins unreachably high — cancelled one-off events would then
+    # accumulate in the heap forever.  The heap-local rule (stale
+    # outnumbering half the physical heap) must keep compacting.
+    sim = Simulator()
+    fired = [0]
+
+    def bump():
+        fired[0] += 1
+
+    n = 100_000
+    sim.schedule_stream([(float(i) * 0.01, bump, ()) for i in range(n)])
+    assert sim.pending_events == n
+    assert sim.heap_size == 1  # only the stream head is resident
+
+    doomed = [sim.schedule(2_000.0, bump) for __ in range(500)]
+    for handle in doomed:
+        handle.cancel()
+    assert sim.pending_events == n
+    # Repeated compactions keep the heap near the live entry count; the
+    # live-count threshold would have left all 500 stale slots in place.
+    assert sim.heap_size <= 70
+
+    sim.run()
+    assert fired[0] == n
+    assert sim.pending_events == 0
+    assert sim.heap_size == 0

@@ -22,6 +22,7 @@ import pytest
 
 from repro.allocation import GreedyAllocator, QantAllocator, RoundRobinAllocator
 from repro.experiments.runner import _json_safe, run_sweep
+from repro.experiments.scaling import quantise_trace
 from repro.experiments.setups import (
     run_mechanism,
     sinusoid_trace_for_load,
@@ -165,6 +166,49 @@ def chaos_payload() -> str:
     return json.dumps(payload, indent=2, sort_keys=True) + "\n"
 
 
+def scaling_1000node_payload() -> str:
+    """The 1,000-node scaling-curve golden payload (batched dispatch).
+
+    Same fixture as the ``fed.fig5a_1000node`` bench kernel and the
+    ``scaling`` scenario's largest paper point (world seed 0, quantised
+    trace seed 10, federation seed 2), horizon cut to 2 s.  Arrival
+    timestamps sit on a 25 ms grid, so nearly every query reaches QA-NT
+    through a multi-query market-tick batch — this pins the vectorised
+    fan-out (bid matrices, argmin best-offer, bulk refusals) per query,
+    per bit, at full federation scale.
+    """
+    world = two_query_world(num_nodes=1_000, seed=0)
+    trace = quantise_trace(
+        sinusoid_trace_for_load(
+            world,
+            load_fraction=1.5,
+            horizon_ms=2_000.0,
+            frequency_hz=0.05,
+            seed=10,
+        ),
+        25.0,
+    )
+    payload = {}
+    for mechanism, factory in (
+        ("qa-nt", QantAllocator),
+        ("greedy", GreedyAllocator),
+    ):
+        run = run_mechanism(
+            world, trace, mechanism, factory, FederationConfig(seed=2)
+        )
+        metrics = run.metrics
+        payload[mechanism] = {
+            "completed": metrics.completed,
+            "dropped": metrics.dropped,
+            "messages": run.messages,
+            "mean_response_ms": metrics.mean_response_ms(),
+            "p99_response_ms": metrics.percentile_response_ms(0.99),
+            "batch_summary": metrics.batch_summary(),
+            "outcome_digest": _outcome_digest(metrics.outcomes),
+        }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
 def _golden(name: str) -> str:
     return (GOLDEN_DIR / name).read_text()
 
@@ -184,6 +228,14 @@ def test_chaos_seed0_matches_golden():
     """The faulted 20-node qa-nt/greedy/round-robin triple reproduces the
     stored per-query digests and fault counters bit-for-bit."""
     assert chaos_payload() == _golden("chaos_seed0.json")
+
+
+def test_scaling_1000node_matches_golden():
+    """The 1,000-node batched qa-nt/greedy pair reproduces the stored
+    per-query digests and batch counters bit-for-bit."""
+    assert scaling_1000node_payload() == _golden(
+        "scaling_1000node_seed0.json"
+    )
 
 
 @pytest.mark.slow
