@@ -101,6 +101,7 @@ def measure(
     fn: Callable[[], object],
     repeat: int = 3,
     target_round_s: float = _TARGET_ROUND_S,
+    wall: bool = False,
 ) -> tuple:
     """Time ``fn``: returns ``(best_ns_per_op, inner_loops)``.
 
@@ -116,10 +117,16 @@ def measure(
     barely moving the CPU time this process actually consumed — and the
     regression gate compares against baselines captured under unknown
     load.
+
+    ``wall=True`` switches to ``time.perf_counter`` for kernels whose
+    work happens partly in *other* processes (the sharded federation):
+    parent CPU time would miss everything the shard workers burn, so
+    wall clock — noisier, but honest — is the only meaningful metric.
+    Kernels opt in via :attr:`repro.bench.kernels.Kernel.wall_time`.
     """
     if repeat < 1:
         raise ValueError("repeat must be >= 1")
-    perf_counter = time.process_time
+    perf_counter = time.perf_counter if wall else time.process_time
     inner = 1
     while True:
         started = perf_counter()
@@ -151,6 +158,14 @@ def measure_peak(fn: Callable[[], object]) -> float:
     into timing would corrupt ns/op.  One untraced warm-up call lets
     caches and lazy imports settle first, leaving the steady-state
     per-op footprint.
+
+    Multi-process kernels expose a ``child_peak_kb`` attribute on the
+    timed callable (a zero-argument callable returning the largest child
+    worker's peak RSS in KiB); its reading is added so ``bench --mem``
+    reports the whole process tree instead of silently reporting only the
+    parent.  Max-over-children rather than a sum: forked workers share
+    copy-on-write pages with the parent, so summing RSS would multiply
+    the shared interpreter image by the worker count.
     """
     fn()
     tracemalloc.start()
@@ -160,7 +175,11 @@ def measure_peak(fn: Callable[[], object]) -> float:
         __, peak = tracemalloc.get_traced_memory()
     finally:
         tracemalloc.stop()
-    return peak / 1024.0
+    total_kb = peak / 1024.0
+    child_peak = getattr(fn, "child_peak_kb", None)
+    if callable(child_peak):
+        total_kb += float(child_peak())
+    return total_kb
 
 
 def run_benchmarks(
@@ -193,7 +212,7 @@ def run_benchmarks(
         if progress is not None:
             progress(kernel.name)
         fn = kernel.setup()
-        ns_per_op, inner = measure(fn, repeat=repeat)
+        ns_per_op, inner = measure(fn, repeat=repeat, wall=kernel.wall_time)
         peak_kb = measure_peak(fn) if measure_mem else None
         results[kernel.name] = Measurement(
             name=kernel.name,

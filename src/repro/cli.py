@@ -106,8 +106,15 @@ def _run_one(
     as_json: bool,
     out_dir: str,
     fault_seed: Optional[int] = None,
+    pool=None,
 ) -> None:
-    """Run one registered experiment and print/persist its results."""
+    """Run one registered experiment and print/persist its results.
+
+    ``pool`` is the shared :class:`~concurrent.futures
+    .ProcessPoolExecutor` created once in :func:`main` for ``--jobs N``,
+    so ``run all`` reuses warm workers across specs instead of spawning a
+    fresh pool per experiment.
+    """
     spec: ScenarioSpec = REGISTRY.get(name)
     started = time.time()
     if spec.sweepable:
@@ -118,6 +125,7 @@ def _run_one(
             jobs=jobs,
             progress=_sweep_progress(name),
             fault_seed=fault_seed if spec.fault_aware else None,
+            pool=pool,
         )
         rendered = result.render()
         payload = result.to_dict()
@@ -228,7 +236,15 @@ def _run_bench(args: argparse.Namespace) -> int:
 
 def _run_profile(args: argparse.Namespace) -> int:
     """Handle the ``profile`` subcommand."""
-    from .profiling import profile_experiment, profile_kernel
+    import json as _json
+
+    from .profiling import (
+        collect_experiment,
+        collect_kernel,
+        profile_payload,
+        _check_render_args,
+        _render,
+    )
 
     if (args.kernel is None) == (args.experiment is None):
         print(
@@ -239,21 +255,22 @@ def _run_profile(args: argparse.Namespace) -> int:
         return 2
     started = time.time()
     try:
+        _check_render_args(args.sort, args.limit)
         if args.kernel is not None:
-            report = profile_kernel(
-                args.kernel, sort=args.sort, limit=args.limit
-            )
+            target = "kernel:%s" % args.kernel
+            profiler = collect_kernel(args.kernel)
             header = "=== profile: --kernel %s (%.1fs wall) ===" % (
                 args.kernel,
                 time.time() - started,
             )
         else:
-            report = profile_experiment(
+            target = "experiment:%s scale=%s seed=%d" % (
                 args.experiment,
-                scale=args.scale,
-                seed=args.seed,
-                sort=args.sort,
-                limit=args.limit,
+                args.scale,
+                args.seed,
+            )
+            profiler = collect_experiment(
+                args.experiment, scale=args.scale, seed=args.seed
             )
             header = "=== profile: %s --scale %s --seed %d (%.1fs wall) ===" % (
                 args.experiment,
@@ -264,8 +281,14 @@ def _run_profile(args: argparse.Namespace) -> int:
     except (KeyError, ValueError) as exc:
         print(str(exc), file=sys.stderr)
         return 2
+    if args.json:
+        payload = profile_payload(
+            profiler, target, sort=args.sort, limit=args.limit
+        )
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+        return 0
     print(header)
-    print(report)
+    print(_render(profiler, args.sort, args.limit, None))
     return 0
 
 
@@ -408,6 +431,12 @@ def _build_parser() -> argparse.ArgumentParser:
         default=25,
         help="number of rows to print (default: 25)",
     )
+    profile.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable hotspot rows (versioned schema) "
+        "instead of the pstats table",
+    )
     # `--top` writes into the same dest as `--limit`; SUPPRESS keeps the
     # alias from clobbering --limit's default at namespace set-up.
     profile.add_argument(
@@ -451,16 +480,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 file=sys.stderr,
             )
             return 2
-    for name in names:
-        _run_one(
-            name,
-            args.scale,
-            seeds,
-            args.jobs,
-            args.json,
-            args.out,
-            fault_seed=args.fault_seed,
-        )
+    pool = None
+    try:
+        if args.jobs > 1:
+            from concurrent.futures import ProcessPoolExecutor
+
+            pool = ProcessPoolExecutor(max_workers=args.jobs)
+        for name in names:
+            _run_one(
+                name,
+                args.scale,
+                seeds,
+                args.jobs,
+                args.json,
+                args.out,
+                fault_seed=args.fault_seed,
+                pool=pool,
+            )
+    finally:
+        if pool is not None:
+            pool.shutdown()
     return 0
 
 

@@ -392,6 +392,7 @@ def run_sweep(
     jobs: int = 1,
     progress: Optional[Callable[[int, int, CellResult], None]] = None,
     fault_seed: Optional[int] = None,
+    pool: Optional[ProcessPoolExecutor] = None,
 ) -> SweepResult:
     """Expand ``spec`` at ``scale`` and execute every cell.
 
@@ -399,6 +400,13 @@ def run_sweep(
     collected in grid order either way, so the aggregate is byte-identical
     to a serial run.  ``progress(done, total, cell_result)`` is invoked
     after each cell completes.
+
+    ``pool`` lets a caller running *several* sweeps (``repro run all
+    --jobs N``) share one executor across them instead of paying worker
+    spawn + interpreter warm-up per spec; the caller owns its lifetime.
+    Without it, ``jobs > 1`` creates (and tears down) a private pool.
+    Cell seeds are derived in the parent either way, so reusing warm
+    workers cannot change a single result byte.
 
     ``fault_seed`` seeds the fault streams of fault-aware scenarios
     (default 0): each cell receives a sha-derived per-cell child of it —
@@ -436,12 +444,20 @@ def run_sweep(
         for cell in cells
     ]
     results: List[CellResult] = []
-    if jobs > 1 and len(payloads) > 1:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(payloads))) as pool:
-            for result in pool.map(_execute_cell, payloads):
+    executor = pool
+    owns_pool = False
+    if executor is None and jobs > 1 and len(payloads) > 1:
+        executor = ProcessPoolExecutor(max_workers=min(jobs, len(payloads)))
+        owns_pool = True
+    if executor is not None and len(payloads) > 1:
+        try:
+            for result in executor.map(_execute_cell, payloads):
                 results.append(result)
                 if progress is not None:
                     progress(len(results), len(payloads), result)
+        finally:
+            if owns_pool:
+                executor.shutdown()
     else:
         for payload in payloads:
             result = _execute_cell(payload)

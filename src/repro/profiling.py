@@ -27,17 +27,26 @@ from __future__ import annotations
 
 import cProfile
 import io
+import platform
 import pstats
 from typing import Optional
 
 __all__ = [
+    "PROFILE_SCHEMA_VERSION",
     "SORT_KEYS",
+    "collect_experiment",
+    "collect_kernel",
     "profile_experiment",
     "profile_kernel",
+    "profile_payload",
 ]
 
 #: pstats sort keys exposed on the CLI.
 SORT_KEYS = ("tottime", "cumtime", "ncalls")
+
+#: Version stamp of every ``repro profile --json`` payload (the
+#: ``bench_payload`` convention: bump on incompatible row-shape changes).
+PROFILE_SCHEMA_VERSION = 1
 
 
 def _check_render_args(sort: str, limit: int) -> None:
@@ -66,6 +75,51 @@ def _render(
     return report
 
 
+def collect_experiment(
+    name: str, scale: str = "small", seed: int = 0
+) -> cProfile.Profile:
+    """Run one registered experiment under cProfile; return the profiler."""
+    from .experiments.runner import run_single, run_sweep
+    from .experiments.spec import REGISTRY
+
+    spec = REGISTRY.get(name)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        if spec.sweepable:
+            run_sweep(spec, scale=scale, seeds=(seed,))
+        else:
+            run_single(spec, scale, seed)
+    finally:
+        profiler.disable()
+    return profiler
+
+
+def collect_kernel(name: str) -> cProfile.Profile:
+    """Run one registered bench kernel under cProfile; return the profiler.
+
+    The kernel's seeded ``setup()`` and one warm-up call stay outside the
+    profiled region, mirroring how the bench harness times it.  Raises
+    ``KeyError`` for an unknown kernel name.
+    """
+    from .bench.kernels import KERNELS
+
+    kernel = KERNELS.get(name)
+    if kernel is None:
+        raise KeyError(
+            "unknown bench kernel %r (see 'python -m repro bench')" % (name,)
+        )
+    fn = kernel.setup()
+    fn()  # warm-up: lazy imports and cache fills stay out of the profile
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        fn()
+    finally:
+        profiler.disable()
+    return profiler
+
+
 def profile_experiment(
     name: str,
     scale: str = "small",
@@ -80,21 +134,8 @@ def profile_experiment(
     ``limit`` bounds the number of rows.  The rendered report is returned
     and, when ``stream`` is given, also written there incrementally.
     """
-    from .experiments.runner import run_single, run_sweep
-    from .experiments.spec import REGISTRY
-
     _check_render_args(sort, limit)
-    spec = REGISTRY.get(name)
-    profiler = cProfile.Profile()
-    profiler.enable()
-    try:
-        if spec.sweepable:
-            run_sweep(spec, scale=scale, seeds=(seed,))
-        else:
-            run_single(spec, scale, seed)
-    finally:
-        profiler.disable()
-    return _render(profiler, sort, limit, stream)
+    return _render(collect_experiment(name, scale, seed), sort, limit, stream)
 
 
 def profile_kernel(
@@ -105,24 +146,54 @@ def profile_kernel(
 ) -> str:
     """Run one registered bench kernel under cProfile; return the report.
 
-    The kernel's seeded ``setup()`` and one warm-up call stay outside the
-    profiled region, mirroring how the bench harness times it.  Raises
-    ``KeyError`` for an unknown kernel name.
+    See :func:`collect_kernel` for what is and is not inside the profiled
+    region.
     """
-    from .bench.kernels import KERNELS
-
     _check_render_args(sort, limit)
-    kernel = KERNELS.get(name)
-    if kernel is None:
-        raise KeyError(
-            "unknown bench kernel %r (see 'python -m repro bench')" % (name,)
+    return _render(collect_kernel(name), sort, limit, stream)
+
+
+def profile_payload(
+    profiler: cProfile.Profile,
+    target: str,
+    sort: str = "tottime",
+    limit: int = 25,
+) -> dict:
+    """Machine-readable hotspot rows for ``repro profile --json``.
+
+    The ``bench_payload`` convention applied to profiles: a versioned
+    envelope whose ``rows`` are the top ``limit`` functions under the
+    chosen ``sort`` key, each a flat record scripts can aggregate without
+    parsing pstats text — shard-imbalance hunts diff these across shard
+    counts.  ``total_time_s`` is the profiler's own (inflated ~3x, see
+    the module docs) account of the traced run; row fractions are
+    meaningful, absolutes are not.
+    """
+    _check_render_args(sort, limit)
+    stats = pstats.Stats(profiler)
+    stats.sort_stats(sort)
+    rows = []
+    for func in stats.fcn_list[:limit]:
+        primitive_calls, ncalls, tottime, cumtime, __ = stats.stats[func]
+        filename, line, function = func
+        rows.append(
+            {
+                "file": filename,
+                "line": line,
+                "function": function,
+                "ncalls": ncalls,
+                "primitive_calls": primitive_calls,
+                "tottime_s": tottime,
+                "cumtime_s": cumtime,
+            }
         )
-    fn = kernel.setup()
-    fn()  # warm-up: lazy imports and cache fills stay out of the profile
-    profiler = cProfile.Profile()
-    profiler.enable()
-    try:
-        fn()
-    finally:
-        profiler.disable()
-    return _render(profiler, sort, limit, stream)
+    return {
+        "schema_version": PROFILE_SCHEMA_VERSION,
+        "kind": "profile",
+        "target": target,
+        "sort": sort,
+        "limit": limit,
+        "total_time_s": stats.total_tt,
+        "python_version": platform.python_version(),
+        "rows": rows,
+    }

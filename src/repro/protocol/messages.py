@@ -148,6 +148,34 @@ MESSAGE_TYPES: Mapping[str, type] = {
 
 _TAGS: Mapping[type, str] = {cls: tag for tag, cls in MESSAGE_TYPES.items()}
 
+#: Field-name → expected JSON shape, shared across every message type
+#: (all protocol messages are flat records over these names).
+_INT_FIELDS = frozenset(
+    {"qid", "class_index", "origin_node", "attempt", "node_id", "period_index"}
+)
+_FLOAT_FIELDS = frozenset(
+    {"estimated_completion_ms", "started_ms", "finished_ms", "period_ms"}
+)
+
+#: Per-class field tables, computed once at import.  ``dataclasses.fields``
+#: walks the class dict on every call — hoisting it off the per-message
+#: encode/decode path matters at batched-bidding volumes (the sharded
+#: federation moves thousands of quotes per run through this codec).
+_FIELD_NAMES: Mapping[type, tuple] = {
+    cls: tuple(f.name for f in fields(cls)) for cls in MESSAGE_TYPES.values()
+}
+_KNOWN_FIELDS: Mapping[type, frozenset] = {
+    cls: frozenset(names) for cls, names in _FIELD_NAMES.items()
+}
+_INT_CHECKS: Mapping[type, tuple] = {
+    cls: tuple(n for n in names if n in _INT_FIELDS)
+    for cls, names in _FIELD_NAMES.items()
+}
+_FLOAT_CHECKS: Mapping[type, tuple] = {
+    cls: tuple(n for n in names if n in _FLOAT_FIELDS)
+    for cls, names in _FIELD_NAMES.items()
+}
+
 
 def message_tag(message: Message) -> str:
     """The wire tag of ``message`` (e.g. ``"bid_request"``)."""
@@ -161,7 +189,7 @@ def message_tag(message: Message) -> str:
 
 def _body(message: Message) -> Dict[str, Any]:
     """The message's fields as a plain dict (all message types are flat)."""
-    return {f.name: getattr(message, f.name) for f in fields(message)}
+    return {name: getattr(message, name) for name in _FIELD_NAMES[type(message)]}
 
 
 def encode(message: Message) -> str:
@@ -211,7 +239,7 @@ def decode(payload: str) -> Message:
     body = envelope.get("body")
     if not isinstance(body, dict):
         raise ProtocolError("message body must be a JSON object")
-    known = {f.name for f in fields(cls)}
+    known = _KNOWN_FIELDS[cls]
     kwargs = {key: value for key, value in body.items() if key in known}
     try:
         message = cls(**kwargs)
@@ -224,26 +252,17 @@ def decode(payload: str) -> Message:
 
 def _checked(message: Message) -> Message:
     """Validate decoded field types (JSON carries no schema of its own)."""
-    for f in fields(message):
-        value = getattr(message, f.name)
-        if f.name in _INT_FIELDS:
-            if isinstance(value, bool) or not isinstance(value, int):
-                raise ProtocolError(
-                    "field %r must be an integer, got %r" % (f.name, value)
-                )
-        elif f.name in _FLOAT_FIELDS:
-            if isinstance(value, bool) or not isinstance(value, (int, float)):
-                raise ProtocolError(
-                    "field %r must be a number, got %r" % (f.name, value)
-                )
+    cls = type(message)
+    for name in _INT_CHECKS[cls]:
+        value = getattr(message, name)
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ProtocolError(
+                "field %r must be an integer, got %r" % (name, value)
+            )
+    for name in _FLOAT_CHECKS[cls]:
+        value = getattr(message, name)
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ProtocolError(
+                "field %r must be a number, got %r" % (name, value)
+            )
     return message
-
-
-#: Field-name → expected JSON shape, shared across every message type
-#: (all protocol messages are flat records over these names).
-_INT_FIELDS = frozenset(
-    {"qid", "class_index", "origin_node", "attempt", "node_id", "period_index"}
-)
-_FLOAT_FIELDS = frozenset(
-    {"estimated_completion_ms", "started_ms", "finished_ms", "period_ms"}
-)

@@ -25,6 +25,14 @@ from .metrics import (
 )
 from .network import LatencyModel, Network
 from .node import ExecutionRecord, SimulatedNode
+from .shards import (
+    ShardPlan,
+    ShardTransport,
+    ShardedFederation,
+    ShardedRunResult,
+    derive_shard_seed,
+    plan_shards,
+)
 from .transport import SimTransport
 
 __all__ = [
@@ -42,14 +50,20 @@ __all__ = [
     "Network",
     "PartitionWindow",
     "QueryOutcome",
+    "ShardPlan",
+    "ShardTransport",
+    "ShardedFederation",
+    "ShardedRunResult",
     "SimTransport",
     "SimulatedNode",
     "Simulator",
     "build_federation",
     "derive_fault_seed",
+    "derive_shard_seed",
     "generate_machine_specs",
     "half_partition",
     "normalised_response_times",
+    "plan_shards",
     "recovery_time_ms",
     "system_capacity_qpms",
 ]

@@ -91,6 +91,15 @@ class MetricsCollector:
         self._vector_exchanges = 0
         self._scalar_fallbacks = 0
         self._batch_syncs = 0
+        # Sharded-federation counters (see repro.sim.shards).  The
+        # `_shard_stats_applied` flag gates their presence in
+        # `batch_summary()`: single-process runs must keep emitting
+        # exactly the historical key set, byte for byte.
+        self._shard_stats_applied = False
+        self._cross_shard_bids = 0
+        self._barrier_wait_ms = 0.0
+        self._shard_imbalance = 1.0
+        self._shards = 1
 
     # -- recording ---------------------------------------------------------------
 
@@ -148,6 +157,25 @@ class MetricsCollector:
         self._vector_exchanges += int(vector_exchanges)
         self._scalar_fallbacks += int(scalar_fallbacks)
         self._batch_syncs += int(syncs)
+
+    def apply_shard_stats(
+        self,
+        cross_shard_bids: int = 0,
+        barrier_wait_ms: float = 0.0,
+        shard_imbalance: float = 1.0,
+        shards: int = 1,
+    ) -> None:
+        """Snapshot a sharded run's coordination counters.
+
+        Called once by :class:`repro.sim.shards.ShardedFederation` at
+        the end of a multi-process run; arms the shard keys of
+        :meth:`batch_summary` (single-process summaries stay unchanged).
+        """
+        self._shard_stats_applied = True
+        self._cross_shard_bids += int(cross_shard_bids)
+        self._barrier_wait_ms += float(barrier_wait_ms)
+        self._shard_imbalance = float(shard_imbalance)
+        self._shards = int(shards)
 
     def apply_fault_stats(
         self,
@@ -252,9 +280,29 @@ class MetricsCollector:
         """Exchanges the dispatcher dropped to the scalar loop for."""
         return self._scalar_fallbacks
 
+    @property
+    def cross_shard_bids(self) -> int:
+        """BidRequest broadcasts delivered across shard boundaries."""
+        return self._cross_shard_bids
+
+    @property
+    def barrier_wait_ms(self) -> float:
+        """Wall-clock time the coordinator spent blocked at barriers."""
+        return self._barrier_wait_ms
+
+    @property
+    def shard_imbalance(self) -> float:
+        """Max-over-mean of per-shard assigned-query counts."""
+        return self._shard_imbalance
+
     def batch_summary(self) -> Dict[str, float]:
-        """The batching counters as one flat mapping (sweep-cell currency)."""
-        return {
+        """The batching counters as one flat mapping (sweep-cell currency).
+
+        Sharded runs (see :meth:`apply_shard_stats`) additionally carry
+        the shard coordination counters; the keys are absent otherwise
+        so historical single-process summaries serialize unchanged.
+        """
+        summary = {
             "batch_ticks": float(self._batch_ticks),
             "batched_queries": float(self._batched_queries),
             "max_batch": float(self._max_batch),
@@ -262,6 +310,12 @@ class MetricsCollector:
             "scalar_fallbacks": float(self._scalar_fallbacks),
             "batch_syncs": float(self._batch_syncs),
         }
+        if self._shard_stats_applied:
+            summary["cross_shard_bids"] = float(self._cross_shard_bids)
+            summary["barrier_wait_ms"] = self._barrier_wait_ms
+            summary["shard_imbalance"] = self._shard_imbalance
+            summary["shards"] = float(self._shards)
+        return summary
 
     # -- fault metrics -------------------------------------------------------------
 

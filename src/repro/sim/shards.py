@@ -1,0 +1,1227 @@
+"""Sharded multi-process federation: batched cross-shard bidding.
+
+PR 7 vectorised the market tick; the whole market still ran in one
+process.  This module partitions the federation's nodes across ``N``
+worker processes by *query-class affinity* (classes whose bidder sets
+overlap land on the same shard) and runs the market as a broker/shard
+protocol:
+
+* the **coordinator** owns the price/supply/matching plane — per-class
+  candidate supply and price arrays plus node-indexed busy watermarks —
+  and answers every request-for-bid exchange with the same vectorised
+  arithmetic as :class:`repro.allocation.market_tick.MarketTickDispatcher`;
+* each **shard** owns the execution plane (authoritative busy watermarks
+  including negotiation delays, per-node latency RNG streams, outcome
+  recording) and the eq-4 solve plane (the vectorised proportional
+  seller problem with carry-over credit, one row per local node);
+* per simulated tick the two exchange *batched* protocol messages —
+  one :class:`~repro.protocol.messages.BidRequest` per class in the
+  tick, broadcast to every shard, answered by one
+  :class:`~repro.protocol.messages.Quote` per assignment — serialised
+  through the :mod:`repro.protocol` codec over :class:`ShardTransport`,
+  the protocol layer's third real transport (after the simulated
+  network and the asyncio broker).
+
+Determinism is the design's backbone:
+
+* ``shards=1`` delegates verbatim to the single-process engine
+  (:func:`repro.sim.federation.build_federation`), so every existing
+  golden pins it byte-for-byte;
+* ``shards>1`` is invariant to the shard count: every cross-node
+  decision is made coordinator-side, shard work is per-node arithmetic
+  over globally-ordered events, per-node latency streams are keyed by
+  *node id* (not shard) through the :func:`derive_shard_seed` sha256
+  scheme, and replies merge in fixed shard order at every tick barrier.
+  Outcomes are globally sorted by ``(finish_ms, qid)`` before any
+  float reduction, so summary means are bit-identical however the
+  fleet is partitioned.
+
+The ``shards>1`` engine is a *model* of the same market, not a replay
+of the single-process event loop: negotiation delay is charged per
+assignment from the winning node's latency stream (two legs) instead
+of the slowest full-fan-out round trip, and refusal counters live in
+the coordinator's arrays rather than per-agent lists.  Its outputs are
+pinned by their own golden (``tests/golden/sharded_1000node_seed0.json``).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import resource
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+try:  # Same optional posture as repro.sim.fleet: no numpy, no sharding.
+    import numpy as _np
+except ImportError:  # pragma: no cover - single-process paths cover this
+    _np = None
+
+from ..core.qant import QantParameters
+from ..protocol.messages import (
+    BidRequest,
+    Message,
+    PeriodTick,
+    ProtocolError,
+    Quote,
+    decode,
+    encode,
+)
+from ..protocol.transport import FanoutResult, Transport
+from .faults import derive_fault_seed
+from .federation import FederationConfig, build_federation
+from .metrics import MetricsCollector
+
+__all__ = [
+    "ShardPlan",
+    "ShardTransport",
+    "ShardedFederation",
+    "ShardedRunResult",
+    "derive_shard_seed",
+    "plan_shards",
+]
+
+
+def derive_shard_seed(seed: int, tag: Sequence[object]) -> int:
+    """A process-stable child seed for one shard-layer sub-stream.
+
+    Same sha256 derivation as :func:`repro.sim.faults.derive_fault_seed`
+    (Python's builtin ``hash`` is salted per process, so sub-streams key
+    off a digest of ``(seed, tag)`` instead): the same pair yields the
+    same child seed in every worker process, which is what makes the
+    sharded engine's latency streams partition- and process-invariant.
+    """
+    return derive_fault_seed(seed, tag)
+
+
+# -- the partitioner ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A deterministic assignment of federation nodes to shards.
+
+    ``shard_nodes[s]`` lists shard *s*'s nodes in ascending id order;
+    ``loads[s]`` is the shard's bidding load — the number of
+    (node, candidate-class) memberships it hosts, the quantity the
+    partitioner balances.
+    """
+
+    num_shards: int
+    shard_nodes: Tuple[Tuple[int, ...], ...]
+    loads: Tuple[int, ...]
+
+    @property
+    def node_to_shard(self) -> Dict[int, int]:
+        """Node id → owning shard index."""
+        owner: Dict[int, int] = {}
+        for shard, nodes in enumerate(self.shard_nodes):
+            for nid in nodes:
+                owner[nid] = shard
+        return owner
+
+    def imbalance(self) -> float:
+        """Max-over-mean of the per-shard bidding loads (1.0 = perfect)."""
+        if not self.loads:
+            return 1.0
+        mean = sum(self.loads) / len(self.loads)
+        if mean <= 0:
+            return 1.0
+        return max(self.loads) / mean
+
+
+def plan_shards(
+    candidates_by_class: Mapping[int, Sequence[int]],
+    node_ids: Sequence[int],
+    num_shards: int,
+) -> ShardPlan:
+    """Partition ``node_ids`` into ``num_shards`` by class affinity.
+
+    Nodes are first grouped by union-find over the classes' candidate
+    sets (every class unions its bidders, so classes with overlapping
+    bidder sets land in one affinity group), groups are ordered by their
+    smallest member and flattened (members ascending), nodes bidding in
+    no class are appended last, and the flat order is chopped into
+    ``num_shards`` contiguous near-equal chunks.  Purely a function of
+    the catalog — no RNG, no tie-breaks — so every process computes the
+    identical plan.
+    """
+    if num_shards <= 0:
+        raise ValueError("need at least one shard")
+    parent: Dict[int, int] = {}
+
+    def find(x: int) -> int:
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return root
+
+    for candidates in candidates_by_class.values():
+        members = sorted(candidates)
+        for nid in members:
+            parent.setdefault(nid, nid)
+        for nid in members[1:]:
+            ra, rb = find(members[0]), find(nid)
+            if ra != rb:
+                # Smaller root wins, keeping group identity canonical.
+                if rb < ra:
+                    ra, rb = rb, ra
+                parent[rb] = ra
+    groups: Dict[int, List[int]] = {}
+    for nid in parent:
+        groups.setdefault(find(nid), []).append(nid)
+    flat: List[int] = []
+    for root in sorted(groups):
+        flat.extend(sorted(groups[root]))
+    flat.extend(sorted(nid for nid in node_ids if nid not in parent))
+    if num_shards > len(flat):
+        raise ValueError("more shards than nodes")
+    base, extra = divmod(len(flat), num_shards)
+    shard_nodes: List[Tuple[int, ...]] = []
+    pos = 0
+    for shard in range(num_shards):
+        size = base + (1 if shard < extra else 0)
+        shard_nodes.append(tuple(sorted(flat[pos : pos + size])))
+        pos += size
+    membership: Dict[int, int] = {}
+    for candidates in candidates_by_class.values():
+        for nid in candidates:
+            membership[nid] = membership.get(nid, 0) + 1
+    loads = tuple(
+        sum(membership.get(nid, 0) for nid in nodes) for nodes in shard_nodes
+    )
+    return ShardPlan(
+        num_shards=num_shards,
+        shard_nodes=tuple(shard_nodes),
+        loads=loads,
+    )
+
+
+# -- the shard worker ---------------------------------------------------------
+
+
+class _ShardCore:
+    """One shard's execution + solve plane (runs in-process or forked).
+
+    The exact same class backs both transport modes, codec included, so
+    an inline run is bit-identical to a forked one — the equivalence the
+    tests pin.  All frames arrive pre-ordered by the coordinator; the
+    core performs per-node arithmetic only, which is what makes its
+    output independent of how nodes were grouped into shards.
+    """
+
+    def __init__(self, init: Mapping[str, object]) -> None:
+        ids = list(init["node_ids"])
+        self._ids = ids
+        self._index = {nid: i for i, nid in enumerate(ids)}
+        self._costs = _np.array(init["costs"], dtype=float)
+        self._allow = _np.array(init["allowances"], dtype=float)
+        self._seeds = list(init["latency_seeds"])
+        self._base = float(init["base_ms"])
+        self._jitter = float(init["jitter_ms"])
+        self._num_classes = int(init["num_classes"])
+        self.reset()
+
+    def reset(self) -> None:
+        n = len(self._ids)
+        self._busy = _np.zeros(n, dtype=float)
+        self._credit = _np.zeros((n, self._num_classes), dtype=float)
+        # One latency stream per *node* (not per shard): repartitioning
+        # the fleet must not reshuffle any node's delay draws.
+        self._rngs = [random.Random(seed) for seed in self._seeds]
+        self._cols: Tuple[List, ...] = tuple([] for _ in range(9))
+        self._assigned = 0
+        self._bids_seen = 0
+
+    def handle(self, frame: Tuple) -> Mapping[str, object]:
+        op = frame[0]
+        if op == "tick":
+            return self._tick(frame[1], frame[2], frame[3])
+        if op == "solve":
+            return self._solve(frame[1], frame[2])
+        if op == "fanout":
+            return self._fanout(frame[1])
+        if op == "reset":
+            self.reset()
+            return {"ok": True}
+        if op == "collect":
+            return self._collect()
+        raise ValueError("unknown shard frame %r" % (op,))
+
+    def _tick(
+        self, now: float, bids: Sequence[str], assignments: Sequence[Tuple]
+    ) -> Mapping[str, object]:
+        """One market tick: decode the bid broadcast, replay assignments.
+
+        Every assignment row ``(qid, class, origin, arrival, resub,
+        node)`` is replayed in coordinator order: the negotiation delay
+        is two latency legs from the *node's* stream, the query starts
+        when both the delay has elapsed and the node's FIFO is free
+        (mirroring :meth:`repro.sim.node.SimulatedNode.enqueue`), and
+        one Quote per assignment reports the authoritative finish back
+        to the coordinator's busy mirror.
+        """
+        for payload in bids:
+            decode(payload)  # validate the broadcast like any real peer
+            self._bids_seen += 1
+        index = self._index
+        busy = self._busy
+        costs = self._costs
+        rngs = self._rngs
+        base = self._base
+        jitter = self._jitter
+        cols = self._cols
+        quotes: List[str] = []
+        for qid, class_index, origin, arrival, resub, node in assignments:
+            i = index[node]
+            if jitter == 0.0:
+                delay = base + base
+            else:
+                rnd = rngs[i].random
+                delay = (base + jitter * rnd()) + (base + jitter * rnd())
+            assigned = now + delay
+            prior = busy[i]
+            start = prior if prior > assigned else assigned
+            finish = start + costs[i, class_index]
+            busy[i] = finish
+            cols[0].append(qid)
+            cols[1].append(class_index)
+            cols[2].append(origin)
+            cols[3].append(arrival)
+            cols[4].append(assigned)
+            cols[5].append(node)
+            cols[6].append(start)
+            cols[7].append(finish)
+            cols[8].append(resub)
+            quotes.append(
+                encode(
+                    Quote(
+                        qid=qid,
+                        node_id=node,
+                        class_index=class_index,
+                        estimated_completion_ms=finish,
+                    )
+                )
+            )
+        self._assigned += len(assignments)
+        return {"quotes": quotes}
+
+    def _solve(self, now: float, prices) -> Mapping[str, object]:
+        """Eq. 4 for every local node at once, with carry-over credit.
+
+        Vectorises
+        :meth:`repro.core.supply.CapacitySupplySet._solve_proportional`
+        row-wise: density ``p/c`` (``p/inf == 0`` excludes classes the
+        node cannot evaluate), weights ``(d/top)**2`` over a free
+        capacity of ``max(0, allowance - backlog)``, then the QA-NT
+        carry-over rounding ``whole = floor(credit + 1e-9)``.
+        """
+        P = _np.asarray(prices, dtype=float)
+        backlog = self._busy - now
+        _np.clip(backlog, 0.0, None, out=backlog)
+        free = self._allow - backlog
+        _np.clip(free, 0.0, None, out=free)
+        D = P / self._costs
+        top = D.max(axis=1)
+        W = _np.zeros_like(D)
+        rows = top > 0.0
+        if rows.any():
+            W[rows] = (D[rows] / top[rows, None]) ** 2.0
+        total = W.sum(axis=1)
+        total[total == 0.0] = 1.0
+        counts = (free[:, None] * W / total[:, None]) / self._costs
+        credit = self._credit
+        credit += counts
+        whole = _np.floor(credit + 1e-9)
+        credit -= whole
+        return {"supply": whole}
+
+    def _fanout(self, payload: str) -> Mapping[str, object]:
+        """One protocol message addressed to this shard as a peer.
+
+        ``PeriodTick`` is the tick barrier (replies empty — the ack *is*
+        the barrier); a ``BidRequest`` is answered with one Quote per
+        local node able to evaluate the class, estimated from the
+        shard's authoritative busy watermarks.
+        """
+        message = decode(payload)
+        if isinstance(message, PeriodTick):
+            return {"replies": []}
+        if isinstance(message, BidRequest):
+            k = message.class_index
+            replies = []
+            for i, nid in enumerate(self._ids):
+                cost = self._costs[i, k]
+                if math.isinf(cost):
+                    continue
+                replies.append(
+                    encode(
+                        Quote(
+                            qid=message.qid,
+                            node_id=nid,
+                            class_index=k,
+                            estimated_completion_ms=float(
+                                self._busy[i] + cost
+                            ),
+                        )
+                    )
+                )
+            return {"replies": replies}
+        return {"replies": []}
+
+    def _collect(self) -> Mapping[str, object]:
+        return {
+            "columns": self._cols,
+            # Linux reports ru_maxrss in KiB; the bench harness
+            # aggregates these across workers for `bench --mem`.
+            "maxrss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+            "assigned": self._assigned,
+            "bids_seen": self._bids_seen,
+        }
+
+
+def _shard_worker(conn, init: Mapping[str, object]) -> None:
+    """Forked worker main loop: one frame in, one reply out, forever."""
+    core = _ShardCore(init)
+    while True:
+        try:
+            frame = conn.recv()
+        except EOFError:  # pragma: no cover - parent died
+            return
+        if frame[0] == "close":
+            conn.send({"ok": True})
+            conn.close()
+            return
+        conn.send(core.handle(frame))
+
+
+# -- the transport ------------------------------------------------------------
+
+
+class ShardTransport(Transport):
+    """Pipe-backed transport to a pool of shard workers.
+
+    The :class:`~repro.protocol.transport.Transport` seam's third real
+    backend: peers are shard indices, :meth:`fanout` carries encoded
+    protocol messages to each shard and gathers their decoded replies
+    in fixed shard order.  :meth:`exchange` is the lower-level pipelined
+    tick barrier the sharded federation drives — all frames are written
+    before any reply is read, and replies are read in shard order, so
+    the merge order (and therefore every downstream float) never
+    depends on worker scheduling.
+
+    ``mode="fork"`` forks one daemon worker per shard over
+    :func:`multiprocessing.Pipe`; ``mode="inline"`` runs the identical
+    :class:`_ShardCore` objects in-process (codec included) — the
+    equivalence tests pin fork == inline bit-for-bit.
+    """
+
+    def __init__(
+        self, shard_inits: Sequence[Mapping[str, object]], mode: str = "fork"
+    ) -> None:
+        if mode not in ("fork", "inline"):
+            raise ValueError("transport mode must be 'fork' or 'inline'")
+        self._mode = mode
+        self._num_shards = len(shard_inits)
+        #: Wall-clock milliseconds spent blocked at tick barriers
+        #: (coordinator waiting on shard replies).
+        self.barrier_wait_ms = 0.0
+        #: Protocol messages moved (fanout legs only; the federation
+        #: accounts bid/quote volume itself).
+        self.messages = 0
+        self._child_peak_kb = 0
+        self._closed = False
+        if mode == "fork":
+            import multiprocessing
+
+            ctx = multiprocessing.get_context("fork")
+            self._conns = []
+            self._procs = []
+            for init in shard_inits:
+                parent_conn, child_conn = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_shard_worker,
+                    args=(child_conn, init),
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                self._conns.append(parent_conn)
+                self._procs.append(proc)
+        else:
+            self._cores = [_ShardCore(init) for init in shard_inits]
+
+    @property
+    def num_shards(self) -> int:
+        """Number of shard peers behind this transport."""
+        return self._num_shards
+
+    @property
+    def mode(self) -> str:
+        """``"fork"`` or ``"inline"``."""
+        return self._mode
+
+    def exchange(
+        self, frames: Sequence[Optional[Tuple]]
+    ) -> List[Optional[Mapping[str, object]]]:
+        """One pipelined barrier: frame *i* to shard *i*, replies in order.
+
+        ``None`` frames skip their shard.  In fork mode every frame is
+        written before the first reply is read, so shards overlap their
+        work; the time spent blocked on replies accumulates into
+        :attr:`barrier_wait_ms`.
+        """
+        if self._mode == "inline":
+            start = time.perf_counter()
+            replies: List[Optional[Mapping[str, object]]] = [
+                None if frame is None else core.handle(frame)
+                for core, frame in zip(self._cores, frames)
+            ]
+            self.barrier_wait_ms += (time.perf_counter() - start) * 1e3
+            return replies
+        conns = self._conns
+        for conn, frame in zip(conns, frames):
+            if frame is not None:
+                conn.send(frame)
+        start = time.perf_counter()
+        replies = [
+            None if frame is None else conn.recv()
+            for conn, frame in zip(conns, frames)
+        ]
+        self.barrier_wait_ms += (time.perf_counter() - start) * 1e3
+        return replies
+
+    def fanout(
+        self,
+        origin: int,
+        peers: Sequence[int],
+        request: Optional[Message] = None,
+    ) -> FanoutResult:
+        """Send ``request`` to each shard peer; gather decoded replies.
+
+        The encoded payload is shared across peers (one serialisation,
+        N deliveries — the batched-broadcast idiom the tick path also
+        uses); replies decode in shard order into ``replies``.
+        ``delay_ms`` is 0: shard hops are process-local, and simulated
+        time is the coordinator's business, not the transport's.
+        """
+        if request is None:
+            raise ProtocolError("ShardTransport requires a real message")
+        peer_list = list(peers)
+        payload = encode(request)
+        frames: List[Optional[Tuple]] = [None] * self._num_shards
+        for peer in peer_list:
+            frames[peer] = ("fanout", payload)
+        raw = self.exchange(frames)
+        replies: List[Message] = []
+        for peer in peer_list:
+            reply = raw[peer]
+            if reply is not None:
+                replies.extend(decode(p) for p in reply["replies"])
+        messages = 2 * len(peer_list)
+        self.messages += messages
+        return FanoutResult(
+            delay_ms=0.0,
+            messages=messages,
+            delivered=tuple(peer_list),
+            replied=tuple(peer_list),
+            replies=tuple(replies),
+        )
+
+    def note_child_peak_kb(self, peak_kb: int) -> None:
+        """Record the workers' peak RSS (from a collect barrier)."""
+        if peak_kb > self._child_peak_kb:
+            self._child_peak_kb = peak_kb
+
+    def child_peak_kb(self) -> int:
+        """Peak worker-process RSS in KiB (0 in inline mode)."""
+        return self._child_peak_kb if self._mode == "fork" else 0
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._mode == "fork":
+            for conn in self._conns:
+                try:
+                    conn.send(("close",))
+                    conn.recv()
+                except (BrokenPipeError, EOFError, OSError):
+                    pass
+                conn.close()
+            for proc in self._procs:
+                proc.join(timeout=5.0)
+
+
+# -- the merged result --------------------------------------------------------
+
+
+class ShardedRunResult:
+    """Outcome of one sharded run, merged across shards.
+
+    Outcomes live as nine parallel numpy columns, globally sorted by
+    ``(finish_ms, qid)`` *before* any reduction — the same array
+    therefore feeds every float sum regardless of how the fleet was
+    partitioned, which is what makes the summary statistics
+    shard-count-invariant bit-for-bit.
+    """
+
+    def __init__(
+        self,
+        columns,
+        dropped: int,
+        messages: int,
+        shards: int,
+        collector: MetricsCollector,
+        metrics: Optional[MetricsCollector] = None,
+    ) -> None:
+        self._columns = columns
+        self._dropped = dropped
+        self._messages = messages
+        self._shards = shards
+        self._collector = collector
+        self._metrics = metrics
+
+    @classmethod
+    def from_metrics(
+        cls, metrics: MetricsCollector, messages: int
+    ) -> "ShardedRunResult":
+        """Wrap a single-process run (the ``shards=1`` delegation)."""
+        return cls(
+            columns=None,
+            dropped=metrics.dropped,
+            messages=messages,
+            shards=1,
+            collector=metrics,
+            metrics=metrics,
+        )
+
+    # -- summary -------------------------------------------------------------
+
+    @property
+    def shards(self) -> int:
+        """Shard count of the run (1 = single-process delegation)."""
+        return self._shards
+
+    @property
+    def completed(self) -> int:
+        """Queries that finished."""
+        if self._metrics is not None:
+            return self._metrics.completed
+        return len(self._columns[0])
+
+    @property
+    def dropped(self) -> int:
+        """Queries still unserved when the run ended."""
+        return self._dropped
+
+    @property
+    def messages(self) -> int:
+        """Protocol messages the run moved (network messages at
+        ``shards=1``; codec-serialised bid/quote/fanout messages
+        otherwise)."""
+        return self._messages
+
+    def mean_response_ms(self) -> float:
+        """Average response time over the globally sorted outcomes."""
+        if self._metrics is not None:
+            return self._metrics.mean_response_ms()
+        n = len(self._columns[0])
+        if not n:
+            return math.nan
+        return float(_np.sum(self._columns[7] - self._columns[3])) / n
+
+    def percentile_response_ms(self, fraction: float) -> float:
+        """Response-time percentile with the collector's index rule."""
+        if self._metrics is not None:
+            return self._metrics.percentile_response_ms(fraction)
+        if not 0 <= fraction <= 1:
+            raise ValueError("fraction must be in [0, 1]")
+        n = len(self._columns[0])
+        if not n:
+            return math.nan
+        ordered = _np.sort(self._columns[7] - self._columns[3])
+        return float(ordered[min(n - 1, int(fraction * n))])
+
+    def batch_summary(self) -> Dict[str, float]:
+        """The tick/shard counters (shard keys only on sharded runs)."""
+        return self._collector.batch_summary()
+
+    def outcome_digest(self) -> str:
+        """SHA-256 over every field of every outcome, completion order.
+
+        The exact format of ``tests/test_golden_trace._outcome_digest``
+        (``%r`` shortest round-trip floats), over the
+        ``(finish_ms, qid)``-sorted columns — two runs hash equal iff
+        every recorded bit is equal.
+        """
+        import hashlib
+
+        digest = hashlib.sha256()
+        if self._metrics is not None:
+            for o in self._metrics.outcomes:
+                digest.update(
+                    (
+                        "%d,%d,%d,%r,%r,%d,%r,%r,%d;"
+                        % (
+                            o.qid,
+                            o.class_index,
+                            o.origin_node,
+                            o.arrival_ms,
+                            o.assigned_ms,
+                            o.node_id,
+                            o.start_ms,
+                            o.finish_ms,
+                            o.resubmissions,
+                        )
+                    ).encode()
+                )
+            return digest.hexdigest()
+        # ``.tolist()`` first: ``%r`` of a numpy scalar is
+        # ``np.float64(...)`` on numpy >= 2, not the bare float repr.
+        cols = [c.tolist() for c in self._columns]
+        for row in zip(*cols):
+            digest.update(("%d,%d,%d,%r,%r,%d,%r,%r,%d;" % row).encode())
+        return digest.hexdigest()
+
+    def payload(self) -> Dict[str, object]:
+        """Full golden-style payload (includes shard-dependent counters)."""
+        payload = self.invariant_payload()
+        payload["messages"] = self.messages
+        payload["batch_summary"] = self.batch_summary()
+        return payload
+
+    def invariant_payload(self) -> Dict[str, object]:
+        """The shard-count-invariant slice of :meth:`payload`.
+
+        Message counts and shard counters legitimately change with the
+        partition (bids broadcast to more shards cost more messages);
+        the *market outcome* must not.  This is what the sharded golden
+        pins across shard counts and ``--jobs`` settings.
+        """
+        return {
+            "completed": self.completed,
+            "dropped": self.dropped,
+            "mean_response_ms": self.mean_response_ms(),
+            "p99_response_ms": self.percentile_response_ms(0.99),
+            "outcome_digest": self.outcome_digest(),
+        }
+
+
+# -- the sharded federation ---------------------------------------------------
+
+
+class ShardedFederation:
+    """Front of the sharded engine: owns the worker pool and tick barrier.
+
+    Construction mirrors :func:`repro.sim.federation.build_federation`
+    minus the allocator (the mechanism is chosen per :meth:`run`, so one
+    worker pool serves qa-nt and greedy back to back — the bench kernel
+    relies on this).  ``shards=1`` takes the single-process engine
+    verbatim; ``shards>1`` runs the broker/shard protocol described in
+    the module docstring.
+    """
+
+    _MECHANISMS = ("qa-nt", "greedy")
+
+    def __init__(
+        self,
+        specs,
+        placement,
+        classes,
+        cost_model,
+        config: Optional[FederationConfig] = None,
+        shards: int = 1,
+        mode: str = "fork",
+        parameters: Optional[QantParameters] = None,
+        activation_threshold: Optional[float] = 2.0,
+        allowance_factor: float = 2.0,
+    ) -> None:
+        if shards <= 0:
+            raise ValueError("need at least one shard")
+        self._specs = specs
+        self._placement = placement
+        self._classes = classes
+        self._cost_model = cost_model
+        self._config = config or FederationConfig()
+        self._shards = shards
+        self._params = parameters or QantParameters()
+        self._threshold = activation_threshold
+        self._allowance_factor = allowance_factor
+        self._transport: Optional[ShardTransport] = None
+        if shards == 1:
+            self._plan = None
+            return
+        if _np is None:  # pragma: no cover - numpy ships with the stack
+            raise RuntimeError("sharded federations require numpy")
+        candidates_by_class = {
+            qc.index: tuple(sorted(qc.candidate_nodes(placement)))
+            for qc in classes
+        }
+        self._candidates = candidates_by_class
+        node_ids = list(placement.node_ids)
+        self._plan = plan_shards(candidates_by_class, node_ids, shards)
+        self._node_to_shard = self._plan.node_to_shard
+        num_nodes = len(node_ids)
+        num_classes = len(classes)
+        # Coordinator market plane: per class, candidate lanes with their
+        # cost and price/supply arrays; per node, the busy mirror plus the
+        # agent-global max-price and enforce-latch arrays the dispatcher
+        # arithmetic needs.
+        self._cand: Dict[int, object] = {}
+        self._lane_costs: Dict[int, object] = {}
+        cost_rows: Dict[int, List[float]] = {
+            nid: [math.inf] * num_classes for nid in node_ids
+        }
+        for qc in classes:
+            cand = candidates_by_class[qc.index]
+            costs = [
+                cost_model.execution_time_ms(qc, specs[nid]) for nid in cand
+            ]
+            self._cand[qc.index] = _np.array(cand, dtype=_np.int64)
+            self._lane_costs[qc.index] = _np.array(costs, dtype=float)
+            for nid, cost in zip(cand, costs):
+                cost_rows[nid][qc.index] = cost
+        # maxp baseline: a class the node can never evaluate keeps its
+        # initial price of 1.0 forever (no refusals, no leftover supply),
+        # so it pins the node's max price at >= 1.0.
+        self._maxp_base = _np.zeros(num_nodes, dtype=float)
+        for nid in node_ids:
+            if any(math.isinf(c) for c in cost_rows[nid]):
+                self._maxp_base[nid] = 1.0
+        self._busy = _np.zeros(num_nodes, dtype=float)
+        self._maxp = _np.ones(num_nodes, dtype=float)
+        self._locked = _np.zeros(num_nodes, dtype=bool)
+        self._V: Dict[int, object] = {}
+        self._R: Dict[int, object] = {}
+        self._factor = 1.0 + self._params.adjustment
+        self._floor = self._params.price_floor
+        self._cap = self._params.price_cap
+        self._adjustment = self._params.adjustment
+        # Per (class, shard): the class's candidate-lane indices owned by
+        # the shard and the matching row positions in the shard's local
+        # node order — the scatter/gather tables of the solve barrier.
+        self._shard_rows: List[Dict[int, Tuple]] = []
+        shard_inits: List[Dict[str, object]] = []
+        for shard_index in range(shards):
+            local = list(self._plan.shard_nodes[shard_index])
+            local_pos = {nid: i for i, nid in enumerate(local)}
+            tables: Dict[int, Tuple] = {}
+            for qc in classes:
+                cand = candidates_by_class[qc.index]
+                lanes = [
+                    lane for lane, nid in enumerate(cand) if nid in local_pos
+                ]
+                rows = [local_pos[cand[lane]] for lane in lanes]
+                tables[qc.index] = (
+                    _np.array(lanes, dtype=_np.intp),
+                    _np.array(rows, dtype=_np.intp),
+                )
+            self._shard_rows.append(tables)
+            allowances = []
+            for nid in local:
+                finite = [
+                    c for c in cost_rows[nid] if not math.isinf(c)
+                ]
+                max_cost = max(finite, default=0.0)
+                allowances.append(
+                    self._config.period_ms + allowance_factor * max_cost
+                )
+            shard_inits.append(
+                {
+                    "node_ids": local,
+                    "costs": [cost_rows[nid] for nid in local],
+                    "allowances": allowances,
+                    "latency_seeds": [
+                        derive_shard_seed(
+                            self._config.seed, ("shard-node-latency", nid)
+                        )
+                        for nid in local
+                    ],
+                    "base_ms": self._config.latency.base_ms,
+                    "jitter_ms": self._config.latency.jitter_ms,
+                    "num_classes": num_classes,
+                }
+            )
+        self._transport = ShardTransport(shard_inits, mode=mode)
+        self._period_serial = 0
+        self._saturated_in: Dict[int, int] = {}
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def plan(self) -> Optional[ShardPlan]:
+        """The node partition (None at ``shards=1``)."""
+        return self._plan
+
+    @property
+    def transport(self) -> Optional[ShardTransport]:
+        """The shard transport (None at ``shards=1``)."""
+        return self._transport
+
+    def close(self) -> None:
+        """Shut the worker pool down (safe to call twice)."""
+        if self._transport is not None:
+            self._transport.close()
+
+    def __enter__(self) -> "ShardedFederation":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- driving -------------------------------------------------------------
+
+    def run(self, trace, mechanism: str = "qa-nt") -> ShardedRunResult:
+        """Execute ``trace`` under ``mechanism`` and merge the outcomes."""
+        if mechanism not in self._MECHANISMS:
+            raise ValueError(
+                "sharded federations support %s, not %r"
+                % ("/".join(self._MECHANISMS), mechanism)
+            )
+        if not trace:
+            raise ValueError("cannot run an empty workload trace")
+        if self._shards == 1:
+            return self._run_single(trace, mechanism)
+        return self._run_sharded(trace, mechanism)
+
+    def _run_single(self, trace, mechanism: str) -> ShardedRunResult:
+        """The ``shards=1`` delegation: literally the one-process engine."""
+        from ..allocation import GreedyAllocator, QantAllocator
+
+        if mechanism == "qa-nt":
+            allocator = QantAllocator(
+                parameters=self._params,
+                activation_threshold=self._threshold,
+                allowance_factor=self._allowance_factor,
+            )
+        else:
+            allocator = GreedyAllocator()
+        federation = build_federation(
+            self._specs,
+            self._placement,
+            self._classes,
+            self._cost_model,
+            allocator,
+            self._config,
+        )
+        metrics = federation.run(trace)
+        return ShardedRunResult.from_metrics(
+            metrics, federation.network.messages_sent
+        )
+
+    # -- the sharded coordinator ---------------------------------------------
+
+    def _run_sharded(self, trace, mechanism: str) -> ShardedRunResult:
+        transport = self._transport
+        qa = mechanism == "qa-nt"
+        collector = MetricsCollector()
+        self._messages = 0
+        self._cross_shard_bids = 0
+        self._vector_exchanges = 0
+        transport.barrier_wait_ms = 0.0
+        self._reset(qa)
+        if any(
+            trace[i].time_ms > trace[i + 1].time_ms
+            for i in range(len(trace) - 1)
+        ):
+            trace = sorted(trace, key=lambda e: e.time_ms)
+        horizon = max(e.time_ms for e in trace)
+        period = self._config.period_ms
+        pending: List[Tuple] = []
+        next_boundary = period
+        period_index = 0
+        qid = 0
+        i, total = 0, len(trace)
+        while i < total:
+            t = trace[i].time_ms
+            j = i
+            while j < total and trace[j].time_ms == t:
+                j += 1
+            # The single-process engine schedules the period tick ahead
+            # of same-timestamp arrivals; boundary-first matches it.
+            while qa and next_boundary <= t:
+                pending = self._boundary(
+                    next_boundary, period_index, pending, collector
+                )
+                period_index += 1
+                next_boundary += period
+            queries = [
+                (qid + n, e.class_index, e.origin_node, t, 0)
+                for n, e in enumerate(trace[i:j])
+            ]
+            qid += len(queries)
+            pending.extend(self._market_tick(t, queries, collector, qa))
+            i = j
+        # Drain: keep ticking boundaries while a backlog exists, then
+        # stop — an empty pending pool can never refill, so the
+        # remaining drain window is observationally dead time.
+        end_of_run = horizon + self._config.drain_ms
+        while qa and pending and next_boundary <= end_of_run:
+            pending = self._boundary(
+                next_boundary, period_index, pending, collector
+            )
+            period_index += 1
+            next_boundary += period
+        dropped = len(pending)
+        # Final collect barrier: outcome columns, worker RSS, load stats.
+        replies = transport.exchange(
+            [("collect",)] * self._plan.num_shards
+        )
+        cols = [[] for _ in range(9)]
+        assigned_per_shard = []
+        peak_kb = 0
+        for reply in replies:
+            for c, part in zip(cols, reply["columns"]):
+                c.extend(part)
+            assigned_per_shard.append(reply["assigned"])
+            if reply["maxrss_kb"] > peak_kb:
+                peak_kb = reply["maxrss_kb"]
+        transport.note_child_peak_kb(peak_kb)
+        int_cols = (0, 1, 2, 5, 8)
+        columns = [
+            _np.array(c, dtype=_np.int64 if n in int_cols else float)
+            for n, c in enumerate(cols)
+        ]
+        order = _np.lexsort((columns[0], columns[7]))
+        columns = [c[order] for c in columns]
+        total_assigned = sum(assigned_per_shard)
+        imbalance = 1.0
+        if assigned_per_shard and total_assigned:
+            imbalance = max(assigned_per_shard) / (
+                total_assigned / len(assigned_per_shard)
+            )
+        collector.apply_batch_stats(
+            vector_exchanges=self._vector_exchanges
+        )
+        collector.apply_shard_stats(
+            cross_shard_bids=self._cross_shard_bids,
+            barrier_wait_ms=transport.barrier_wait_ms,
+            shard_imbalance=imbalance,
+            shards=self._plan.num_shards,
+        )
+        self._messages += transport.messages
+        transport.messages = 0
+        return ShardedRunResult(
+            columns=columns,
+            dropped=dropped,
+            messages=self._messages,
+            shards=self._plan.num_shards,
+            collector=collector,
+        )
+
+    def _reset(self, qa: bool) -> None:
+        """Fresh run state everywhere + the initial eq-4 solve."""
+        transport = self._transport
+        transport.exchange([("reset",)] * self._plan.num_shards)
+        self._busy[:] = 0.0
+        self._locked[:] = False
+        self._maxp[:] = 1.0
+        for qc in self._classes:
+            k = qc.index
+            self._V[k] = _np.ones(len(self._cand[k]), dtype=float)
+            self._R[k] = _np.zeros(len(self._cand[k]), dtype=float)
+        self._period_serial = 0
+        self._saturated_in = {}
+        if qa:
+            # Mirrors `_after_bind`'s bind-time on_period_start(): solve
+            # eq. 4 at the uniform initial prices before any arrival.
+            self._solve_barrier(0.0)
+
+    def _market_tick(
+        self, now: float, queries: Sequence[Tuple], collector, qa: bool
+    ) -> List[Tuple]:
+        """One market tick: exchange per query, then the shard barrier.
+
+        Returns the refused queries (they re-enter next period's
+        demand).  The per-query exchanges run strictly in arrival order
+        against the coordinator's arrays — prices and supply see each
+        query's effect before the next, exactly as the paper's
+        sequential negotiation requires — then all resulting
+        assignments cross to their owning shards in one batched
+        bid/quote barrier.
+        """
+        collector.record_batch_tick(len(queries))
+        plan = self._plan
+        num_shards = plan.num_shards
+        refused: List[Tuple] = []
+        per_shard: List[List[Tuple]] = [[] for _ in range(num_shards)]
+        first_of_class: Dict[int, Tuple] = {}
+        node_to_shard = self._node_to_shard
+        for row in queries:
+            qid, class_index, origin, arrival, resub = row
+            if class_index not in first_of_class:
+                first_of_class[class_index] = (qid, origin, resub)
+            if qa:
+                node = self._exchange(class_index, now)
+            else:
+                node = self._greedy_exchange(class_index, now)
+            if node is None:
+                refused.append(row)
+            else:
+                per_shard[node_to_shard[node]].append(row + (node,))
+        self._vector_exchanges += len(queries)
+        # The batched cross-shard bidding: one BidRequest per class in
+        # the tick, encoded once, broadcast to every shard.
+        bids = [
+            encode(
+                BidRequest(
+                    qid=first_qid,
+                    class_index=class_index,
+                    origin_node=origin,
+                    attempt=resub,
+                )
+            )
+            for class_index, (first_qid, origin, resub) in sorted(
+                first_of_class.items()
+            )
+        ]
+        frames = [
+            ("tick", now, bids, per_shard[s]) for s in range(num_shards)
+        ]
+        replies = self._transport.exchange(frames)
+        self._cross_shard_bids += len(bids) * num_shards
+        self._messages += len(bids) * num_shards
+        busy = self._busy
+        for reply in replies:
+            quotes = reply["quotes"]
+            self._messages += len(quotes)
+            for payload in quotes:
+                quote = decode(payload)
+                # Authoritative resync: the shard's finish includes the
+                # negotiation delay the optimistic mirror skipped.
+                busy[quote.node_id] = quote.estimated_completion_ms
+        return refused
+
+    def _exchange(self, class_index: int, now: float) -> Optional[int]:
+        """One QA-NT request-for-bid exchange, coordinator-side.
+
+        The same array program as
+        :meth:`repro.allocation.market_tick.MarketTickDispatcher
+        .exchange`: offer test, bulk refusal price raises with the
+        scalar clamp order, the Section 5.1 activation latch, then the
+        earliest-completion winner by first-occurrence argmin (lowest
+        node id on ties).
+        """
+        if self._saturated_in.get(class_index) == self._period_serial:
+            return None
+        R = self._R[class_index]
+        V = self._V[class_index]
+        cand = self._cand[class_index]
+        offers = R >= 1.0
+        refuse = _np.nonzero(~offers)[0]
+        if refuse.size:
+            old = V[refuse]
+            new = old * self._factor
+            _np.maximum(new, self._floor, out=new)
+            _np.minimum(new, self._cap, out=new)
+            changed = new != old
+            V[refuse] = new
+            nodes_r = cand[refuse]
+            m = self._maxp[nodes_r]
+            if changed.any():
+                m = _np.maximum(m, new)
+                self._maxp[nodes_r] = m
+            threshold = self._threshold
+            if threshold is not None:
+                passed = ~self._locked[nodes_r]
+                passed &= m < threshold
+                self._locked[nodes_r] = ~passed
+                offers[refuse] = passed
+        if not offers.any():
+            if bool((V == self._cap).all()):
+                self._saturated_in[class_index] = self._period_serial
+            return None
+        est = _np.maximum(self._busy[cand], now)
+        est += self._lane_costs[class_index]
+        est[~offers] = _np.inf
+        winner = int(est.argmin())
+        if R[winner] >= 1.0:
+            R[winner] -= 1.0
+        node = int(cand[winner])
+        # Optimistic busy mirror: later queries of this tick see the
+        # commitment; the shard's Quote overwrites it with the true
+        # finish (delay included) at the tick barrier.
+        self._busy[node] = float(est[winner])
+        return node
+
+    def _greedy_exchange(self, class_index: int, now: float) -> int:
+        """Greedy: every candidate offers; earliest completion wins."""
+        cand = self._cand[class_index]
+        est = _np.maximum(self._busy[cand], now)
+        est += self._lane_costs[class_index]
+        winner = int(est.argmin())
+        node = int(cand[winner])
+        self._busy[node] = float(est[winner])
+        return node
+
+    def _boundary(
+        self, now: float, period_index: int, pending: List[Tuple], collector
+    ) -> List[Tuple]:
+        """One QA-NT period boundary: steps 12-14, eq. 4, retries."""
+        # Steps 12-14 vectorised: every class lane with leftover supply
+        # lowers its price by `max(0, 1 - leftover*lambda)`, floored.
+        for qc in self._classes:
+            k = qc.index
+            R = self._R[k]
+            V = self._V[k]
+            mask = R > 0.0
+            if mask.any():
+                f = 1.0 - R * self._adjustment
+                _np.maximum(f, 0.0, out=f)
+                new = V * f
+                _np.maximum(new, self._floor, out=new)
+                V[:] = _np.where(mask, new, V)
+        # The tick barrier as a protocol event: a PeriodTick fanout to
+        # every shard (the transport's Transport-ABC verb; the ack is
+        # the barrier).
+        self._transport.fanout(
+            -1,
+            range(self._plan.num_shards),
+            PeriodTick(
+                period_index=period_index, period_ms=self._config.period_ms
+            ),
+        )
+        self._solve_barrier(now)
+        if not pending:
+            return []
+        retry = [
+            (qid, class_index, origin, arrival, resub + 1)
+            for qid, class_index, origin, arrival, resub in pending
+        ]
+        return self._market_tick(now, retry, collector, qa=True)
+
+    def _solve_barrier(self, now: float) -> None:
+        """Eq. 4 at every shard; scatter the supply back into the lanes."""
+        num_classes = len(self._classes)
+        frames = []
+        for shard_index in range(self._plan.num_shards):
+            local = self._plan.shard_nodes[shard_index]
+            prices = _np.ones((len(local), num_classes), dtype=float)
+            tables = self._shard_rows[shard_index]
+            for qc in self._classes:
+                k = qc.index
+                lanes, rows = tables[k]
+                prices[rows, k] = self._V[k][lanes]
+            frames.append(("solve", now, prices))
+        replies = self._transport.exchange(frames)
+        for shard_index, reply in enumerate(replies):
+            whole = reply["supply"]
+            tables = self._shard_rows[shard_index]
+            for qc in self._classes:
+                k = qc.index
+                lanes, rows = tables[k]
+                self._R[k][lanes] = whole[rows, k]
+        # New period: latches clear, the max-price mirror re-derives
+        # from the (possibly lowered) prices, the saturation fast path
+        # re-arms.
+        self._locked[:] = False
+        self._maxp[:] = self._maxp_base
+        for qc in self._classes:
+            k = qc.index
+            _np.maximum.at(self._maxp, self._cand[k], self._V[k])
+        self._period_serial += 1

@@ -201,6 +201,102 @@ def test_zero_base_latency_disables_batching():
     assert runs[True].metrics.batch_ticks == 0
 
 
+def _churn_run(prepare=None, faults=_FAULT_SPECS["churn"]):
+    """One qa-nt churn run; ``prepare(federation, allocator)`` may script it."""
+    world = two_query_world(num_nodes=14, seed=0)
+    trace = quantise_trace(
+        sinusoid_trace_for_load(
+            world,
+            load_fraction=1.5,
+            horizon_ms=1_500.0,
+            frequency_hz=0.05,
+            seed=9,
+        ),
+        25.0,
+    )
+    allocator = QantAllocator()
+    federation = build_federation(
+        world.specs,
+        world.placement,
+        world.classes,
+        world.cost_model,
+        allocator,
+        FederationConfig(seed=2, batch_ticks=True, faults=faults),
+    )
+    if prepare is not None:
+        prepare(federation, allocator)
+    metrics = federation.run(trace)
+    return allocator, metrics
+
+
+def test_partial_fanout_mid_run_falls_back_and_recovers():
+    # Crash-only churn keeps the dispatcher armed but shrinks candidate
+    # sets inside outage windows: those queries must drop to the scalar
+    # loop (a counted fallback), full fan-outs must return to the vector
+    # path afterwards, and the whole interleaving must be bit-identical
+    # to a run that never vectorises anything.
+    vectorised, metrics = _churn_run()
+    stats = vectorised.batch_dispatch_stats
+    assert stats is not None, "churn must not disable the dispatcher"
+    assert stats.scalar_fallbacks > 0, "no outage window hit a fan-out"
+    assert stats.vector_exchanges > 0, "vector path never resumed"
+
+    def never_vectorise(federation, allocator):
+        # Simulate the undispatchable fleet: every exchange takes the
+        # scalar loop over the live agent lists for the entire run.
+        allocator._dispatcher = None
+
+    scalar, scalar_metrics = _churn_run(prepare=never_vectorise)
+    assert _outcome_digest(metrics.outcomes) == _outcome_digest(
+        scalar_metrics.outcomes
+    )
+    assert {
+        node_id: _agent_state(agent)
+        for node_id, agent in sorted(vectorised.agents.items())
+    } == {
+        node_id: _agent_state(agent)
+        for node_id, agent in sorted(scalar.agents.items())
+    }
+
+
+def test_scripted_vector_singles_outage_is_bit_identical():
+    # Script an outage of the vector-singles path itself: sync + disable
+    # at 500 ms, re-enable at 1,000 ms.  Queries inside the window run
+    # the scalar loop against live lists; the first exchange after
+    # re-enable re-gathers from scratch.  Any cached-state leak across
+    # either edge shows up as a digest diff against the unscripted run.
+    baseline, baseline_metrics = _churn_run(faults=None)
+
+    def script(federation, allocator):
+        def off():
+            allocator.sync_market_state()
+            allocator._vector_singles = False
+
+        def on():
+            allocator._vector_singles = True
+
+        federation.simulator.schedule(500.0, off)
+        federation.simulator.schedule(1_000.0, on)
+
+    toggled, toggled_metrics = _churn_run(prepare=script, faults=None)
+    assert _outcome_digest(baseline_metrics.outcomes) == _outcome_digest(
+        toggled_metrics.outcomes
+    )
+    assert {
+        node_id: _agent_state(agent)
+        for node_id, agent in sorted(baseline.agents.items())
+    } == {
+        node_id: _agent_state(agent)
+        for node_id, agent in sorted(toggled.agents.items())
+    }
+    # The toggle really moved traffic: the scripted run answered fewer
+    # exchanges on the vector path than the unscripted one.
+    assert (
+        toggled.batch_dispatch_stats.vector_exchanges
+        < baseline.batch_dispatch_stats.vector_exchanges
+    )
+
+
 def test_batch_summary_counters_surface_in_metrics():
     run = _quantised_run("qa-nt", QantAllocator, 0, 25.0, True)
     summary = run.metrics.batch_summary()

@@ -34,6 +34,7 @@ REQUIRED_KERNELS = {
     "proto.codec",
     "e2e.federation_sweep",
     "fed.fig5a_1000node",
+    "fed.fig5a_sharded",
 }
 
 
@@ -70,6 +71,29 @@ class TestHarness:
     def test_measure_rejects_zero_repeat(self):
         with pytest.raises(ValueError):
             measure(lambda: None, repeat=0)
+
+    def test_measure_wall_mode_reports_positive_time(self):
+        ns_per_op, inner = measure(
+            lambda: sum(range(50)), repeat=1, wall=True
+        )
+        assert ns_per_op > 0
+        assert inner >= 1
+
+    def test_sharded_kernel_is_wall_timed(self):
+        # Parent CPU time misses the forked shard workers entirely; the
+        # kernel must opt into wall-clock timing.
+        assert KERNELS["fed.fig5a_sharded"].wall_time
+        assert not KERNELS["fed.fig5a_1000node"].wall_time
+
+    def test_measure_peak_adds_child_process_peak(self):
+        # Multi-process kernels surface their workers' RSS through a
+        # `child_peak_kb` hook on the timed callable; `bench --mem` must
+        # include it instead of silently reporting only the parent.
+        def fn():
+            return bytearray(64 * 1024)
+
+        fn.child_peak_kb = lambda: 10_000.0
+        assert measure_peak(fn) >= 10_000.0
 
     def test_unknown_filter_raises(self):
         with pytest.raises(ValueError, match="no benchmark kernel matches"):
@@ -509,6 +533,37 @@ class TestProfileCli:
         out = capsys.readouterr().out
         assert "vector.arith" in out
         assert "cumtime" in out  # pstats table rendered
+
+    def test_profile_kernel_json_payload(self, capsys):
+        rc = cli.main(
+            ["profile", "--kernel", "vector.arith", "--top", "5", "--json"]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema_version"] == 1
+        assert payload["kind"] == "profile"
+        assert payload["target"] == "kernel:vector.arith"
+        assert payload["sort"] == "tottime"
+        assert payload["total_time_s"] > 0
+        assert 1 <= len(payload["rows"]) <= 5
+        row = payload["rows"][0]
+        assert set(row) == {
+            "file",
+            "line",
+            "function",
+            "ncalls",
+            "primitive_calls",
+            "tottime_s",
+            "cumtime_s",
+        }
+        # tottime sort: rows arrive hottest-first.
+        times = [r["tottime_s"] for r in payload["rows"]]
+        assert times == sorted(times, reverse=True)
+
+    def test_profile_rejects_bad_limit(self, capsys):
+        rc = cli.main(["profile", "--kernel", "vector.arith", "--top", "0"])
+        assert rc == 2
+        assert "limit" in capsys.readouterr().err
 
     def test_profile_rejects_kernel_and_experiment_together(self, capsys):
         rc = cli.main(["profile", "fig4", "--kernel", "vector.arith"])

@@ -103,6 +103,39 @@ class TestSweepExecution:
         parallel_bytes = json.dumps(parallel.to_dict(), sort_keys=True)
         assert serial_bytes == parallel_bytes
 
+    def test_shared_pool_across_specs_is_byte_identical(self, spec, serial):
+        # ``run all --jobs N`` hands every spec the same caller-owned
+        # executor; pin that reuse changes no bytes versus fresh serial
+        # sweeps, for the first spec AND a second one through the same
+        # (now warm) workers.
+        from concurrent.futures import ProcessPoolExecutor
+
+        other = _tiny_spec("tiny-fig5a-second")
+        serial_other = run_sweep(
+            other, scale="small", seeds=replicate_seeds(0, 2), jobs=1
+        )
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            pooled = run_sweep(
+                spec,
+                scale="small",
+                seeds=replicate_seeds(0, 2),
+                jobs=2,
+                pool=pool,
+            )
+            pooled_other = run_sweep(
+                other,
+                scale="small",
+                seeds=replicate_seeds(0, 2),
+                jobs=2,
+                pool=pool,
+            )
+        assert json.dumps(pooled.to_dict(), sort_keys=True) == json.dumps(
+            serial.to_dict(), sort_keys=True
+        )
+        assert json.dumps(
+            pooled_other.to_dict(), sort_keys=True
+        ) == json.dumps(serial_other.to_dict(), sort_keys=True)
+
     def test_json_round_trip(self, serial):
         restored = SweepResult.from_dict(serial.to_dict())
         assert restored.experiment == serial.experiment
@@ -137,7 +170,7 @@ class TestRegistry:
         "fig6", "fig7", "table2", "table3",
         "ablation-lambda", "ablation-period", "ablation-partial",
         "ablation-markov", "ablation-rounding", "failures", "chaos",
-        "scaling",
+        "scaling", "scaling-shards",
     }
 
     def test_every_experiment_registered(self):
