@@ -44,7 +44,28 @@ except ImportError:  # pragma: no cover - scalar paths cover this
 __all__ = [
     "BatchDispatchStats",
     "MarketTickDispatcher",
+    "refusal_raise",
 ]
+
+
+def refusal_raise(values, factor, floor, cap):
+    """Steps 8-9 price raise over a vector of refused lanes.
+
+    Returns ``(raised, changed)``: the new prices after one refusal raise
+    with the exact scalar clamp order (floor first, then cap —
+    max-then-min is identical for ``floor <= cap`` over these positive
+    finite values), and the boolean mask of lanes whose price actually
+    moved.  This is the single point of truth for the raise arithmetic:
+    the fleet-wide dispatcher below, the sharded coordinator's market
+    plane and every shard-local market plane
+    (:class:`repro.sim.shards._MarketPlane` — one dispatcher-equivalent
+    instance per shard) all call it, so bit-identity across engines is a
+    property of one function, not of N transcriptions.
+    """
+    raised = values * factor
+    _np.maximum(raised, floor, out=raised)
+    _np.minimum(raised, cap, out=raised)
+    return raised, raised != values
 
 
 class BatchDispatchStats:
@@ -218,11 +239,9 @@ class MarketTickDispatcher:
             # these positive finite values).  Unchanged lanes are
             # rewritten with identical bits, so the scatter stays exact.
             st.F[refuse] += 1
-            old = V[refuse]
-            new = old * self._factor
-            _np.maximum(new, self._floor, out=new)
-            _np.minimum(new, self._cap, out=new)
-            changed = new != old
+            new, changed = refusal_raise(
+                V[refuse], self._factor, self._floor, self._cap
+            )
             V[refuse] = new
             m = self._aux_maxp[rows_r]
             if changed.any():

@@ -508,4 +508,61 @@ def _setup_fed_fig5a_sharded() -> Callable[[], object]:
         ]
 
     run_once.child_peak_kb = federation.transport.child_peak_kb
+    run_once.shard_self_time_s = federation.shard_self_time_s
+    return run_once
+
+
+@register_kernel(
+    "fed.fig5a_localmarket",
+    "Local-market cell pair: the fed.fig5a_sharded fixture with "
+    "shard-local market planes (market='local', R=4, 4 forked shards) — "
+    "the coordinator keeps only the residual plane and one-way frame "
+    "routing, so the serial market bottleneck disappears (wall clock; "
+    "compare against fed.fig5a_sharded for the local-plane speedup)",
+    wall_time=True,
+)
+def _setup_fed_fig5a_localmarket() -> Callable[[], object]:
+    from ..experiments.scaling import quantise_trace
+    from ..experiments.setups import sinusoid_trace_for_load, two_query_world
+    from ..sim import FederationConfig, ShardedFederation
+
+    # Identical fixture to fed.fig5a_sharded (world seed 0, trace seed 10
+    # on the 25 ms grid, federation seed 2): the two kernels' ratio is
+    # purely the market-plane layout.  On this two-class world the whole
+    # market is one affinity component, so it runs as the coordinator's
+    # in-process residual plane — the win is the removed per-tick
+    # codec/IPC barriers, which is why the kernel speeds up even on a
+    # single core; affinity-rich catalogs add multi-core shard overlap
+    # on top (see the scaling-reconcile scenario).
+    world = two_query_world(num_nodes=1000, seed=0)
+    trace = quantise_trace(
+        sinusoid_trace_for_load(
+            world,
+            load_fraction=1.5,
+            horizon_ms=2_000.0,
+            frequency_hz=0.05,
+            seed=10,
+        ),
+        25.0,
+    )
+    federation = ShardedFederation(
+        world.specs,
+        world.placement,
+        world.classes,
+        world.cost_model,
+        config=FederationConfig(seed=2),
+        shards=4,
+        mode="fork",
+        market="local",
+        reconcile_interval=4,
+    )
+
+    def run_once():
+        return [
+            federation.run(trace, name).payload()
+            for name in ("qa-nt", "greedy")
+        ]
+
+    run_once.child_peak_kb = federation.transport.child_peak_kb
+    run_once.shard_self_time_s = federation.shard_self_time_s
     return run_once

@@ -307,9 +307,20 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument(
         "--scale",
-        choices=SCALES,
+        # Every spec carries the universal "small"/"paper" presets;
+        # some register extras (e.g. scaling-shards "localmarket"),
+        # so the run command accepts the union and validates the
+        # (experiment, scale) pair after parsing.
+        choices=sorted(
+            {
+                scale
+                for name in REGISTRY.names()
+                for scale in REGISTRY.get(name).scales
+            }
+        ),
         default="small",
-        help="federation/workload size (default: small)",
+        help="federation/workload size (default: small; extra presets "
+        "are experiment-specific, e.g. scaling-shards --scale localmarket)",
     )
     run.add_argument("--seed", type=int, default=0, help="base random seed")
     run.add_argument(
@@ -473,6 +484,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 2
     seeds = replicate_seeds(args.seed, args.seeds)
     names = REGISTRY.names() if args.experiment == "all" else [args.experiment]
+    for name in names:
+        if args.scale not in REGISTRY.get(name).scales:
+            print(
+                "experiment %r has no scale %r (known: %s)"
+                % (name, args.scale, ", ".join(sorted(REGISTRY.get(name).scales))),
+                file=sys.stderr,
+            )
+            return 2
     if args.fault_seed is not None and args.experiment != "all":
         if not REGISTRY.get(args.experiment).fault_aware:
             print(

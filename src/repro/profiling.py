@@ -29,7 +29,7 @@ import cProfile
 import io
 import platform
 import pstats
-from typing import Optional
+from typing import Optional, Sequence
 
 __all__ = [
     "PROFILE_SCHEMA_VERSION",
@@ -39,6 +39,7 @@ __all__ = [
     "profile_experiment",
     "profile_kernel",
     "profile_payload",
+    "read_profile_payload",
 ]
 
 #: pstats sort keys exposed on the CLI.
@@ -46,7 +47,11 @@ SORT_KEYS = ("tottime", "cumtime", "ncalls")
 
 #: Version stamp of every ``repro profile --json`` payload (the
 #: ``bench_payload`` convention: bump on incompatible row-shape changes).
-PROFILE_SCHEMA_VERSION = 1
+#: v2 adds the ``shards`` section — per-shard aggregate frame-handling
+#: self-time for kernels backed by worker processes, which cProfile's
+#: in-process tracing cannot see.  v1 payloads stay readable through
+#: :func:`read_profile_payload`.
+PROFILE_SCHEMA_VERSION = 2
 
 
 def _check_render_args(sort: str, limit: int) -> None:
@@ -117,6 +122,13 @@ def collect_kernel(name: str) -> cProfile.Profile:
         fn()
     finally:
         profiler.disable()
+    # Sharded kernels expose the workers' aggregate frame-handling
+    # self-time (a `shard_self_time_s` callable on the run closure);
+    # cProfile cannot trace into forked workers, so this rides along on
+    # the profiler object for `profile_payload` to fold into schema v2.
+    reporter = getattr(fn, "shard_self_time_s", None)
+    if callable(reporter):
+        profiler.shard_self_time_s = [float(t) for t in reporter()]
     return profiler
 
 
@@ -158,6 +170,7 @@ def profile_payload(
     target: str,
     sort: str = "tottime",
     limit: int = 25,
+    shard_self_time_s: Optional[Sequence[float]] = None,
 ) -> dict:
     """Machine-readable hotspot rows for ``repro profile --json``.
 
@@ -168,6 +181,12 @@ def profile_payload(
     counts.  ``total_time_s`` is the profiler's own (inflated ~3x, see
     the module docs) account of the traced run; row fractions are
     meaningful, absolutes are not.
+
+    Schema v2: the ``shards`` section carries per-shard aggregate
+    frame-handling self-time (seconds of real worker wall clock, *not*
+    profiler-inflated) for sharded kernels — pass ``shard_self_time_s``
+    explicitly or let :func:`collect_kernel` attach it to the profiler.
+    Single-process targets get an empty list.
     """
     _check_render_args(sort, limit)
     stats = pstats.Stats(profiler)
@@ -187,6 +206,8 @@ def profile_payload(
                 "cumtime_s": cumtime,
             }
         )
+    if shard_self_time_s is None:
+        shard_self_time_s = getattr(profiler, "shard_self_time_s", [])
     return {
         "schema_version": PROFILE_SCHEMA_VERSION,
         "kind": "profile",
@@ -196,4 +217,30 @@ def profile_payload(
         "total_time_s": stats.total_tt,
         "python_version": platform.python_version(),
         "rows": rows,
+        "shards": [
+            {"shard": index, "self_time_s": float(seconds)}
+            for index, seconds in enumerate(shard_self_time_s)
+        ],
     }
+
+
+def read_profile_payload(payload: dict) -> dict:
+    """Normalise a stored ``repro profile --json`` payload to v2 shape.
+
+    v1 payloads (no ``shards`` section) remain readable: they come back
+    with an empty ``shards`` list and their version restated as the
+    current schema.  Unknown future versions raise, matching the bench
+    baseline loader's posture.
+    """
+    version = payload.get("schema_version")
+    if version not in (1, PROFILE_SCHEMA_VERSION):
+        raise ValueError(
+            "unsupported profile schema_version %r (supported: 1, %d)"
+            % (version, PROFILE_SCHEMA_VERSION)
+        )
+    if payload.get("kind") != "profile":
+        raise ValueError("not a profile payload: kind=%r" % payload.get("kind"))
+    normalised = dict(payload)
+    normalised.setdefault("shards", [])
+    normalised["schema_version"] = PROFILE_SCHEMA_VERSION
+    return normalised

@@ -35,7 +35,13 @@ from .session import (
     NegotiationPolicy,
     SessionState,
 )
-from .transport import FanoutResult, Transport
+from .transport import (
+    MAX_FRAME_BYTES,
+    FanoutResult,
+    FrameDecoder,
+    Transport,
+    encode_frame,
+)
 from .local import (
     LocalAsyncTransport,
     LocalNode,
@@ -58,7 +64,10 @@ __all__ = [
     "encode",
     "decode",
     "FanoutResult",
+    "FrameDecoder",
+    "MAX_FRAME_BYTES",
     "Transport",
+    "encode_frame",
     "MarketSession",
     "NegotiationPolicy",
     "NegotiationOutcome",

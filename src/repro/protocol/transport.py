@@ -36,15 +36,83 @@ always had into a typed, documented contract:
 from __future__ import annotations
 
 import abc
+import struct
 from dataclasses import dataclass, field
-from typing import Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from .messages import Message
 
 __all__ = [
     "FanoutResult",
+    "FrameDecoder",
     "Transport",
+    "encode_frame",
 ]
+
+
+#: Length-prefix header of one wire frame: 4-byte unsigned big-endian.
+_FRAME_HEADER = struct.Struct(">I")
+
+#: Ceiling on a single frame's payload (64 MiB).  A length prefix above
+#: this is a corrupt or hostile stream, not a real market frame — the
+#: decoder raises instead of buffering unbounded garbage.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+def encode_frame(payload: bytes) -> bytes:
+    """Wrap one codec payload in the transport's length-prefix framing.
+
+    The socket-backed shard transport (``repro.sim.shards.ShardTransport``
+    ``mode="tcp"``) moves :func:`repro.protocol.messages.encode` payloads
+    over a byte stream; this 4-byte big-endian length prefix is the only
+    thing the wire adds — the payload itself is the codec's business.
+    """
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ValueError(
+            "frame payload of %d bytes exceeds MAX_FRAME_BYTES" % len(payload)
+        )
+    return _FRAME_HEADER.pack(len(payload)) + payload
+
+
+class FrameDecoder:
+    """Incremental decoder of the length-prefixed frame stream.
+
+    Feed it byte chunks exactly as they arrive from a socket — partial
+    headers, partial payloads, several frames per chunk, anything — and
+    it yields complete payloads in stream order.  Purely computational
+    (no I/O), so both the coordinator and the shard workers drive the
+    identical reassembly logic and unit tests can exercise every split
+    point without a socket.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> List[bytes]:
+        """Absorb ``data``; return every frame completed by it, in order."""
+        self._buffer.extend(data)
+        frames: List[bytes] = []
+        offset = 0
+        size = len(self._buffer)
+        while size - offset >= _FRAME_HEADER.size:
+            (length,) = _FRAME_HEADER.unpack_from(self._buffer, offset)
+            if length > MAX_FRAME_BYTES:
+                raise ValueError(
+                    "frame length %d exceeds MAX_FRAME_BYTES" % length
+                )
+            if size - offset - _FRAME_HEADER.size < length:
+                break
+            start = offset + _FRAME_HEADER.size
+            frames.append(bytes(self._buffer[start : start + length]))
+            offset = start + length
+        if offset:
+            del self._buffer[:offset]
+        return frames
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered towards the next (incomplete) frame."""
+        return len(self._buffer)
 
 
 @dataclass(frozen=True)

@@ -32,6 +32,7 @@ from .shards import (
     ShardedRunResult,
     derive_shard_seed,
     plan_shards,
+    split_market_classes,
 )
 from .transport import SimTransport
 
@@ -65,5 +66,6 @@ __all__ = [
     "normalised_response_times",
     "plan_shards",
     "recovery_time_ms",
+    "split_market_classes",
     "system_capacity_qpms",
 ]

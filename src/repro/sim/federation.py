@@ -43,6 +43,7 @@ __all__ = [
     "FederationSimulation",
     "generate_machine_specs",
     "build_federation",
+    "run_single_mechanism",
 ]
 
 #: The paper's period length ``T``.
@@ -476,3 +477,44 @@ def build_federation(
         config=config,
         faults=injector,
     )
+
+
+def run_single_mechanism(
+    specs: Sequence[MachineSpec],
+    placement: Placement,
+    classes: Sequence[QueryClass],
+    cost_model: CostModel,
+    trace: Sequence[WorkloadEvent],
+    mechanism: str = "qa-nt",
+    config: Optional[FederationConfig] = None,
+    *,
+    parameters=None,
+    activation_threshold: Optional[float] = 2.0,
+    allowance_factor: float = 2.0,
+) -> Tuple[MetricsCollector, int]:
+    """Build, run and tear down one single-process federation.
+
+    The one-call form of the build-allocator/build-federation/run
+    sequence for the two mechanisms the sharded engine speaks
+    (``"qa-nt"`` / ``"greedy"``); ``repro.sim.shards`` delegates its
+    ``shards=1`` path here verbatim, which is what keeps that path
+    byte-identical to ``build_federation().run()``.  Returns the metrics
+    collector and the network's message count.
+    """
+    from ..allocation import GreedyAllocator, QantAllocator
+
+    if mechanism == "qa-nt":
+        allocator: Allocator = QantAllocator(
+            parameters=parameters,
+            activation_threshold=activation_threshold,
+            allowance_factor=allowance_factor,
+        )
+    elif mechanism == "greedy":
+        allocator = GreedyAllocator()
+    else:
+        raise ValueError("unknown mechanism %r" % (mechanism,))
+    federation = build_federation(
+        specs, placement, classes, cost_model, allocator, config
+    )
+    metrics = federation.run(trace)
+    return metrics, federation.network.messages_sent

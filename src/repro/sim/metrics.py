@@ -100,6 +100,19 @@ class MetricsCollector:
         self._barrier_wait_ms = 0.0
         self._shard_imbalance = 1.0
         self._shards = 1
+        # Local-market reconciliation counters (see repro.sim.shards,
+        # ``market="local"``).  Gated like the shard counters: the keys
+        # only appear in `batch_summary()` after `apply_reconcile_stats`,
+        # so coordinator-market and single-process summaries are
+        # byte-stable.
+        self._reconcile_stats_applied = False
+        self._reconcile_barriers = 0
+        self._reconcile_interval = 1
+        self._reconcile_lag_ticks_max = 0
+        self._price_staleness_max = 0.0
+        self._overlapped_frames = 0
+        self._local_classes = 0
+        self._residual_classes = 0
 
     # -- recording ---------------------------------------------------------------
 
@@ -176,6 +189,40 @@ class MetricsCollector:
         self._barrier_wait_ms += float(barrier_wait_ms)
         self._shard_imbalance = float(shard_imbalance)
         self._shards = int(shards)
+
+    def apply_reconcile_stats(
+        self,
+        reconcile_barriers: int = 0,
+        reconcile_interval: int = 1,
+        reconcile_lag_ticks_max: int = 0,
+        price_staleness_max: float = 0.0,
+        overlapped_frames: int = 0,
+        local_classes: int = 0,
+        residual_classes: int = 0,
+    ) -> None:
+        """Snapshot a local-market run's reconciliation counters.
+
+        Called once by :class:`repro.sim.shards.ShardedFederation` at the
+        end of a ``market="local"`` run; arms the reconciliation keys of
+        :meth:`batch_summary`.  ``reconcile_lag_ticks_max`` is the widest
+        observed gap (in market ticks) between price-reconciliation
+        barriers — bounded by ``reconcile_interval`` during the trace;
+        ``price_staleness_max`` is the largest per-lane price drift the
+        coordinator's mirror had accumulated when a barrier refreshed it
+        (the realised staleness the R-interval contract bounds);
+        ``overlapped_frames`` counts the one-way frames posted without a
+        reply barrier — the double-buffering depth actually used.
+        """
+        self._reconcile_stats_applied = True
+        self._reconcile_barriers += int(reconcile_barriers)
+        self._reconcile_interval = int(reconcile_interval)
+        if int(reconcile_lag_ticks_max) > self._reconcile_lag_ticks_max:
+            self._reconcile_lag_ticks_max = int(reconcile_lag_ticks_max)
+        if float(price_staleness_max) > self._price_staleness_max:
+            self._price_staleness_max = float(price_staleness_max)
+        self._overlapped_frames += int(overlapped_frames)
+        self._local_classes = int(local_classes)
+        self._residual_classes = int(residual_classes)
 
     def apply_fault_stats(
         self,
@@ -315,6 +362,16 @@ class MetricsCollector:
             summary["barrier_wait_ms"] = self._barrier_wait_ms
             summary["shard_imbalance"] = self._shard_imbalance
             summary["shards"] = float(self._shards)
+        if self._reconcile_stats_applied:
+            summary["reconcile_barriers"] = float(self._reconcile_barriers)
+            summary["reconcile_interval"] = float(self._reconcile_interval)
+            summary["reconcile_lag_ticks_max"] = float(
+                self._reconcile_lag_ticks_max
+            )
+            summary["price_staleness_max"] = self._price_staleness_max
+            summary["overlapped_frames"] = float(self._overlapped_frames)
+            summary["local_classes"] = float(self._local_classes)
+            summary["residual_classes"] = float(self._residual_classes)
         return summary
 
     # -- fault metrics -------------------------------------------------------------

@@ -42,14 +42,42 @@ assignment from the winning node's latency stream (two legs) instead
 of the slowest full-fan-out round trip, and refusal counters live in
 the coordinator's arrays rather than per-agent lists.  Its outputs are
 pinned by their own golden (``tests/golden/sharded_1000node_seed0.json``).
+
+**Local market planes** (``market="local"``): the coordinator-owned
+market plane above is the engine's serial bottleneck, but QA-NT's
+pricing state factors cleanly along the catalog's *affinity
+components* — the union-find groups :func:`plan_shards` already
+computes.  Two query classes interact only through a shared bidder
+(busy clock, max-price latch), so a component whose nodes all landed on
+one shard can run its **entire** bid/price/refusal/solve dynamics
+shard-side, fed by one-way ``mtick`` frames of encoded ``BidRequest``
+messages (double-buffered: the coordinator routes and prices frame *t+1*
+while shards still chew frame *t*).  Components split across shards
+form the **residual plane**, priced and executed by the slim
+coordinator with the identical :class:`_MarketPlane` arithmetic.  Every
+plane is exactly the PR 8 market restricted to its component set, so
+``invariant_payload()`` is bit-identical to the coordinator-plane
+engine for *any* reconciliation interval, any shard count and any
+transport mode.  The reconciliation interval R instead governs the
+**price-reconciliation barrier**: every R market ticks the shards
+return per-class price/supply digests plus busy watermarks that refresh
+the coordinator's cross-shard quote mirror (:meth:`ShardedFederation
+.stale_quotes`), bounding quote staleness at R ticks and flushing the
+one-way frame pipeline.  ``mode="tcp"`` runs the same workers behind
+length-prefixed JSON frames over localhost sockets (the
+:mod:`repro.protocol.transport` framing helpers), so shards can span
+machines; pipe and inline modes are untouched.
 """
 
 from __future__ import annotations
 
+import json
 import math
 import random
 import resource
+import socket
 import time
+from collections import deque
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -68,9 +96,15 @@ from ..protocol.messages import (
     decode,
     encode,
 )
-from ..protocol.transport import FanoutResult, Transport
+from ..allocation.market_tick import refusal_raise
+from ..protocol.transport import (
+    FanoutResult,
+    FrameDecoder,
+    Transport,
+    encode_frame,
+)
 from .faults import derive_fault_seed
-from .federation import FederationConfig, build_federation
+from .federation import FederationConfig, run_single_mechanism
 from .metrics import MetricsCollector
 
 __all__ = [
@@ -80,6 +114,7 @@ __all__ = [
     "ShardedRunResult",
     "derive_shard_seed",
     "plan_shards",
+    "split_market_classes",
 ]
 
 
@@ -200,6 +235,60 @@ def plan_shards(
     )
 
 
+def split_market_classes(
+    candidates_by_class: Mapping[int, Sequence[int]], plan: ShardPlan
+) -> Dict[int, int]:
+    """Market-plane ownership of every query class under ``plan``.
+
+    Returns ``owner``: class index → shard index when the class's whole
+    *affinity component* landed inside one shard of ``plan`` (the class
+    is **shard-local**: that shard may own its full bid/price/refusal
+    dynamics), or ``-1`` when the component's nodes span shards (the
+    class belongs to the coordinator's **residual plane**).
+
+    Ownership is decided per component, never per class: two classes
+    sharing a bidder are coupled through that node's busy clock and
+    Section 5.1 max-price latch, so they must price inside one plane
+    together — a class whose own candidates fit one shard still goes
+    residual if a sibling class drags the component across the boundary.
+    """
+    parent: Dict[int, int] = {}
+
+    def find(x: int) -> int:
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return root
+
+    for candidates in candidates_by_class.values():
+        members = sorted(candidates)
+        for nid in members:
+            parent.setdefault(nid, nid)
+        for nid in members[1:]:
+            ra, rb = find(members[0]), find(nid)
+            if ra != rb:
+                if rb < ra:
+                    ra, rb = rb, ra
+                parent[rb] = ra
+    node_to_shard = plan.node_to_shard
+    component_shards: Dict[int, set] = {}
+    for nid in parent:
+        component_shards.setdefault(find(nid), set()).add(
+            node_to_shard[nid]
+        )
+    owner: Dict[int, int] = {}
+    for class_index, candidates in candidates_by_class.items():
+        members = sorted(candidates)
+        if not members:
+            owner[class_index] = -1
+            continue
+        shards = component_shards[find(members[0])]
+        owner[class_index] = next(iter(shards)) if len(shards) == 1 else -1
+    return owner
+
+
 # -- the shard worker ---------------------------------------------------------
 
 
@@ -235,8 +324,20 @@ class _ShardCore:
         self._cols: Tuple[List, ...] = tuple([] for _ in range(9))
         self._assigned = 0
         self._bids_seen = 0
+        #: Wall-clock seconds this core spent handling frames since the
+        #: last reset — the per-shard hotspot number ``repro profile
+        #: --json`` (schema v2) surfaces, since cProfile cannot see into
+        #: worker processes.
+        self.self_time_s = 0.0
 
     def handle(self, frame: Tuple) -> Mapping[str, object]:
+        started = time.perf_counter()
+        try:
+            return self._dispatch(frame)
+        finally:
+            self.self_time_s += time.perf_counter() - started
+
+    def _dispatch(self, frame: Tuple) -> Mapping[str, object]:
         op = frame[0]
         if op == "tick":
             return self._tick(frame[1], frame[2], frame[3])
@@ -380,12 +481,436 @@ class _ShardCore:
             "maxrss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
             "assigned": self._assigned,
             "bids_seen": self._bids_seen,
+            "self_time_s": self.self_time_s,
         }
 
 
+# -- the market plane ---------------------------------------------------------
+
+
+class _MarketPlane:
+    """One self-contained QA-NT market over a subset of the federation.
+
+    The full stack of the PR 8 coordinator *and* shard arithmetic —
+    request-for-bid exchanges (the :func:`repro.allocation.market_tick
+    .refusal_raise` steps-8/9 raise, the Section 5.1 activation latch,
+    earliest-completion argmin), execution replay with node-keyed
+    latency streams, and the eq. 4 period solve with carry-over credit —
+    restricted to one set of affinity components.  Query classes only
+    couple through shared bidders, so running each component set in its
+    own plane performs bit-for-bit the same float operations, in the
+    same order, as one global plane interleaving them: this is the
+    equivalence that makes ``market="local"`` reproduce the
+    coordinator-market digest for any shard count, transport mode and
+    reconciliation interval.
+
+    Instances run shard-side (one per shard, inside
+    :class:`_LocalMarketCore` — per-shard dispatcher instances) and
+    coordinator-side (the residual plane of split components).  The init
+    mapping is JSON-safe so the identical spec crosses pipes and TCP
+    sockets.
+    """
+
+    def __init__(self, init: Mapping[str, object]) -> None:
+        ids = [int(nid) for nid in init["node_ids"]]
+        self._ids = ids
+        self._index = {nid: i for i, nid in enumerate(ids)}
+        self._num_classes = int(init["num_classes"])
+        costs = list(init["costs"])
+        if ids:
+            self._costs = _np.array(costs, dtype=float)
+        else:
+            self._costs = _np.zeros((0, self._num_classes), dtype=float)
+        self._allow = _np.array(init["allowances"], dtype=float)
+        self._seeds = [int(s) for s in init["latency_seeds"]]
+        self._base = float(init["base_ms"])
+        self._jitter = float(init["jitter_ms"])
+        self._factor = float(init["factor"])
+        self._floor = float(init["floor"])
+        self._cap = float(init["cap"])
+        self._adjustment = float(init["adjustment"])
+        threshold = init.get("threshold")
+        self._threshold = None if threshold is None else float(threshold)
+        self._class_order: List[int] = []
+        self._cand: Dict[int, object] = {}
+        self._cand_ids: Dict[int, object] = {}
+        self._lane_costs: Dict[int, object] = {}
+        for class_index, cand in init["classes"]:
+            k = int(class_index)
+            members = [int(nid) for nid in cand]
+            rows = _np.array(
+                [self._index[nid] for nid in members], dtype=_np.intp
+            )
+            self._class_order.append(k)
+            self._cand[k] = rows
+            self._cand_ids[k] = _np.array(members, dtype=_np.int64)
+            self._lane_costs[k] = self._costs[rows, k]
+        # maxp baseline: a class the node can never evaluate keeps its
+        # initial price of 1.0 forever, pinning the node's max price at
+        # >= 1.0 (same rule as the coordinator-market arrays).
+        self._maxp_base = _np.zeros(len(ids), dtype=float)
+        for i in range(len(ids)):
+            if bool(_np.isinf(self._costs[i]).any()):
+                self._maxp_base[i] = 1.0
+        self.reset(True)
+
+    @property
+    def node_ids(self) -> List[int]:
+        """The plane's nodes in ascending id order."""
+        return self._ids
+
+    @property
+    def class_indices(self) -> List[int]:
+        """The plane's query classes (init order: ascending index)."""
+        return self._class_order
+
+    @property
+    def pending_count(self) -> int:
+        """Queries refused and waiting for the next period boundary."""
+        return len(self._pending)
+
+    @property
+    def assigned(self) -> int:
+        """Assignments executed since the last reset."""
+        return self._assigned
+
+    @property
+    def exchanges(self) -> int:
+        """Request-for-bid exchanges priced since the last reset."""
+        return self._exchanges
+
+    def reset(self, qa: bool) -> None:
+        """Fresh run state + the bind-time eq. 4 solve (QA-NT only)."""
+        n = len(self._ids)
+        self._qa = bool(qa)
+        #: Pricing busy mirror: optimistic within a tick, resynced to the
+        #: authoritative execution clock at every tick's end (the exact
+        #: two-phase discipline of the PR 8 coordinator + Quote resync).
+        self._busy = _np.zeros(n, dtype=float)
+        #: Authoritative per-node FIFO clocks (negotiation delay included).
+        self._exec_busy = _np.zeros(n, dtype=float)
+        self._credit = _np.zeros((n, self._num_classes), dtype=float)
+        self._maxp = _np.ones(n, dtype=float)
+        self._locked = _np.zeros(n, dtype=bool)
+        self._rngs = [random.Random(seed) for seed in self._seeds]
+        self._V: Dict[int, object] = {
+            k: _np.ones(len(self._cand[k]), dtype=float)
+            for k in self._class_order
+        }
+        self._R: Dict[int, object] = {
+            k: _np.zeros(len(self._cand[k]), dtype=float)
+            for k in self._class_order
+        }
+        self._period_serial = 0
+        self._saturated_in: Dict[int, int] = {}
+        self._pending: List[Tuple] = []
+        self._cols: Tuple[List, ...] = tuple([] for _ in range(9))
+        self._assigned = 0
+        self._exchanges = 0
+        if self._qa and n:
+            self._period_solve(0.0)
+
+    # -- ticking -------------------------------------------------------------
+
+    def market_tick(self, now: float, rows: Sequence[Tuple]) -> int:
+        """Price ``rows`` in order, replay the winners; refusals pool.
+
+        Each row is ``(qid, class_index, origin, arrival, resub)``.
+        Returns the number of assignments made.
+        """
+        qa = self._qa
+        pending = self._pending
+        assignments: List[Tuple] = []
+        for row in rows:
+            k = row[1]
+            node = self._exchange(k, now) if qa else self._greedy(k, now)
+            if node is None:
+                pending.append(tuple(row))
+            else:
+                assignments.append(
+                    (row[0], k, row[2], row[3], row[4], node)
+                )
+        self._exchanges += len(rows)
+        if assignments:
+            self._replay(now, assignments)
+        return len(assignments)
+
+    def _exchange(self, class_index: int, now: float) -> Optional[int]:
+        """One QA-NT exchange — the PR 8 coordinator program verbatim,
+        over the plane's local row indices."""
+        if self._saturated_in.get(class_index) == self._period_serial:
+            return None
+        R = self._R[class_index]
+        V = self._V[class_index]
+        cand = self._cand[class_index]
+        offers = R >= 1.0
+        refuse = _np.nonzero(~offers)[0]
+        if refuse.size:
+            new, changed = refusal_raise(
+                V[refuse], self._factor, self._floor, self._cap
+            )
+            V[refuse] = new
+            rows_r = cand[refuse]
+            m = self._maxp[rows_r]
+            if changed.any():
+                m = _np.maximum(m, new)
+                self._maxp[rows_r] = m
+            threshold = self._threshold
+            if threshold is not None:
+                passed = ~self._locked[rows_r]
+                passed &= m < threshold
+                self._locked[rows_r] = ~passed
+                offers[refuse] = passed
+        if not offers.any():
+            if bool((V == self._cap).all()):
+                self._saturated_in[class_index] = self._period_serial
+            return None
+        est = _np.maximum(self._busy[cand], now)
+        est += self._lane_costs[class_index]
+        est[~offers] = _np.inf
+        winner = int(est.argmin())
+        if R[winner] >= 1.0:
+            R[winner] -= 1.0
+        row = int(cand[winner])
+        self._busy[row] = float(est[winner])
+        return int(self._ids[row])
+
+    def _greedy(self, class_index: int, now: float) -> int:
+        """Greedy: every candidate offers; earliest completion wins."""
+        cand = self._cand[class_index]
+        est = _np.maximum(self._busy[cand], now)
+        est += self._lane_costs[class_index]
+        winner = int(est.argmin())
+        row = int(cand[winner])
+        self._busy[row] = float(est[winner])
+        return int(self._ids[row])
+
+    def _replay(self, now: float, assignments: Sequence[Tuple]) -> None:
+        """Execution replay (the `_ShardCore._tick` program), then the
+        pricing mirror resyncs to the authoritative clocks — the in-plane
+        equivalent of the Quote barrier."""
+        index = self._index
+        ebusy = self._exec_busy
+        costs = self._costs
+        rngs = self._rngs
+        base = self._base
+        jitter = self._jitter
+        cols = self._cols
+        busy = self._busy
+        for qid, class_index, origin, arrival, resub, node in assignments:
+            i = index[node]
+            if jitter == 0.0:
+                delay = base + base
+            else:
+                rnd = rngs[i].random
+                delay = (base + jitter * rnd()) + (base + jitter * rnd())
+            assigned = now + delay
+            prior = ebusy[i]
+            start = prior if prior > assigned else assigned
+            finish = start + costs[i, class_index]
+            ebusy[i] = finish
+            cols[0].append(qid)
+            cols[1].append(class_index)
+            cols[2].append(origin)
+            cols[3].append(arrival)
+            cols[4].append(assigned)
+            cols[5].append(node)
+            cols[6].append(start)
+            cols[7].append(finish)
+            cols[8].append(resub)
+            busy[i] = finish
+        self._assigned += len(assignments)
+
+    # -- period boundary ------------------------------------------------------
+
+    def boundary(self, now: float) -> int:
+        """Steps 12-14 decay, eq. 4, latch reset, retries; returns the
+        pending count left after the retry tick."""
+        if not self._qa:
+            return len(self._pending)
+        for k in self._class_order:
+            R = self._R[k]
+            V = self._V[k]
+            mask = R > 0.0
+            if mask.any():
+                f = 1.0 - R * self._adjustment
+                _np.maximum(f, 0.0, out=f)
+                new = V * f
+                _np.maximum(new, self._floor, out=new)
+                V[:] = _np.where(mask, new, V)
+        if len(self._ids):
+            self._period_solve(now)
+        if self._pending:
+            retry = [
+                (qid, class_index, origin, arrival, resub + 1)
+                for qid, class_index, origin, arrival, resub in self._pending
+            ]
+            self._pending = []
+            self.market_tick(now, retry)
+        return len(self._pending)
+
+    def _period_solve(self, now: float) -> None:
+        """Eq. 4 over the plane's nodes (the `_ShardCore._solve` program)
+        + the new-period latch/max-price/saturation re-arm."""
+        prices = _np.ones((len(self._ids), self._num_classes), dtype=float)
+        for k in self._class_order:
+            prices[self._cand[k], k] = self._V[k]
+        backlog = self._exec_busy - now
+        _np.clip(backlog, 0.0, None, out=backlog)
+        free = self._allow - backlog
+        _np.clip(free, 0.0, None, out=free)
+        D = prices / self._costs
+        top = D.max(axis=1)
+        W = _np.zeros_like(D)
+        rows = top > 0.0
+        if rows.any():
+            W[rows] = (D[rows] / top[rows, None]) ** 2.0
+        total = W.sum(axis=1)
+        total[total == 0.0] = 1.0
+        counts = (free[:, None] * W / total[:, None]) / self._costs
+        credit = self._credit
+        credit += counts
+        whole = _np.floor(credit + 1e-9)
+        credit -= whole
+        for k in self._class_order:
+            self._R[k][:] = whole[self._cand[k], k]
+        self._locked[:] = False
+        self._maxp[:] = self._maxp_base
+        for k in self._class_order:
+            _np.maximum.at(self._maxp, self._cand[k], self._V[k])
+        self._period_serial += 1
+
+    # -- reporting ------------------------------------------------------------
+
+    def reconcile_digest(self) -> Dict[str, object]:
+        """Per-class price/supply digests + authoritative busy watermarks
+        — the payload of one price-reconciliation barrier."""
+        return {
+            "prices": [
+                [k, self._V[k].tolist()] for k in self._class_order
+            ],
+            "supply": [
+                [k, self._R[k].tolist()] for k in self._class_order
+            ],
+            "busy": self._exec_busy.tolist(),
+            "pending": len(self._pending),
+            "assigned": self._assigned,
+        }
+
+    def quotes(self, class_index: int) -> List[Tuple[int, float]]:
+        """Authoritative ``(node, est_completion)`` quotes for one class."""
+        if class_index not in self._cand:
+            return []
+        cand = self._cand[class_index]
+        ids = self._cand_ids[class_index]
+        est = self._exec_busy[cand] + self._lane_costs[class_index]
+        return [
+            (int(nid), float(e)) for nid, e in zip(ids.tolist(), est.tolist())
+        ]
+
+    def collect(self) -> Dict[str, object]:
+        """Outcome columns + run counters (the final-barrier payload)."""
+        return {
+            "columns": self._cols,
+            "assigned": self._assigned,
+            "exchanges": self._exchanges,
+            "pending": len(self._pending),
+        }
+
+
+class _LocalMarketCore:
+    """Worker-side front of one shard-local market plane.
+
+    The ``market="local"`` counterpart of :class:`_ShardCore`: instead
+    of replaying coordinator decisions, it *makes* them for the classes
+    packed onto its shard.  ``mtick``/``mboundary`` frames are one-way
+    during the trace (posted, never answered — the double-buffer);
+    ``reconcile`` and ``collect`` are the sync points.
+    """
+
+    def __init__(self, init: Mapping[str, object]) -> None:
+        self._plane = _MarketPlane(init["plane"])
+        self._bids_seen = 0
+        self.self_time_s = 0.0
+
+    def handle(self, frame: Tuple) -> Mapping[str, object]:
+        started = time.perf_counter()
+        try:
+            return self._dispatch(frame)
+        finally:
+            self.self_time_s += time.perf_counter() - started
+
+    def _dispatch(self, frame: Tuple) -> Mapping[str, object]:
+        op = frame[0]
+        plane = self._plane
+        if op == "mtick":
+            now = frame[1]
+            rows = []
+            for payload in frame[2]:
+                bid = decode(payload)
+                rows.append(
+                    (bid.qid, bid.class_index, bid.origin_node, now,
+                     bid.attempt)
+                )
+            self._bids_seen += len(rows)
+            plane.market_tick(now, rows)
+            return {"ok": True}
+        if op == "mboundary":
+            return {"pending": plane.boundary(frame[1])}
+        if op == "reconcile":
+            digest = dict(plane.reconcile_digest())
+            digest["self_time_s"] = self.self_time_s
+            return digest
+        if op == "reset":
+            plane.reset(bool(frame[1]))
+            self._bids_seen = 0
+            self.self_time_s = 0.0
+            return {"ok": True}
+        if op == "collect":
+            reply = dict(plane.collect())
+            reply["maxrss_kb"] = resource.getrusage(
+                resource.RUSAGE_SELF
+            ).ru_maxrss
+            reply["bids_seen"] = self._bids_seen
+            reply["self_time_s"] = self.self_time_s
+            return reply
+        if op == "fanout":
+            return self._fanout(frame[1])
+        raise ValueError("unknown market-shard frame %r" % (op,))
+
+    def _fanout(self, payload: str) -> Mapping[str, object]:
+        """Protocol fan-out against the plane's authoritative clocks."""
+        message = decode(payload)
+        if isinstance(message, BidRequest):
+            replies = [
+                encode(
+                    Quote(
+                        qid=message.qid,
+                        node_id=nid,
+                        class_index=message.class_index,
+                        estimated_completion_ms=est,
+                    )
+                )
+                for nid, est in self._plane.quotes(message.class_index)
+            ]
+            return {"replies": replies}
+        return {"replies": []}
+
+
+#: Worker-core registry: ``shard_inits[i]["kind"]`` picks the class.
+_CORE_KINDS = {"exec": _ShardCore, "market": _LocalMarketCore}
+
+
+def _make_core(init: Mapping[str, object]):
+    return _CORE_KINDS[init.get("kind", "exec")](init)
+
+
 def _shard_worker(conn, init: Mapping[str, object]) -> None:
-    """Forked worker main loop: one frame in, one reply out, forever."""
-    core = _ShardCore(init)
+    """Forked worker main loop: one frame in, one reply out — except
+    ``("post", inner)`` wrappers, which are handled without a reply (the
+    one-way double-buffer path: the coordinator keeps routing the next
+    tick while this worker chews the current one)."""
+    core = _make_core(init)
     while True:
         try:
             frame = conn.recv()
@@ -395,7 +920,86 @@ def _shard_worker(conn, init: Mapping[str, object]) -> None:
             conn.send({"ok": True})
             conn.close()
             return
+        if frame[0] == "post":
+            core.handle(frame[1])
+            continue
         conn.send(core.handle(frame))
+
+
+def _wire_default(obj):
+    """``json.dumps`` fallback for numpy values in wire frames."""
+    if _np is not None:
+        if isinstance(obj, _np.ndarray):
+            return obj.tolist()
+        if isinstance(obj, _np.generic):
+            return obj.item()
+    raise TypeError(
+        "cannot serialise %r for the shard wire" % type(obj).__name__
+    )
+
+
+class _WireChannel:
+    """One JSON-frame byte stream over a connected socket.
+
+    Frames are ``json.dumps`` payloads wrapped in the protocol layer's
+    length-prefix framing (:func:`repro.protocol.transport.encode_frame`
+    / :class:`~repro.protocol.transport.FrameDecoder`), so both ends
+    reassemble partial reads deterministically.  JSON round-trips floats
+    exactly (shortest-repr), which is what keeps tcp mode bit-identical
+    to pipes.
+    """
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self._decoder = FrameDecoder()
+        self._frames: deque = deque()
+
+    def send_obj(self, obj) -> None:
+        payload = json.dumps(obj, default=_wire_default).encode("utf-8")
+        self._sock.sendall(encode_frame(payload))
+
+    def recv_obj(self):
+        while not self._frames:
+            data = self._sock.recv(1 << 16)
+            if not data:
+                raise EOFError("shard wire closed")
+            self._frames.extend(self._decoder.feed(data))
+        return json.loads(self._frames.popleft())
+
+    def close(self) -> None:
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+
+
+def _tcp_shard_worker(host: str, port: int, index: int) -> None:
+    """TCP worker main loop: connect, identify, receive the init frame,
+    then serve frames exactly like the pipe worker.
+
+    The worker learns *everything* — including its shard spec — over the
+    socket, so the same loop could run on another machine given only the
+    coordinator's address.
+    """
+    sock = socket.create_connection((host, port))
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    channel = _WireChannel(sock)
+    channel.send_obj(["hello", index])
+    core = _make_core(channel.recv_obj())
+    while True:
+        try:
+            frame = channel.recv_obj()
+        except EOFError:  # pragma: no cover - parent died
+            return
+        if frame[0] == "close":
+            channel.send_obj({"ok": True})
+            channel.close()
+            return
+        if frame[0] == "post":
+            core.handle(frame[1])
+            continue
+        channel.send_obj(core.handle(frame))
 
 
 # -- the transport ------------------------------------------------------------
@@ -415,15 +1019,21 @@ class ShardTransport(Transport):
 
     ``mode="fork"`` forks one daemon worker per shard over
     :func:`multiprocessing.Pipe`; ``mode="inline"`` runs the identical
-    :class:`_ShardCore` objects in-process (codec included) — the
-    equivalence tests pin fork == inline bit-for-bit.
+    cores in-process (codec included) — the equivalence tests pin fork
+    == inline bit-for-bit.  ``mode="tcp"`` forks the same workers but
+    moves every frame as length-prefixed JSON over localhost sockets
+    (the :mod:`repro.protocol.transport` framing helpers), the
+    machine-spanning wire: workers receive even their shard spec over
+    the socket, so only the fork itself is process-local.
     """
 
     def __init__(
         self, shard_inits: Sequence[Mapping[str, object]], mode: str = "fork"
     ) -> None:
-        if mode not in ("fork", "inline"):
-            raise ValueError("transport mode must be 'fork' or 'inline'")
+        if mode not in ("fork", "inline", "tcp"):
+            raise ValueError(
+                "transport mode must be 'fork', 'inline' or 'tcp'"
+            )
         self._mode = mode
         self._num_shards = len(shard_inits)
         #: Wall-clock milliseconds spent blocked at tick barriers
@@ -432,6 +1042,9 @@ class ShardTransport(Transport):
         #: Protocol messages moved (fanout legs only; the federation
         #: accounts bid/quote volume itself).
         self.messages = 0
+        #: One-way frames dispatched without a reply barrier (the
+        #: double-buffered tick pipeline; see :meth:`post`).
+        self.posted_frames = 0
         self._child_peak_kb = 0
         self._closed = False
         if mode == "fork":
@@ -451,8 +1064,39 @@ class ShardTransport(Transport):
                 child_conn.close()
                 self._conns.append(parent_conn)
                 self._procs.append(proc)
+        elif mode == "tcp":
+            import multiprocessing
+
+            ctx = multiprocessing.get_context("fork")
+            listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            listener.bind(("127.0.0.1", 0))
+            listener.listen(max(1, len(shard_inits)))
+            host, port = listener.getsockname()
+            self._procs = []
+            for index in range(len(shard_inits)):
+                proc = ctx.Process(
+                    target=_tcp_shard_worker,
+                    args=(host, port, index),
+                    daemon=True,
+                )
+                proc.start()
+                self._procs.append(proc)
+            channels: List[Optional[_WireChannel]] = [None] * len(
+                shard_inits
+            )
+            for _ in shard_inits:
+                sock, _addr = listener.accept()
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                channel = _WireChannel(sock)
+                hello = channel.recv_obj()
+                channels[int(hello[1])] = channel
+            listener.close()
+            self._channels = channels
+            for channel, init in zip(channels, shard_inits):
+                channel.send_obj(init)
         else:
-            self._cores = [_ShardCore(init) for init in shard_inits]
+            self._cores = [_make_core(init) for init in shard_inits]
 
     @property
     def num_shards(self) -> int:
@@ -482,6 +1126,18 @@ class ShardTransport(Transport):
             ]
             self.barrier_wait_ms += (time.perf_counter() - start) * 1e3
             return replies
+        if self._mode == "tcp":
+            channels = self._channels
+            for channel, frame in zip(channels, frames):
+                if frame is not None:
+                    channel.send_obj(frame)
+            start = time.perf_counter()
+            replies = [
+                None if frame is None else channel.recv_obj()
+                for channel, frame in zip(channels, frames)
+            ]
+            self.barrier_wait_ms += (time.perf_counter() - start) * 1e3
+            return replies
         conns = self._conns
         for conn, frame in zip(conns, frames):
             if frame is not None:
@@ -493,6 +1149,35 @@ class ShardTransport(Transport):
         ]
         self.barrier_wait_ms += (time.perf_counter() - start) * 1e3
         return replies
+
+    def post(self, frames: Sequence[Optional[Tuple]]) -> None:
+        """One-way dispatch: frame *i* to shard *i*, no replies read.
+
+        The double-buffer verb: the coordinator keeps routing tick *t+1*
+        while the workers chew tick *t*; OS pipe/socket buffers provide
+        the backpressure.  Workers process frames strictly in arrival
+        order, so any later :meth:`exchange` barrier observes every
+        posted frame's effects — a sync frame *is* the pipeline flush.
+        Inline mode handles the frames synchronously (same cores, no
+        pipeline), preserving bit-identity across modes.
+        """
+        posted = 0
+        if self._mode == "inline":
+            for core, frame in zip(self._cores, frames):
+                if frame is not None:
+                    core.handle(frame)
+                    posted += 1
+        elif self._mode == "tcp":
+            for channel, frame in zip(self._channels, frames):
+                if frame is not None:
+                    channel.send_obj(["post", frame])
+                    posted += 1
+        else:
+            for conn, frame in zip(self._conns, frames):
+                if frame is not None:
+                    conn.send(("post", frame))
+                    posted += 1
+        self.posted_frames += posted
 
     def fanout(
         self,
@@ -537,8 +1222,13 @@ class ShardTransport(Transport):
             self._child_peak_kb = peak_kb
 
     def child_peak_kb(self) -> int:
-        """Peak worker-process RSS in KiB (0 in inline mode)."""
-        return self._child_peak_kb if self._mode == "fork" else 0
+        """Peak worker-process RSS in KiB (0 in inline mode).
+
+        Both child-bearing modes report: forked-pipe workers *and* tcp
+        workers fold their ``ru_maxrss`` through the collect barrier —
+        `bench --mem` sums this into the kernel's footprint.
+        """
+        return self._child_peak_kb if self._mode != "inline" else 0
 
     def close(self) -> None:
         """Shut the worker pool down (idempotent)."""
@@ -553,6 +1243,16 @@ class ShardTransport(Transport):
                 except (BrokenPipeError, EOFError, OSError):
                     pass
                 conn.close()
+            for proc in self._procs:
+                proc.join(timeout=5.0)
+        elif self._mode == "tcp":
+            for channel in self._channels:
+                try:
+                    channel.send_obj(["close"])
+                    channel.recv_obj()
+                except (BrokenPipeError, EOFError, OSError):
+                    pass
+                channel.close()
             for proc in self._procs:
                 proc.join(timeout=5.0)
 
@@ -737,12 +1437,23 @@ class ShardedFederation:
         config: Optional[FederationConfig] = None,
         shards: int = 1,
         mode: str = "fork",
+        market: str = "coordinator",
+        reconcile_interval: int = 1,
         parameters: Optional[QantParameters] = None,
         activation_threshold: Optional[float] = 2.0,
         allowance_factor: float = 2.0,
     ) -> None:
         if shards <= 0:
             raise ValueError("need at least one shard")
+        if market not in ("coordinator", "local"):
+            raise ValueError("market must be 'coordinator' or 'local'")
+        if reconcile_interval < 1:
+            raise ValueError("reconcile_interval must be >= 1")
+        self._market = market
+        self._reconcile_interval = int(reconcile_interval)
+        #: Per-shard aggregate frame-handling self-time of the last run
+        #: (filled by the collect barrier; ``repro profile --json`` v2).
+        self.last_shard_self_time_s: List[float] = []
         self._specs = specs
         self._placement = placement
         self._classes = classes
@@ -802,11 +1513,27 @@ class ShardedFederation:
         self._floor = self._params.price_floor
         self._cap = self._params.price_cap
         self._adjustment = self._params.adjustment
+        # Per-node allowance: one period of capacity plus headroom for
+        # the costliest class the node can evaluate (the single-process
+        # engine's allowance rule) — shared by both market layouts.
+        allowance_by_node: Dict[int, float] = {}
+        for nid in node_ids:
+            finite = [c for c in cost_rows[nid] if not math.isinf(c)]
+            allowance_by_node[nid] = (
+                self._config.period_ms
+                + allowance_factor * max(finite, default=0.0)
+            )
+        if market == "local":
+            shard_inits = self._build_local_planes(
+                cost_rows, allowance_by_node, num_classes
+            )
+            self._transport = ShardTransport(shard_inits, mode=mode)
+            return
         # Per (class, shard): the class's candidate-lane indices owned by
         # the shard and the matching row positions in the shard's local
         # node order — the scatter/gather tables of the solve barrier.
         self._shard_rows: List[Dict[int, Tuple]] = []
-        shard_inits: List[Dict[str, object]] = []
+        shard_inits = []
         for shard_index in range(shards):
             local = list(self._plan.shard_nodes[shard_index])
             local_pos = {nid: i for i, nid in enumerate(local)}
@@ -822,20 +1549,11 @@ class ShardedFederation:
                     _np.array(rows, dtype=_np.intp),
                 )
             self._shard_rows.append(tables)
-            allowances = []
-            for nid in local:
-                finite = [
-                    c for c in cost_rows[nid] if not math.isinf(c)
-                ]
-                max_cost = max(finite, default=0.0)
-                allowances.append(
-                    self._config.period_ms + allowance_factor * max_cost
-                )
             shard_inits.append(
                 {
                     "node_ids": local,
                     "costs": [cost_rows[nid] for nid in local],
-                    "allowances": allowances,
+                    "allowances": [allowance_by_node[nid] for nid in local],
                     "latency_seeds": [
                         derive_shard_seed(
                             self._config.seed, ("shard-node-latency", nid)
@@ -850,6 +1568,82 @@ class ShardedFederation:
         self._transport = ShardTransport(shard_inits, mode=mode)
         self._period_serial = 0
         self._saturated_in: Dict[int, int] = {}
+
+    def _build_local_planes(
+        self,
+        cost_rows: Mapping[int, List[float]],
+        allowance_by_node: Mapping[int, float],
+        num_classes: int,
+    ) -> List[Dict[str, object]]:
+        """Partition the market into shard planes + the residual plane.
+
+        Ownership is decided per affinity *component* (classes coupled
+        by a shared bidder must share one plane's latch/busy state), via
+        :func:`split_market_classes`.  Shard-owned components become one
+        JSON-safe ``_MarketPlane`` init per shard; split components form
+        the coordinator's in-process residual plane.  Candidate tuples
+        keep their global ascending order, so every plane's lane arrays
+        are bit-compatible with the coordinator-market layout.
+        """
+        candidates_by_class = self._candidates
+        self._owner = split_market_classes(candidates_by_class, self._plan)
+        plane_classes: List[List[int]] = [[] for _ in range(self._shards)]
+        residual_classes: List[int] = []
+        for k in sorted(self._owner):
+            s = self._owner[k]
+            if s >= 0:
+                plane_classes[s].append(k)
+            else:
+                residual_classes.append(k)
+        self._plane_classes = plane_classes
+        self._residual_classes = residual_classes
+        self._active_plane = [bool(ks) for ks in plane_classes]
+
+        def plane_init(class_indices: Sequence[int]) -> Dict[str, object]:
+            nodes = sorted(
+                {
+                    nid
+                    for k in class_indices
+                    for nid in candidates_by_class[k]
+                }
+            )
+            return {
+                "node_ids": nodes,
+                "num_classes": num_classes,
+                "costs": [cost_rows[nid] for nid in nodes],
+                "allowances": [allowance_by_node[nid] for nid in nodes],
+                "latency_seeds": [
+                    derive_shard_seed(
+                        self._config.seed, ("shard-node-latency", nid)
+                    )
+                    for nid in nodes
+                ],
+                "base_ms": self._config.latency.base_ms,
+                "jitter_ms": self._config.latency.jitter_ms,
+                "factor": self._factor,
+                "floor": self._floor,
+                "cap": self._cap,
+                "adjustment": self._adjustment,
+                "threshold": self._threshold,
+                "classes": [
+                    [k, list(candidates_by_class[k])] for k in class_indices
+                ],
+            }
+
+        inits = [plane_init(ks) for ks in plane_classes]
+        self._plane_nodes = [list(init["node_ids"]) for init in inits]
+        self._residual = _MarketPlane(plane_init(residual_classes))
+        # Cross-shard quote mirror: refreshed by every reconciliation
+        # barrier, read by :meth:`stale_quotes` — never by the market
+        # arithmetic itself (exactness does not depend on R).
+        self._mirror_busy = _np.zeros(len(self._busy), dtype=float)
+        self._mirror_V: Dict[int, List[float]] = {}
+        self._mirror_R: Dict[int, List[float]] = {}
+        self._reconcile_barriers = 0
+        self._reconcile_lag_max = 0
+        self._staleness_max = 0.0
+        self._boundaries_since_reconcile = 0
+        return [{"kind": "market", "plane": init} for init in inits]
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -887,32 +1681,25 @@ class ShardedFederation:
             raise ValueError("cannot run an empty workload trace")
         if self._shards == 1:
             return self._run_single(trace, mechanism)
+        if self._market == "local":
+            return self._run_local(trace, mechanism)
         return self._run_sharded(trace, mechanism)
 
     def _run_single(self, trace, mechanism: str) -> ShardedRunResult:
         """The ``shards=1`` delegation: literally the one-process engine."""
-        from ..allocation import GreedyAllocator, QantAllocator
-
-        if mechanism == "qa-nt":
-            allocator = QantAllocator(
-                parameters=self._params,
-                activation_threshold=self._threshold,
-                allowance_factor=self._allowance_factor,
-            )
-        else:
-            allocator = GreedyAllocator()
-        federation = build_federation(
+        metrics, messages = run_single_mechanism(
             self._specs,
             self._placement,
             self._classes,
             self._cost_model,
-            allocator,
+            trace,
+            mechanism,
             self._config,
+            parameters=self._params,
+            activation_threshold=self._threshold,
+            allowance_factor=self._allowance_factor,
         )
-        metrics = federation.run(trace)
-        return ShardedRunResult.from_metrics(
-            metrics, federation.network.messages_sent
-        )
+        return ShardedRunResult.from_metrics(metrics, messages)
 
     # -- the sharded coordinator ---------------------------------------------
 
@@ -974,14 +1761,17 @@ class ShardedFederation:
         )
         cols = [[] for _ in range(9)]
         assigned_per_shard = []
+        self_times = []
         peak_kb = 0
         for reply in replies:
             for c, part in zip(cols, reply["columns"]):
                 c.extend(part)
             assigned_per_shard.append(reply["assigned"])
+            self_times.append(float(reply.get("self_time_s", 0.0)))
             if reply["maxrss_kb"] > peak_kb:
                 peak_kb = reply["maxrss_kb"]
         transport.note_child_peak_kb(peak_kb)
+        self.last_shard_self_time_s = self_times
         int_cols = (0, 1, 2, 5, 8)
         columns = [
             _np.array(c, dtype=_np.int64 if n in int_cols else float)
@@ -1210,7 +2000,8 @@ class ShardedFederation:
             frames.append(("solve", now, prices))
         replies = self._transport.exchange(frames)
         for shard_index, reply in enumerate(replies):
-            whole = reply["supply"]
+            # tcp replies carry nested lists, pipes carry the ndarray.
+            whole = _np.asarray(reply["supply"], dtype=float)
             tables = self._shard_rows[shard_index]
             for qc in self._classes:
                 k = qc.index
@@ -1225,3 +2016,280 @@ class ShardedFederation:
             k = qc.index
             _np.maximum.at(self._maxp, self._cand[k], self._V[k])
         self._period_serial += 1
+
+    # -- the local-market coordinator -----------------------------------------
+
+    def _run_local(self, trace, mechanism: str) -> ShardedRunResult:
+        """The ``market="local"`` engine: route, post, reconcile, merge.
+
+        The coordinator here is *slim*: it owns a routing table and the
+        residual plane (components split across shards); every
+        shard-owned class is priced, matched and executed entirely
+        shard-side from one-way ``mtick`` frames of encoded
+        ``BidRequest`` payloads — the double-buffered pipeline.  Every R
+        period boundaries a sync reconciliation barrier pulls per-class
+        price/supply digests and busy watermarks back into the
+        cross-shard quote mirror (and flushes the pipeline).  Outcomes
+        merge exactly as in the coordinator-market engine: globally
+        sorted by ``(finish_ms, qid)`` before any reduction.
+        """
+        transport = self._transport
+        qa = mechanism == "qa-nt"
+        collector = MetricsCollector()
+        self._messages = 0
+        residual_queries = 0
+        transport.barrier_wait_ms = 0.0
+        transport.posted_frames = 0
+        transport.exchange([("reset", qa)] * self._plan.num_shards)
+        self._residual.reset(qa)
+        self._mirror_busy[:] = 0.0
+        self._mirror_V = {}
+        self._mirror_R = {}
+        self._reconcile_barriers = 0
+        self._reconcile_lag_max = 0
+        self._staleness_max = 0.0
+        self._boundaries_since_reconcile = 0
+        if any(
+            trace[i].time_ms > trace[i + 1].time_ms
+            for i in range(len(trace) - 1)
+        ):
+            trace = sorted(trace, key=lambda e: e.time_ms)
+        horizon = max(e.time_ms for e in trace)
+        period = self._config.period_ms
+        next_boundary = period
+        qid = 0
+        owner = self._owner
+        num_shards = self._plan.num_shards
+        i, total = 0, len(trace)
+        while i < total:
+            t = trace[i].time_ms
+            j = i
+            while j < total and trace[j].time_ms == t:
+                j += 1
+            # Boundary-first at equal timestamps, exactly like the
+            # coordinator-market loop.
+            while qa and next_boundary <= t:
+                self._local_boundary(next_boundary)
+                next_boundary += period
+            batch = trace[i:j]
+            collector.record_batch_tick(len(batch))
+            per_shard: List[List[Tuple]] = [[] for _ in range(num_shards)]
+            residual_rows: List[Tuple] = []
+            for n, e in enumerate(batch):
+                k = e.class_index
+                row = (qid + n, k, e.origin_node, t, 0)
+                s = owner.get(k, -1)
+                if s >= 0:
+                    per_shard[s].append(row)
+                else:
+                    residual_rows.append(row)
+            qid += len(batch)
+            frames: List[Optional[Tuple]] = [None] * num_shards
+            for s, rows_s in enumerate(per_shard):
+                if rows_s:
+                    payloads = [
+                        encode(
+                            BidRequest(
+                                qid=r[0],
+                                class_index=r[1],
+                                origin_node=r[2],
+                                attempt=r[4],
+                            )
+                        )
+                        for r in rows_s
+                    ]
+                    frames[s] = ("mtick", t, payloads)
+                    self._messages += len(payloads)
+            if any(frame is not None for frame in frames):
+                transport.post(frames)
+            if residual_rows:
+                residual_queries += len(residual_rows)
+                self._residual.market_tick(t, residual_rows)
+            i = j
+        # Drain: a sync reconcile flushes the pipeline and reports every
+        # plane's backlog; boundaries then tick while any plane still
+        # holds pending queries (shard retries run autonomously — the
+        # sync mboundary reply is just the pending count).
+        end_of_run = horizon + self._config.drain_ms
+        if qa:
+            pendings = self._reconcile()
+            global_pending = self._residual.pending_count + sum(pendings)
+            while global_pending and next_boundary <= end_of_run:
+                replies = transport.exchange(
+                    [
+                        ("mboundary", next_boundary) if active else None
+                        for active in self._active_plane
+                    ]
+                )
+                shard_pending = sum(
+                    reply["pending"]
+                    for reply in replies
+                    if reply is not None
+                )
+                res_pending = self._residual.boundary(next_boundary)
+                global_pending = shard_pending + res_pending
+                next_boundary += period
+        # Final collect barrier: outcome columns, worker RSS, self-time.
+        replies = transport.exchange([("collect",)] * num_shards)
+        cols = [[] for _ in range(9)]
+        assigned_per_shard = []
+        self_times = []
+        exchanges = self._residual.exchanges
+        dropped = self._residual.pending_count
+        peak_kb = 0
+        for reply in replies:
+            for c, part in zip(cols, reply["columns"]):
+                c.extend(part)
+            assigned_per_shard.append(reply["assigned"])
+            exchanges += reply["exchanges"]
+            dropped += reply["pending"]
+            self_times.append(float(reply.get("self_time_s", 0.0)))
+            if reply["maxrss_kb"] > peak_kb:
+                peak_kb = reply["maxrss_kb"]
+        for c, part in zip(cols, self._residual.collect()["columns"]):
+            c.extend(part)
+        transport.note_child_peak_kb(peak_kb)
+        self.last_shard_self_time_s = self_times
+        int_cols = (0, 1, 2, 5, 8)
+        columns = [
+            _np.array(c, dtype=_np.int64 if n in int_cols else float)
+            for n, c in enumerate(cols)
+        ]
+        order = _np.lexsort((columns[0], columns[7]))
+        columns = [c[order] for c in columns]
+        total_assigned = sum(assigned_per_shard)
+        imbalance = 1.0
+        if assigned_per_shard and total_assigned:
+            imbalance = max(assigned_per_shard) / (
+                total_assigned / len(assigned_per_shard)
+            )
+        collector.apply_batch_stats(vector_exchanges=exchanges)
+        collector.apply_shard_stats(
+            cross_shard_bids=residual_queries,
+            barrier_wait_ms=transport.barrier_wait_ms,
+            shard_imbalance=imbalance,
+            shards=num_shards,
+        )
+        collector.apply_reconcile_stats(
+            reconcile_barriers=self._reconcile_barriers,
+            reconcile_interval=self._reconcile_interval,
+            reconcile_lag_ticks_max=self._reconcile_lag_max,
+            price_staleness_max=self._staleness_max,
+            overlapped_frames=transport.posted_frames,
+            local_classes=sum(len(ks) for ks in self._plane_classes),
+            residual_classes=len(self._residual_classes),
+        )
+        self._messages += transport.messages
+        transport.messages = 0
+        return ShardedRunResult(
+            columns=columns,
+            dropped=dropped,
+            messages=self._messages,
+            shards=num_shards,
+            collector=collector,
+        )
+
+    def _local_boundary(self, now: float) -> None:
+        """One period boundary: posted to every active plane (one-way),
+        run in-process on the residual plane, reconciled every R-th."""
+        self._transport.post(
+            [
+                ("mboundary", now) if active else None
+                for active in self._active_plane
+            ]
+        )
+        self._residual.boundary(now)
+        self._boundaries_since_reconcile += 1
+        if self._boundaries_since_reconcile >= self._reconcile_interval:
+            self._reconcile()
+
+    def _reconcile(self) -> List[int]:
+        """The price-reconciliation barrier (sync).
+
+        Pulls each active plane's per-class price/supply digest and busy
+        watermarks into the coordinator's mirror, folds the residual
+        plane's digest on the same cadence, and returns the per-shard
+        pending counts.  Because workers process frames in order, this
+        barrier also proves every previously posted one-way frame has
+        been applied — it *is* the pipeline flush.
+        """
+        replies = self._transport.exchange(
+            [
+                ("reconcile",) if active else None
+                for active in self._active_plane
+            ]
+        )
+        if self._boundaries_since_reconcile > self._reconcile_lag_max:
+            self._reconcile_lag_max = self._boundaries_since_reconcile
+        self._boundaries_since_reconcile = 0
+        pendings: List[int] = []
+        digests: List[Tuple[Sequence[int], Mapping[str, object]]] = []
+        for s, reply in enumerate(replies):
+            if reply is None:
+                pendings.append(0)
+                continue
+            pendings.append(int(reply["pending"]))
+            digests.append((self._plane_nodes[s], reply))
+            self._messages += 2
+        digests.append(
+            (self._residual.node_ids, self._residual.reconcile_digest())
+        )
+        staleness = self._staleness_max
+        for nodes, digest in digests:
+            for k, vals in digest["prices"]:
+                old = self._mirror_V.get(k)
+                if old is not None:
+                    for a, b in zip(old, vals):
+                        d = abs(b - a)
+                        if d > staleness:
+                            staleness = d
+                self._mirror_V[int(k)] = [float(v) for v in vals]
+            for k, vals in digest["supply"]:
+                self._mirror_R[int(k)] = [float(v) for v in vals]
+            busy = self._mirror_busy
+            for nid, b in zip(nodes, digest["busy"]):
+                busy[nid] = b
+        self._staleness_max = staleness
+        self._reconcile_barriers += 1
+        return pendings
+
+    # -- cross-shard visibility ------------------------------------------------
+
+    def stale_quotes(
+        self, class_index: int, now: float = 0.0
+    ) -> List[Tuple[int, float]]:
+        """Bounded-staleness quotes for ``class_index`` from the mirror.
+
+        ``(node_id, estimated_completion_ms)`` per candidate lane,
+        computed from the busy watermarks of the *last reconciliation
+        barrier* — at most R period boundaries old.  This is the
+        cross-shard view a remote matcher would price against; the
+        market arithmetic itself never reads it (exactness does not
+        depend on R).
+        """
+        if self._plan is None or self._market != "local":
+            raise RuntimeError(
+                "stale quotes require a sharded local-market federation"
+            )
+        cand = self._cand[class_index]
+        est = _np.maximum(self._mirror_busy[cand], now)
+        est = est + self._lane_costs[class_index]
+        return [
+            (int(nid), float(e))
+            for nid, e in zip(cand.tolist(), est.tolist())
+        ]
+
+    def stale_prices(self, class_index: int) -> Optional[List[float]]:
+        """Per-lane prices of ``class_index`` as of the last barrier
+        (None before the first reconciliation)."""
+        if self._plan is None or self._market != "local":
+            raise RuntimeError(
+                "stale prices require a sharded local-market federation"
+            )
+        vals = self._mirror_V.get(class_index)
+        return None if vals is None else list(vals)
+
+    def shard_self_time_s(self) -> List[float]:
+        """Per-shard aggregate frame-handling self-time of the last run
+        (seconds, fixed shard order; empty before any sharded run)."""
+        return list(self.last_shard_self_time_s)

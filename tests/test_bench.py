@@ -83,6 +83,7 @@ class TestHarness:
         # Parent CPU time misses the forked shard workers entirely; the
         # kernel must opt into wall-clock timing.
         assert KERNELS["fed.fig5a_sharded"].wall_time
+        assert KERNELS["fed.fig5a_localmarket"].wall_time
         assert not KERNELS["fed.fig5a_1000node"].wall_time
 
     def test_measure_peak_adds_child_process_peak(self):
@@ -540,11 +541,13 @@ class TestProfileCli:
         )
         assert rc == 0
         payload = json.loads(capsys.readouterr().out)
-        assert payload["schema_version"] == 1
+        assert payload["schema_version"] == 2
         assert payload["kind"] == "profile"
         assert payload["target"] == "kernel:vector.arith"
         assert payload["sort"] == "tottime"
         assert payload["total_time_s"] > 0
+        # Single-process kernels carry an empty per-shard section (v2).
+        assert payload["shards"] == []
         assert 1 <= len(payload["rows"]) <= 5
         row = payload["rows"][0]
         assert set(row) == {
@@ -559,6 +562,28 @@ class TestProfileCli:
         # tottime sort: rows arrive hottest-first.
         times = [r["tottime_s"] for r in payload["rows"]]
         assert times == sorted(times, reverse=True)
+
+    def test_profile_payload_carries_shard_self_time(self):
+        import cProfile
+
+        from repro.profiling import profile_payload, read_profile_payload
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        sum(range(100))
+        profiler.disable()
+        payload = profile_payload(
+            profiler, "kernel:fake", shard_self_time_s=[0.5, 0.25]
+        )
+        assert payload["schema_version"] == 2
+        assert payload["shards"] == [
+            {"shard": 0, "self_time_s": 0.5},
+            {"shard": 1, "self_time_s": 0.25},
+        ]
+        # v1 artifacts normalise; unknown versions are refused.
+        assert read_profile_payload(payload) == payload
+        with pytest.raises(ValueError):
+            read_profile_payload({"schema_version": 3, "kind": "profile"})
 
     def test_profile_rejects_bad_limit(self, capsys):
         rc = cli.main(["profile", "--kernel", "vector.arith", "--top", "0"])

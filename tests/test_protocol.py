@@ -162,6 +162,68 @@ class TestCodec:
             message_tag("hello")  # type: ignore[arg-type]
 
 
+# --------------------------------------------------------- wire framing
+
+
+class TestFrameCodec:
+    """Length-prefix framing under the tcp ShardTransport (see
+    repro.sim.shards): every split point must reassemble identically."""
+
+    def test_round_trip_single_frame(self):
+        from repro.protocol import FrameDecoder, encode_frame
+
+        payload = encode(BidRequest(qid=1, class_index=0, origin_node=-1))
+        frames = FrameDecoder().feed(encode_frame(payload.encode("utf-8")))
+        assert [f.decode("utf-8") for f in frames] == [payload]
+
+    @given(st.integers(1, 40))
+    @settings(max_examples=40)
+    def test_reassembly_at_every_split_point(self, split):
+        from repro.protocol import FrameDecoder, encode_frame
+
+        stream = encode_frame(b"alpha") + encode_frame(b"") + encode_frame(
+            b"beta-" * 4
+        )
+        split = min(split, len(stream))
+        decoder = FrameDecoder()
+        frames = decoder.feed(stream[:split])
+        frames += decoder.feed(stream[split:])
+        assert frames == [b"alpha", b"", b"beta-" * 4]
+        assert decoder.pending_bytes == 0
+
+    def test_several_frames_per_chunk_stay_ordered(self):
+        from repro.protocol import FrameDecoder, encode_frame
+
+        chunks = [encode_frame(str(n).encode()) for n in range(5)]
+        assert FrameDecoder().feed(b"".join(chunks)) == [
+            str(n).encode() for n in range(5)
+        ]
+
+    def test_partial_header_is_buffered_not_decoded(self):
+        from repro.protocol import FrameDecoder, encode_frame
+
+        stream = encode_frame(b"x")
+        decoder = FrameDecoder()
+        assert decoder.feed(stream[:3]) == []
+        assert decoder.pending_bytes == 3
+        assert decoder.feed(stream[3:]) == [b"x"]
+
+    def test_oversized_frames_rejected_both_directions(self):
+        import struct
+
+        from repro.protocol import MAX_FRAME_BYTES, FrameDecoder, encode_frame
+
+        class _Huge(bytes):
+            def __len__(self):
+                return MAX_FRAME_BYTES + 1
+
+        with pytest.raises(ValueError):
+            encode_frame(_Huge())
+        hostile = struct.pack(">I", MAX_FRAME_BYTES + 1)
+        with pytest.raises(ValueError):
+            FrameDecoder().feed(hostile)
+
+
 # --------------------------------------------------------- MarketSession
 
 

@@ -170,7 +170,7 @@ class TestRegistry:
         "fig6", "fig7", "table2", "table3",
         "ablation-lambda", "ablation-period", "ablation-partial",
         "ablation-markov", "ablation-rounding", "failures", "chaos",
-        "scaling", "scaling-shards",
+        "scaling", "scaling-shards", "scaling-reconcile",
     }
 
     def test_every_experiment_registered(self):

@@ -14,19 +14,28 @@ Three properties carry the whole design (see DESIGN.md §7):
   ``repro.protocol`` codec over the pipe-backed ``ShardTransport``.
 """
 
+import functools
 import json
 import pathlib
+import time
 
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
 from repro.allocation import GreedyAllocator, QantAllocator
-from repro.experiments.scaling import quantise_trace, sharded_scaling_cell
+from repro.experiments.scaling import (
+    quantise_trace,
+    reconcile_scaling_cell,
+    sharded_scaling_cell,
+)
 from repro.experiments.setups import (
     run_mechanism,
     sinusoid_trace_for_load,
     two_query_world,
+    zipf_world,
 )
-from repro.protocol import BidRequest, Quote
+from repro.protocol import BidRequest, Quote, decode, encode
 from repro.sim import (
     FederationConfig,
     MetricsCollector,
@@ -34,8 +43,11 @@ from repro.sim import (
     ShardTransport,
     derive_shard_seed,
     plan_shards,
+    split_market_classes,
 )
 from repro.sim.faults import derive_fault_seed
+from repro.sim.shards import _CORE_KINDS
+from repro.workload.trace import zipf_trace
 
 from test_golden_trace import _outcome_digest
 
@@ -286,3 +298,293 @@ def test_sharded_scaling_cell_shape():
     assert origin["cross_shard_bids"] == 0.0
     assert origin["barrier_wait_ms"] == 0.0
     assert origin["shard_imbalance"] == 1.0
+
+
+# ---------------------------------------------------------------------------
+# local market planes (market="local") — ownership, exactness, reconciliation
+
+
+@functools.lru_cache(maxsize=1)
+def _zipf_small():
+    """The affinity-rich local-market fixture: most classes shard-local."""
+    world = zipf_world(num_nodes=50, num_classes=20, seed=0)
+    trace = tuple(
+        zipf_trace(
+            20,
+            mean_interarrival_ms=120.0,
+            horizon_ms=60_000.0,
+            origin_nodes=list(world.placement.node_ids),
+            max_queries=400,
+            seed=10,
+        )
+    )
+    return world, trace
+
+
+def _local(world, shards, mode="inline", interval=1):
+    return ShardedFederation(
+        world.specs,
+        world.placement,
+        world.classes,
+        world.cost_model,
+        config=FederationConfig(seed=2),
+        shards=shards,
+        mode=mode,
+        market="local",
+        reconcile_interval=interval,
+    )
+
+
+@functools.lru_cache(maxsize=4)
+def _local_baseline(mechanism: str):
+    """Canonical invariant payload: 2 inline shards, reconcile every tick."""
+    world, trace = _zipf_small()
+    with _local(world, 2, "inline", 1) as federation:
+        return federation.run(list(trace), mechanism).invariant_payload()
+
+
+def test_split_market_classes_component_granular():
+    """Ownership is decided per affinity component, never per class."""
+    candidates = {0: (0, 1), 1: (1, 2), 2: (5, 6), 3: (7,)}
+    plan = plan_shards(candidates, node_ids=range(8), num_shards=2)
+    owner = split_market_classes(candidates, plan)
+    assert set(owner) == {0, 1, 2, 3}
+    shard_of = plan.node_to_shard
+    # Classes 0 and 1 share node 1: one component, one verdict for both.
+    assert owner[0] == owner[1]
+    for k, cand in candidates.items():
+        shards_touched = {shard_of[n] for n in cand}
+        if owner[k] >= 0:
+            assert shards_touched == {owner[k]}
+        else:
+            assert len(shards_touched) > 1
+
+
+def test_local_market_matches_coordinator_plane():
+    """The N+1-plane engine reproduces the coordinator-market decisions
+    bit for bit — the PR-level exactness contract (DESIGN.md §7)."""
+    world, trace = _zipf_small()
+    for mechanism in ("qa-nt", "greedy"):
+        with _sharded(world, 2) as federation:
+            coordinator = federation.run(
+                list(trace), mechanism
+            ).invariant_payload()
+        assert _local_baseline(mechanism) == coordinator
+
+
+@pytest.mark.parametrize("mode", ["inline", "fork", "tcp"])
+def test_local_market_invariant_across_transport_modes(mode):
+    """Pipe, socket and inline planes make identical decisions — the tcp
+    leg pins the JSON-frame wire's float round-trip on every CI run."""
+    world, trace = _zipf_small()
+    with _local(world, 2, mode, interval=4) as federation:
+        payload = federation.run(list(trace), "qa-nt").invariant_payload()
+    assert payload == _local_baseline("qa-nt")
+    assert payload["completed"] > 0
+
+
+@given(
+    shards=st.sampled_from([2, 4, 8]),
+    mode=st.sampled_from(["inline", "fork", "tcp"]),
+    interval=st.sampled_from([1, 4, 16]),
+    mechanism=st.sampled_from(["qa-nt", "greedy"]),
+)
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+def test_local_market_invariance_property(shards, mode, interval, mechanism):
+    """Invariant payload is identical across shard counts, transport
+    modes and reconciliation intervals: reconciliation bounds *quote*
+    staleness for cross-shard observers, never market arithmetic."""
+    world, trace = _zipf_small()
+    with _local(world, shards, mode, interval) as federation:
+        payload = federation.run(list(trace), mechanism).invariant_payload()
+    assert payload == _local_baseline(mechanism)
+
+
+def test_reconcile_counters_surface_in_batch_summary():
+    world, trace = _zipf_small()
+    with _local(world, 2, "inline", interval=4) as federation:
+        summary = federation.run(list(trace), "qa-nt").batch_summary()
+    assert summary["reconcile_interval"] == 4.0
+    assert summary["reconcile_barriers"] >= 1.0
+    assert 1.0 <= summary["reconcile_lag_ticks_max"] <= 4.0
+    assert summary["price_staleness_max"] >= 0.0
+    assert summary["overlapped_frames"] > 0.0
+    assert summary["local_classes"] > 0.0
+    assert summary["local_classes"] + summary["residual_classes"] == 20.0
+    # Coordinator-market runs must NOT grow these keys: their goldens
+    # serialise batch_summary() and would break.
+    with _sharded(world, 2) as federation:
+        coordinator = federation.run(list(trace), "qa-nt").batch_summary()
+    for key in ("reconcile_barriers", "price_staleness_max"):
+        assert key not in coordinator
+        assert key not in MetricsCollector().batch_summary()
+
+
+def test_stale_quotes_and_prices_from_last_barrier():
+    world, trace = _zipf_small()
+    with _local(world, 2, "inline", interval=4) as federation:
+        federation.run(list(trace), "qa-nt")
+        candidates = sorted(world.classes[0].candidate_nodes(world.placement))
+        quotes = federation.stale_quotes(0, now=0.0)
+        assert [nid for nid, __ in quotes] == candidates
+        assert all(est >= 0.0 for __, est in quotes)
+        prices = federation.stale_prices(0)
+        assert prices is not None and len(prices) == len(candidates)
+    # The bounded-staleness mirror only exists on local-market fronts.
+    with _sharded(world, 2) as federation:
+        with pytest.raises(RuntimeError):
+            federation.stale_quotes(0)
+        with pytest.raises(RuntimeError):
+            federation.stale_prices(0)
+
+
+def test_shard_self_time_feeds_profile_schema_v2():
+    from repro.profiling import read_profile_payload
+
+    world, trace = _zipf_small()
+    with _local(world, 2, "fork", interval=4) as federation:
+        federation.run(list(trace), "qa-nt")
+        times = federation.shard_self_time_s()
+    assert len(times) == 2
+    assert all(t >= 0.0 for t in times)
+    assert sum(times) > 0.0
+    # v1 payloads stay readable; v2 keeps the shards section.
+    v1 = {"schema_version": 1, "kind": "profile", "rows": []}
+    assert read_profile_payload(v1)["shards"] == []
+
+
+def test_tcp_workers_report_child_rss():
+    """`bench --mem` coverage for socket workers: the collect barrier
+    folds every tcp child's ru_maxrss into ``child_peak_kb()``."""
+    world, trace = _zipf_small()
+    with _local(world, 2, "tcp", interval=4) as federation:
+        federation.run(list(trace), "qa-nt")
+        transport = federation.transport
+        assert transport.child_peak_kb() > 0
+        def fn():
+            return None
+
+        fn.child_peak_kb = transport.child_peak_kb
+        from repro.bench.harness import measure_peak
+
+        assert measure_peak(fn) >= transport.child_peak_kb()
+
+
+# ---------------------------------------------------------------------------
+# frame ordering under scripted worker delays
+
+
+class _SleepyEchoCore:
+    """Scripted-delay worker double: answers a fan-out with one Quote
+    carrying its own identity, after sleeping its scripted delay."""
+
+    def __init__(self, init):
+        self._ident = int(init["ident"])
+        self._delay_s = float(init["delay_s"])
+
+    def handle(self, frame):
+        if frame[0] == "fanout":
+            time.sleep(self._delay_s)
+            request = decode(frame[1])
+            return {
+                "replies": [
+                    encode(
+                        Quote(
+                            qid=request.qid,
+                            node_id=self._ident,
+                            class_index=request.class_index,
+                            estimated_completion_ms=float(self._ident),
+                        )
+                    )
+                ]
+            }
+        return {"ok": True}
+
+
+@pytest.mark.parametrize("mode", ["fork", "tcp"])
+def test_out_of_order_replies_keep_fixed_shard_merge(mode):
+    """A slow shard 0 lets shard 1's reply reach the coordinator first;
+    the merge must still come back in fixed shard order."""
+    inits = [
+        {"kind": "test-sleepy", "ident": 0, "delay_s": 0.25},
+        {"kind": "test-sleepy", "ident": 1, "delay_s": 0.0},
+    ]
+    _CORE_KINDS["test-sleepy"] = _SleepyEchoCore
+    try:
+        transport = ShardTransport(inits, mode=mode)
+        try:
+            started = time.perf_counter()
+            result = transport.fanout(
+                -1, (0, 1), BidRequest(qid=7, class_index=3, origin_node=-1)
+            )
+            elapsed = time.perf_counter() - started
+            assert [q.node_id for q in result.replies] == [0, 1]
+            assert result.replied == (0, 1)
+            # Both requests were in flight together: the barrier costs
+            # max(delays), not their sum (double-buffering's guarantee).
+            assert elapsed < 2 * 0.25
+        finally:
+            transport.close()
+    finally:
+        del _CORE_KINDS["test-sleepy"]
+
+
+# ---------------------------------------------------------------------------
+# the local-market golden (shard/mode/R invariant by construction)
+
+
+def _localmarket_zipf_payload(shards: int, mode: str, interval: int) -> str:
+    world, trace = _zipf_small()
+    payload = {}
+    with _local(world, shards, mode, interval) as federation:
+        for mechanism in ("qa-nt", "greedy"):
+            payload[mechanism] = federation.run(
+                list(trace), mechanism
+            ).invariant_payload()
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def test_localmarket_zipf_matches_golden():
+    """The 4-shard forked R=4 Zipf pair reproduces the stored payload."""
+    assert _localmarket_zipf_payload(4, "fork", 4) == (
+        GOLDEN_DIR / "localmarket_zipf_seed0.json"
+    ).read_text()
+
+
+@pytest.mark.slow
+def test_localmarket_golden_is_config_invariant():
+    """The same golden re-verifies over sockets at a different shard
+    count and reconciliation cadence."""
+    assert _localmarket_zipf_payload(2, "tcp", 16) == (
+        GOLDEN_DIR / "localmarket_zipf_seed0.json"
+    ).read_text()
+
+
+def test_reconcile_scaling_cell_shape_and_invariance():
+    cells = {
+        interval: reconcile_scaling_cell(
+            "qa-nt",
+            interval,
+            0,
+            0,
+            num_nodes=30,
+            num_classes=10,
+            shards=2,
+            max_queries=120,
+            mode="inline",
+        )
+        for interval in (1, 4)
+    }
+    for interval, cell in cells.items():
+        assert cell["reconcile_interval"] == float(interval)
+        assert cell["shards"] == 2.0
+        assert cell["local_classes"] + cell["residual_classes"] == 10.0
+        assert set(cell) == set(cells[1])
+    # R moves barrier cadence and staleness, never the market outcome.
+    for key in ("completed", "mean_response_ms", "p99_response_ms"):
+        assert cells[1][key] == cells[4][key]
+    assert cells[1]["reconcile_barriers"] >= cells[4]["reconcile_barriers"]
